@@ -1,0 +1,67 @@
+// Command ftbench runs the experiment suite (DESIGN.md E1-E16) and prints
+// the result tables recorded in EXPERIMENTS.md.
+//
+//	ftbench                # full suite
+//	ftbench -exp e7        # one experiment
+//	ftbench -quick         # shrunken sweeps
+//	ftbench -list          # show the experiment index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "run a single experiment (e1..e16)")
+		quick = flag.Bool("quick", false, "shrink sweeps for a fast pass")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		seed  = flag.Int64("seed", 1, "seed for randomized failure schedules")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range workload.All() {
+			fmt.Printf("%-4s %-45s (%s)\n", e.ID, e.Title, e.PaperRef)
+		}
+		return
+	}
+
+	var toRun []workload.Experiment
+	if *exp != "" {
+		e, ok := workload.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		toRun = []workload.Experiment{e}
+	} else {
+		toRun = workload.All()
+	}
+
+	opt := workload.Options{Quick: *quick, Seed: *seed}
+	start := time.Now()
+	failed := 0
+	for _, e := range toRun {
+		fmt.Printf("---- %s: %s (%s) ----\n", e.ID, e.Title, e.PaperRef)
+		tables, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+	}
+	fmt.Printf("suite finished in %v (%d experiments, %d failed)\n",
+		time.Since(start).Round(time.Millisecond), len(toRun), failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

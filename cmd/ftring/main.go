@@ -1,0 +1,255 @@
+// Command ftring runs the fault-tolerant ring application (Hursey &
+// Graham 2011) over the in-process MPI runtime, with every design variant
+// and failure schedule the paper discusses available from flags.
+//
+// Examples:
+//
+//	ftring -n 8 -iters 16                         # full FT ring, no failures
+//	ftring -n 8 -iters 16 -kill 3:recv:2          # rank 3 dies after 2nd recv
+//	ftring -n 4 -variant naive -kill 2:recv:2     # reproduce the Fig. 6 hang
+//	ftring -n 8 -term validate-all -root elect -kill 0:recv:3
+//	ftring -n 8 -transport tcp -trace             # TCP loopback with a trace dump
+//	ftring -n 16 -random-failures 3 -seed 7       # seeded random schedule
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/inject"
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 8, "number of ranks")
+		iters    = flag.Int("iters", 16, "ring iterations (the paper's max_iter)")
+		variant  = flag.String("variant", "full", "receive design: unaware|naive|no-marker|separate-tag|full")
+		term     = flag.String("term", "root-bcast", "termination: none|root-bcast|validate-all")
+		rootPol  = flag.String("root", "abort", "root policy: abort|elect")
+		kills    killFlags
+		randomF  = flag.Int("random-failures", 0, "kill this many random non-root ranks")
+		seed     = flag.Int64("seed", 1, "seed for -random-failures")
+		fabric   = flag.String("transport", "local", "fabric: local|tcp|latency")
+		latency  = flag.Duration("latency", 100*time.Microsecond, "per-hop delay for -transport latency")
+		deadline = flag.Duration("deadline", 15*time.Second, "watchdog (0 = none)")
+		padding  = flag.Int("padding", 0, "extra payload bytes per message")
+		doTrace  = flag.Bool("trace", false, "print the event timeline")
+		doStats  = flag.Bool("stats", true, "print per-rank statistics")
+	)
+	flag.Var(&kills, "kill", "failure spec rank:point:ordinal (point: recv|send|before-send); repeatable")
+	flag.Parse()
+
+	cfg := core.Config{Iters: *iters, Padding: *padding}
+	if err := parseVariant(*variant, &cfg.Variant); err != nil {
+		fatal(err)
+	}
+	if err := parseTermination(*term, &cfg.Termination); err != nil {
+		fatal(err)
+	}
+	if err := parseRootPolicy(*rootPol, &cfg.RootPolicy); err != nil {
+		fatal(err)
+	}
+
+	plan := inject.NewPlan()
+	for _, k := range kills {
+		plan.Add(k)
+	}
+	if *randomF > 0 {
+		cands := make([]int, 0, *n-1)
+		for r := 1; r < *n; r++ {
+			cands = append(cands, r)
+		}
+		rp, chosen := inject.RandomPlan(*seed, cands, *randomF, *iters/2+1)
+		plan = rp
+		fmt.Printf("random failure schedule (seed %d): %v\n", *seed, chosen)
+	}
+
+	rec := trace.New(0)
+	if !*doTrace {
+		rec = nil
+	}
+	mets := metrics.NewWorld(*n)
+	mcfg := mpi.Config{
+		Size: *n, Deadline: *deadline, Hook: plan.Hook(),
+		Tracer: rec, Metrics: mets,
+	}
+	switch *fabric {
+	case "local":
+	case "tcp":
+		mcfg.Fabric = transport.NewTCP(*n)
+	case "latency":
+		mcfg.Fabric = transport.NewLatency(transport.NewLocal(), *latency)
+	default:
+		fatal(fmt.Errorf("unknown transport %q", *fabric))
+	}
+
+	report, res, err := core.Run(mcfg, cfg)
+	switch {
+	case errors.Is(err, mpi.ErrTimedOut):
+		fmt.Printf("RESULT: DEADLOCK — watchdog expired after %v; stuck ranks %v\n",
+			*deadline, res.Stuck)
+	case err != nil:
+		var ae *mpi.AbortError
+		if errors.As(err, &ae) {
+			fmt.Printf("RESULT: ABORTED with code %d\n", ae.Code)
+		} else {
+			fatal(err)
+		}
+	default:
+		fmt.Printf("RESULT: completed in %v\n", res.Elapsed)
+	}
+
+	if fired := plan.Log(); len(fired) > 0 {
+		fmt.Println("injected failures:")
+		for _, l := range fired {
+			fmt.Printf("  %s\n", l)
+		}
+	}
+
+	if *doStats && report != nil {
+		printStats(report, res)
+		fmt.Println("\nruntime counters:")
+		fmt.Print(mets.Render())
+	}
+	if *doTrace && rec != nil {
+		fmt.Println("\nevent timeline:")
+		fmt.Print(rec.RenderByRank())
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+}
+
+func printStats(report *core.Report, res *mpi.RunResult) {
+	fmt.Println("\nper-rank outcome:")
+	for rank := 0; rank < report.Size(); rank++ {
+		s := report.Rank(rank)
+		rr := res.Ranks[rank]
+		state := "finished"
+		switch {
+		case rr.Killed:
+			state = "KILLED"
+		case rr.Aborted:
+			state = "aborted"
+		case rr.Err != nil:
+			state = "error: " + rr.Err.Error()
+		case !rr.Finished:
+			state = "stuck"
+		}
+		line := fmt.Sprintf("  rank %2d: %-9s iters=%d", rank, state, s.Iterations)
+		if s.Resends > 0 {
+			line += fmt.Sprintf(" resends=%d", s.Resends)
+		}
+		if s.DupsDropped > 0 {
+			line += fmt.Sprintf(" dups-dropped=%d", s.DupsDropped)
+		}
+		if s.DupsForwarded > 0 {
+			line += fmt.Sprintf(" dups-forwarded=%d", s.DupsForwarded)
+		}
+		if s.BecameRoot {
+			line += " BECAME-ROOT"
+		}
+		if len(s.RootValues) > 0 {
+			markers := make([]int, 0, len(s.RootValues))
+			for m := range s.RootValues {
+				markers = append(markers, int(m))
+			}
+			sort.Ints(markers)
+			line += fmt.Sprintf(" absorbed=%v", markers)
+		}
+		fmt.Println(line)
+	}
+}
+
+// killFlags parses repeatable -kill rank:point:ordinal specs.
+type killFlags []inject.Trigger
+
+// String implements flag.Value.
+func (k *killFlags) String() string { return fmt.Sprintf("%d kill specs", len(*k)) }
+
+// Set implements flag.Value.
+func (k *killFlags) Set(s string) error {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("kill spec %q: want rank:point:ordinal", s)
+	}
+	rank, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("kill spec %q: bad rank: %w", s, err)
+	}
+	ord, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return fmt.Errorf("kill spec %q: bad ordinal: %w", s, err)
+	}
+	switch parts[1] {
+	case "recv":
+		*k = append(*k, inject.AfterNthRecv(rank, ord))
+	case "send":
+		*k = append(*k, inject.AfterNthSend(rank, ord))
+	case "before-send":
+		*k = append(*k, inject.BeforeNthSend(rank, ord))
+	default:
+		return fmt.Errorf("kill spec %q: unknown point %q", s, parts[1])
+	}
+	return nil
+}
+
+func parseVariant(s string, out *core.Variant) error {
+	switch s {
+	case "unaware":
+		*out = core.VariantUnaware
+	case "naive":
+		*out = core.VariantNaive
+	case "no-marker":
+		*out = core.VariantNoMarker
+	case "separate-tag":
+		*out = core.VariantSeparateTag
+	case "full":
+		*out = core.VariantFull
+	default:
+		return fmt.Errorf("unknown variant %q", s)
+	}
+	return nil
+}
+
+func parseTermination(s string, out *core.Termination) error {
+	switch s {
+	case "none":
+		*out = core.TermNone
+	case "root-bcast":
+		*out = core.TermRootBcast
+	case "validate-all":
+		*out = core.TermValidateAll
+	default:
+		return fmt.Errorf("unknown termination %q", s)
+	}
+	return nil
+}
+
+func parseRootPolicy(s string, out *core.RootPolicy) error {
+	switch s {
+	case "abort":
+		*out = core.RootAbort
+	case "elect":
+		*out = core.RootElect
+	default:
+		return fmt.Errorf("unknown root policy %q", s)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftring:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,109 @@
+// Heatring: fault-tolerant 1-D heat diffusion — the ABFT application
+// domain the paper's related work cites (heat transfer, Ltaief et al.),
+// built from the same communication-level pieces as the ring: fault-aware
+// neighbor selection, send failover, posted-receive failure detection and
+// step-stamped (marker-style) duplicate suppression.
+//
+// A heat spike diffuses across 8 ranks x 10 cells; rank 4 dies mid-run;
+// the survivors splice the domain and keep integrating. The final field
+// is rendered as an ASCII heat map.
+//
+//	go run ./examples/heatring
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/heat"
+	"repro/internal/inject"
+	"repro/internal/mpi"
+)
+
+func main() {
+	const (
+		ranks = 8
+		cells = 10
+		steps = 60
+	)
+	plan := inject.NewPlan().Add(inject.AfterNthRecv(4, 20))
+	w, err := mpi.NewWorld(mpi.Config{
+		Size: ranks, Deadline: 15 * time.Second, Hook: plan.Hook(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	fields := map[int][]float64{}
+	cfg := heat.Config{CellsPerRank: cells, Steps: steps, Alpha: 0.4, InitialPeak: true}
+	res, err := w.Run(func(p *mpi.Proc) error {
+		r, err := heat.Run(p, cfg)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		fields[p.Rank()] = r.Block
+		mu.Unlock()
+		if r.NeighborChanges > 0 {
+			fmt.Printf("rank %d failed over its halo partner %d time(s)\n",
+				p.Rank(), r.NeighborChanges)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("heat run failed: %v", err)
+	}
+
+	fmt.Printf("\n%d steps on %d ranks in %v; failures injected:\n", steps, ranks, res.Elapsed)
+	for _, l := range plan.Log() {
+		fmt.Printf("  %s\n", l)
+	}
+
+	fmt.Println("\nfinal temperature field (X = lost block):")
+	var peak float64
+	for _, f := range fields {
+		for _, v := range f {
+			peak = math.Max(peak, v)
+		}
+	}
+	rankIDs := make([]int, 0, len(fields))
+	for r := range fields {
+		rankIDs = append(rankIDs, r)
+	}
+	sort.Ints(rankIDs)
+	shades := []byte(" .:-=+*#%@")
+	for r := 0; r < ranks; r++ {
+		fmt.Printf("rank %d |", r)
+		f, ok := fields[r]
+		if !ok {
+			for i := 0; i < cells; i++ {
+				fmt.Print("X")
+			}
+			fmt.Println("|  (fail-stopped; block lost)")
+			continue
+		}
+		total := 0.0
+		for _, v := range f {
+			idx := 0
+			if peak > 0 {
+				idx = int(v / peak * float64(len(shades)-1))
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			fmt.Printf("%c", shades[idx])
+			total += v
+		}
+		fmt.Printf("|  local heat %.4f\n", total)
+	}
+	fmt.Println("\nthe survivors ran through the failure with an approximately correct")
+	fmt.Println("field — the \"natural fault tolerance\" mode of the paper's Section IV.")
+}

@@ -1,0 +1,117 @@
+package collective
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Typed operand codecs and reduction operators over []byte payloads. MPI
+// datatypes are a large surface; the experiments need int64 and float64
+// vectors, which these helpers provide with explicit little-endian
+// encoding so the TCP fabric sees identical bytes.
+
+// EncodeInt64s packs v into a little-endian byte payload.
+func EncodeInt64s(v []int64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(x))
+	}
+	return out
+}
+
+// DecodeInt64s unpacks a payload produced by EncodeInt64s.
+func DecodeInt64s(b []byte) ([]int64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("collective: int64 payload length %d not a multiple of 8", len(b))
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// EncodeFloat64s packs v into a little-endian byte payload.
+func EncodeFloat64s(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+// DecodeFloat64s unpacks a payload produced by EncodeFloat64s.
+func DecodeFloat64s(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("collective: float64 payload length %d not a multiple of 8", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// int64Op lifts an elementwise int64 operator to an Op. Mismatched
+// lengths truncate to the shorter side (MPI would call this erroneous; we
+// keep it total to stay panic-free in reduction trees).
+func int64Op(f func(a, b int64) int64) Op {
+	return func(a, b []byte) []byte {
+		av, errA := DecodeInt64s(a)
+		bv, errB := DecodeInt64s(b)
+		if errA != nil || errB != nil {
+			return a
+		}
+		n := min(len(av), len(bv))
+		out := make([]int64, n)
+		for i := 0; i < n; i++ {
+			out[i] = f(av[i], bv[i])
+		}
+		return EncodeInt64s(out)
+	}
+}
+
+// float64Op lifts an elementwise float64 operator to an Op.
+func float64Op(f func(a, b float64) float64) Op {
+	return func(a, b []byte) []byte {
+		av, errA := DecodeFloat64s(a)
+		bv, errB := DecodeFloat64s(b)
+		if errA != nil || errB != nil {
+			return a
+		}
+		n := min(len(av), len(bv))
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			out[i] = f(av[i], bv[i])
+		}
+		return EncodeFloat64s(out)
+	}
+}
+
+// Predefined reduction operators, mirroring MPI_SUM / MPI_MIN / MPI_MAX
+// over int64 and float64 vectors.
+var (
+	// SumInt64 adds int64 vectors elementwise (MPI_SUM).
+	SumInt64 = int64Op(func(a, b int64) int64 { return a + b })
+	// MinInt64 takes the elementwise minimum (MPI_MIN).
+	MinInt64 = int64Op(func(a, b int64) int64 {
+		if b < a {
+			return b
+		}
+		return a
+	})
+	// MaxInt64 takes the elementwise maximum (MPI_MAX).
+	MaxInt64 = int64Op(func(a, b int64) int64 {
+		if b > a {
+			return b
+		}
+		return a
+	})
+	// SumFloat64 adds float64 vectors elementwise (MPI_SUM).
+	SumFloat64 = float64Op(func(a, b float64) float64 { return a + b })
+	// MaxFloat64 takes the elementwise maximum (MPI_MAX).
+	MaxFloat64 = float64Op(math.Max)
+	// MinFloat64 takes the elementwise minimum (MPI_MIN).
+	MinFloat64 = float64Op(math.Min)
+)

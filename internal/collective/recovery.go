@@ -1,0 +1,38 @@
+package collective
+
+import "repro/internal/mpi"
+
+// RecoveryBlock implements the pattern the paper attributes to
+// validate_all: "The MPI_Comm_validate_all function is useful in
+// creating recovery blocks for sets of collective operations [Randell
+// 1975]" (Section II).
+//
+// body is executed as one recovery block. If it returns a rank-fail-stop
+// error — some participant died inside the block's collectives — the
+// communicator is repaired with ValidateAll and the body is retried over
+// the surviving participants, up to maxRetries times. Non-failure errors
+// propagate immediately. All alive members of the communicator must call
+// RecoveryBlock with equivalent bodies (the usual collective symmetry).
+//
+// The body must be idempotent from the application's point of view:
+// partial collectives from a failed attempt have no visible effect
+// besides their return codes, but application state mutated inside the
+// body will see retries.
+func RecoveryBlock(c *mpi.Comm, maxRetries int, body func() error) error {
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = body()
+		if err == nil || !mpi.IsRankFailStop(err) {
+			return err
+		}
+		if attempt >= maxRetries {
+			return err
+		}
+		if _, verr := c.ValidateAll(); verr != nil {
+			return verr
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+)
+
+// alive reports whether comm rank r is locally known to be running — the
+// MPI_Comm_validate_rank check of Fig. 4. Recognized ranks (RankNull) are
+// just as unusable as unrecognized ones for neighbor purposes.
+func (n *node) alive(r int) bool {
+	info, err := n.c.RankState(r)
+	return err == nil && info.State == mpi.RankOK
+}
+
+// toLeftOf is Fig. 4's fault-aware left-neighbor selection: walk left
+// (decreasing rank, wrapping) until an alive rank is found; abort if the
+// search wraps all the way back to us (we are alone).
+func (n *node) toLeftOf(r int) int {
+	n.p.Metrics().Inc(n.me, metrics.NeighborScans)
+	for {
+		if r == 0 {
+			r = n.size - 1
+		} else {
+			r--
+		}
+		if n.alive(r) {
+			if r == n.me {
+				// Alone in the communicator, as in Fig. 4 line 7.
+				n.p.Abort(-1)
+			}
+			return r
+		}
+		if r == n.me {
+			n.p.Abort(-1)
+		}
+	}
+}
+
+// toRightOf is Fig. 4's fault-aware right-neighbor selection.
+func (n *node) toRightOf(r int) int {
+	n.p.Metrics().Inc(n.me, metrics.NeighborScans)
+	for {
+		r = (r + 1) % n.size
+		if n.alive(r) {
+			if r == n.me {
+				n.p.Abort(-1)
+			}
+			return r
+		}
+		if r == n.me {
+			n.p.Abort(-1)
+		}
+	}
+}
+
+// currentRoot is Fig. 12's leader election: the lowest comm rank whose
+// local state is MPI_RANK_OK.
+func (n *node) currentRoot() int {
+	for r := 0; r < n.size; r++ {
+		if n.alive(r) {
+			return r
+		}
+	}
+	n.p.Abort(-1)
+	return -1 // unreachable
+}

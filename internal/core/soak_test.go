@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/inject"
+	"repro/internal/mpi"
+)
+
+// TestChainedRootDeaths kills the root and then its successor: control
+// must be regained twice (Section III-D applied transitively).
+func TestChainedRootDeaths(t *testing.T) {
+	plan := inject.NewPlan().Add(
+		inject.AfterNthRecv(0, 2), // root 0 dies absorbing iteration 1
+		inject.AfterNthRecv(1, 5), // successor root 1 dies a few iterations later
+	)
+	report, res := runRing(t, 6,
+		Config{Iters: 10, Variant: VariantFull, Termination: TermValidateAll, RootPolicy: RootElect},
+		func(m *mpi.Config) { m.Hook = plan.Hook() })
+	if !res.Ranks[0].Killed || !res.Ranks[1].Killed {
+		t.Fatalf("both roots should have died: %+v %+v", res.Ranks[0], res.Ranks[1])
+	}
+	for rank := 2; rank < 6; rank++ {
+		rr := res.Ranks[rank]
+		if !rr.Finished || rr.Err != nil {
+			t.Fatalf("rank %d: %+v", rank, rr)
+		}
+		if !report.Rank(rank).Terminated {
+			t.Fatalf("rank %d did not terminate", rank)
+		}
+		if report.Rank(rank).FinalRoot != 2 {
+			t.Fatalf("rank %d final root %d, want 2", rank, report.Rank(rank).FinalRoot)
+		}
+	}
+	if !report.Rank(1).BecameRoot || !report.Rank(2).BecameRoot {
+		t.Fatalf("expected two successive root takeovers: r1=%+v r2=%+v",
+			report.Rank(1).BecameRoot, report.Rank(2).BecameRoot)
+	}
+	// Every iteration was absorbed by exactly one of the three roots.
+	absorbed := map[int64]int{}
+	for _, rank := range []int{0, 1, 2} {
+		for m := range report.Rank(rank).RootValues {
+			absorbed[m]++
+		}
+	}
+	for m, n := range absorbed {
+		if n != 1 {
+			t.Fatalf("iteration %d absorbed %d times", m, n)
+		}
+	}
+}
+
+// TestSimultaneousAdjacentDeaths kills the root and its right neighbor at
+// nearly the same time; rank 2 must still discover it is the new root
+// even though the rank that died to its left (rank 1) was not the root
+// it had on record.
+func TestSimultaneousAdjacentDeaths(t *testing.T) {
+	plan := inject.NewPlan().Add(
+		inject.AfterNthRecv(0, 2),
+		inject.AfterNthRecv(1, 2),
+	)
+	report, res := runRing(t, 5,
+		Config{Iters: 8, Variant: VariantFull, Termination: TermValidateAll, RootPolicy: RootElect},
+		func(m *mpi.Config) { m.Hook = plan.Hook() })
+	for rank := 2; rank < 5; rank++ {
+		rr := res.Ranks[rank]
+		if !rr.Finished || rr.Err != nil {
+			t.Fatalf("rank %d: %+v", rank, rr)
+		}
+	}
+	if !report.Rank(2).BecameRoot {
+		t.Fatalf("rank 2 should have become root: %+v", report.Rank(2))
+	}
+}
+
+// TestRunThroughProperty is the paper's headline claim as a property:
+// for arbitrary failure schedules over non-root ranks (at exact receive
+// ordinals), the full design completes every iteration and every
+// survivor terminates.
+func TestRunThroughProperty(t *testing.T) {
+	prop := func(seed uint32) bool {
+		n := 4 + int(seed%5) // 4..8 ranks
+		iters := 6
+		failures := 1 + int(seed>>3)%(n/2) // 1..n/2 failures, never the root
+		cands := make([]int, 0, n-1)
+		for r := 1; r < n; r++ {
+			cands = append(cands, r)
+		}
+		plan, chosen := inject.RandomPlan(int64(seed), cands, failures, iters-1)
+		mcfg := mpi.Config{Size: n, Deadline: 30 * time.Second, Hook: plan.Hook()}
+		report, res, err := Run(mcfg, Config{
+			Iters: iters, Variant: VariantFull, Termination: TermValidateAll,
+		})
+		if err != nil {
+			t.Logf("seed %d (n=%d kills=%v): %v", seed, n, chosen, err)
+			return false
+		}
+		for rank, rr := range res.Ranks {
+			if rr.Killed {
+				continue
+			}
+			if !rr.Finished || rr.Err != nil {
+				t.Logf("seed %d (n=%d kills=%v): rank %d %+v", seed, n, chosen, rank, rr)
+				return false
+			}
+			if !report.Rank(rank).Terminated {
+				t.Logf("seed %d: rank %d not terminated", seed, rank)
+				return false
+			}
+		}
+		if got := len(report.Rank(0).RootValues); got != iters {
+			t.Logf("seed %d (n=%d kills=%v): root absorbed %d/%d", seed, n, chosen, got, iters)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunThroughWithRootDeathsProperty extends the property to schedules
+// that may kill the root (and successors), under RootElect. At least two
+// ranks always survive.
+func TestRunThroughWithRootDeathsProperty(t *testing.T) {
+	prop := func(seed uint32) bool {
+		n := 5 + int(seed%4) // 5..8 ranks
+		iters := 8
+		// Kill up to n-3 ranks chosen from ALL ranks (root included).
+		failures := 1 + int(seed>>4)%(n-3)
+		cands := make([]int, n)
+		for r := range cands {
+			cands[r] = r
+		}
+		plan, chosen := inject.RandomPlan(int64(seed)*7+3, cands, failures, iters-2)
+		mcfg := mpi.Config{Size: n, Deadline: 30 * time.Second, Hook: plan.Hook()}
+		report, res, err := Run(mcfg, Config{
+			Iters: iters, Variant: VariantFull,
+			Termination: TermValidateAll, RootPolicy: RootElect,
+		})
+		if err != nil {
+			t.Logf("seed %d (n=%d kills=%v): %v", seed, n, chosen, err)
+			return false
+		}
+		for rank, rr := range res.Ranks {
+			if rr.Killed {
+				continue
+			}
+			if !rr.Finished || rr.Err != nil {
+				t.Logf("seed %d (n=%d kills=%v): rank %d %+v", seed, n, chosen, rank, rr)
+				return false
+			}
+			if !report.Rank(rank).Terminated {
+				t.Logf("seed %d (n=%d kills=%v): rank %d not terminated", seed, n, chosen, rank)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeedSweepDeterminism re-runs one seeded schedule several times and
+// demands identical observable outcomes — the reproducibility the
+// paper's Section III-E testing discussion asks for.
+func TestSeedSweepDeterminism(t *testing.T) {
+	type fingerprint struct {
+		killed   int
+		resends  int
+		dropped  int
+		absorbed int
+	}
+	run := func() fingerprint {
+		plan, _ := inject.RandomPlan(12345, []int{1, 2, 3, 4, 5}, 2, 5)
+		mcfg := mpi.Config{Size: 6, Deadline: 30 * time.Second, Hook: plan.Hook()}
+		report, res, err := Run(mcfg, Config{
+			Iters: 8, Variant: VariantFull, Termination: TermValidateAll,
+		})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		fp := fingerprint{
+			resends:  report.TotalResends(),
+			dropped:  report.TotalDupsDropped(),
+			absorbed: len(report.Rank(0).RootValues),
+		}
+		for _, rr := range res.Ranks {
+			if rr.Killed {
+				fp.killed++
+			}
+		}
+		return fp
+	}
+	first := run()
+	if first.killed != 2 || first.absorbed != 8 {
+		t.Fatalf("baseline fingerprint wrong: %+v", first)
+	}
+	for i := 0; i < 4; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, got, first)
+		}
+	}
+}
+
+// TestVariantStringsAndConfig covers the enum labels used by tables.
+func TestVariantStringsAndConfig(t *testing.T) {
+	cases := map[fmt.Stringer]string{
+		VariantUnaware:     "unaware",
+		VariantNaive:       "naive-recv",
+		VariantNoMarker:    "no-marker",
+		VariantSeparateTag: "separate-tag",
+		VariantFull:        "full",
+		TermNone:           "none",
+		TermRootBcast:      "root-bcast",
+		TermValidateAll:    "validate-all",
+		RootAbort:          "abort",
+		RootElect:          "elect",
+	}
+	for v, want := range cases {
+		if v.String() != want {
+			t.Fatalf("%T: got %q want %q", v, v.String(), want)
+		}
+	}
+}
+
+// TestMessageCodec round-trips ring messages with padding.
+func TestMessageCodec(t *testing.T) {
+	m := Message{Value: 77, Marker: -3}
+	for _, pad := range []int{0, 1, 1024} {
+		buf := m.Encode(pad)
+		if len(buf) != 16+pad {
+			t.Fatalf("pad %d: len %d", pad, len(buf))
+		}
+		got, err := DecodeMessage(buf)
+		if err != nil || got != m {
+			t.Fatalf("round trip: %+v %v", got, err)
+		}
+	}
+	if _, err := DecodeMessage([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short message accepted")
+	}
+}

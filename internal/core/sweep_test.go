@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/inject"
+	"repro/internal/mpi"
+)
+
+// TestExhaustiveSingleFaultPlacement answers the paper's Section III-E
+// question ("how can a developer know when they have addressed ALL of
+// the problematic fault scenarios?") for single failures, by brute
+// force: because the injector pins deaths to operation ordinals, the
+// space of single-failure placements in a small ring is finite and is
+// swept completely. Every non-root rank is killed at every receive and
+// at every send ordinal it would reach; every schedule must leave the
+// ring complete with all iterations absorbed exactly once.
+func TestExhaustiveSingleFaultPlacement(t *testing.T) {
+	const (
+		n     = 4
+		iters = 4
+	)
+	for victim := 1; victim < n; victim++ {
+		for _, point := range []string{"recv", "send", "before-send"} {
+			for ordinal := 1; ordinal <= iters; ordinal++ {
+				name := fmt.Sprintf("kill-%d-%s-%d", victim, point, ordinal)
+				t.Run(name, func(t *testing.T) {
+					var trig inject.Trigger
+					switch point {
+					case "recv":
+						trig = inject.AfterNthRecv(victim, ordinal)
+					case "send":
+						trig = inject.AfterNthSend(victim, ordinal)
+					case "before-send":
+						trig = inject.BeforeNthSend(victim, ordinal)
+					}
+					plan := inject.NewPlan().Add(trig)
+					mcfg := mpi.Config{Size: n, Deadline: 30 * time.Second, Hook: plan.Hook()}
+					report, res, err := Run(mcfg, Config{
+						Iters: iters, Variant: VariantFull, Termination: TermValidateAll,
+					})
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					for rank, rr := range res.Ranks {
+						if rr.Killed {
+							continue
+						}
+						if !rr.Finished || rr.Err != nil {
+							t.Fatalf("%s: rank %d %+v", name, rank, rr)
+						}
+						if !report.Rank(rank).Terminated {
+							t.Fatalf("%s: rank %d not terminated", name, rank)
+						}
+					}
+					if got := len(report.Rank(0).RootValues); got != iters {
+						t.Fatalf("%s: root absorbed %d/%d", name, got, iters)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestExhaustiveRootFaultPlacement sweeps every kill point of the ROOT
+// under RootElect: the successor must regain control at exactly the
+// right iteration every time, and jointly the roots must absorb every
+// iteration except possibly the one whose absorption record dies with
+// the old root.
+func TestExhaustiveRootFaultPlacement(t *testing.T) {
+	const (
+		n     = 5
+		iters = 5
+	)
+	for _, point := range []string{"recv", "send"} {
+		for ordinal := 1; ordinal <= iters; ordinal++ {
+			name := fmt.Sprintf("kill-root-%s-%d", point, ordinal)
+			t.Run(name, func(t *testing.T) {
+				var trig inject.Trigger
+				if point == "recv" {
+					trig = inject.AfterNthRecv(0, ordinal)
+				} else {
+					trig = inject.AfterNthSend(0, ordinal)
+				}
+				plan := inject.NewPlan().Add(trig)
+				mcfg := mpi.Config{Size: n, Deadline: 30 * time.Second, Hook: plan.Hook()}
+				report, res, err := Run(mcfg, Config{
+					Iters: iters, Variant: VariantFull,
+					Termination: TermValidateAll, RootPolicy: RootElect,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if !res.Ranks[0].Killed {
+					t.Fatalf("%s: root survived", name)
+				}
+				for rank := 1; rank < n; rank++ {
+					rr := res.Ranks[rank]
+					if !rr.Finished || rr.Err != nil {
+						t.Fatalf("%s: rank %d %+v", name, rank, rr)
+					}
+					if !report.Rank(rank).Terminated {
+						t.Fatalf("%s: rank %d not terminated", name, rank)
+					}
+				}
+				// Control continuity takes one of three legitimate forms,
+				// depending on where the death lands: rank 1 BECOMES root
+				// mid-run (Sec. III-D); rank 1 STARTS as root because the
+				// death preceded its initial Fig. 12 scan; or no takeover
+				// at all because the root died at/after originating the
+				// final iteration (the ring is already complete and
+				// validate_all termination needs no root). The invariant
+				// common to all three: jointly the roots absorbed every
+				// iteration except possibly the one in flight at death.
+				absorbed := map[int64]bool{}
+				for m := range report.Rank(0).RootValues {
+					absorbed[m] = true
+				}
+				for m := range report.Rank(1).RootValues {
+					absorbed[m] = true
+				}
+				if len(absorbed) < iters-1 {
+					t.Fatalf("%s: only %d of %d iterations absorbed (%v)",
+						name, len(absorbed), iters, absorbed)
+				}
+				// Every survivor participated in every iteration that was
+				// ever originated.
+				originated := 0
+				for rank := 1; rank < n; rank++ {
+					if it := report.Rank(rank).Iterations; it > originated {
+						originated = it
+					}
+				}
+				for rank := 2; rank < n; rank++ {
+					if got := report.Rank(rank).Iterations; got < originated-1 {
+						t.Fatalf("%s: rank %d saw %d iterations, leader saw %d",
+							name, rank, got, originated)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestExhaustiveDualFaultPlacement sweeps ordered pairs of failures over
+// two victims at all receive-ordinal combinations — the multi-failure
+// corner of the Section III-E question, still fully enumerable.
+func TestExhaustiveDualFaultPlacement(t *testing.T) {
+	const (
+		n     = 5
+		iters = 4
+	)
+	for o1 := 1; o1 <= iters; o1++ {
+		for o2 := 1; o2 <= iters; o2++ {
+			name := fmt.Sprintf("kill-1@recv%d-3@recv%d", o1, o2)
+			t.Run(name, func(t *testing.T) {
+				plan := inject.NewPlan().Add(
+					inject.AfterNthRecv(1, o1),
+					inject.AfterNthRecv(3, o2),
+				)
+				mcfg := mpi.Config{Size: n, Deadline: 30 * time.Second, Hook: plan.Hook()}
+				report, res, err := Run(mcfg, Config{
+					Iters: iters, Variant: VariantFull, Termination: TermValidateAll,
+				})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				for rank, rr := range res.Ranks {
+					if rr.Killed {
+						continue
+					}
+					if !rr.Finished || rr.Err != nil {
+						t.Fatalf("%s: rank %d %+v", name, rank, rr)
+					}
+				}
+				if got := len(report.Rank(0).RootValues); got != iters {
+					t.Fatalf("%s: root absorbed %d/%d", name, got, iters)
+				}
+			})
+		}
+	}
+}

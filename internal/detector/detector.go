@@ -1,0 +1,283 @@
+// Package detector implements the perfect failure detector that the
+// run-through stabilization proposal assumes the MPI implementation
+// provides (Hursey & Graham 2011, Section II).
+//
+// The detector is "perfect" in the Chandra-Toueg sense:
+//
+//   - strongly accurate: no process is reported failed before it actually
+//     fails. We obtain this by construction: the Registry is the ground
+//     truth — a rank is marked failed exactly when the fault injector (or
+//     the runtime) kills it, never speculatively.
+//   - strongly complete: eventually every failed process is known to every
+//     alive process. Subscribers (one per MPI engine) are notified of every
+//     failure; an optional notification delay models detection latency
+//     without ever violating accuracy.
+//
+// The MPI layer still only surfaces a failure to the *application* when the
+// application communicates (directly or indirectly) with the failed rank,
+// as the paper requires; the Registry is the implementation-internal view.
+package detector
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is the liveness state of a rank as seen by the detector.
+type State int
+
+const (
+	// Alive means the rank has not failed.
+	Alive State = iota
+	// Failed means the rank has permanently stopped (fail-stop).
+	Failed
+)
+
+// String returns a human-readable state name.
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "ALIVE"
+	case Failed:
+		return "FAILED"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Subscriber is a callback invoked once for every rank failure. Callbacks
+// must not block for long and must not call back into the Registry's
+// mutating methods.
+type Subscriber func(rank int)
+
+// Registry is the ground-truth liveness table for one World of ranks.
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu          sync.Mutex
+	failed      []bool
+	generation  []int
+	aliveCount  int
+	subscribers []Subscriber
+	notifyDelay time.Duration
+	epoch       uint64 // incremented on every failure, for change detection
+	cond        *sync.Cond
+}
+
+// New creates a registry for n ranks, all alive, all at generation 1.
+func New(n int) *Registry {
+	if n <= 0 {
+		panic(fmt.Sprintf("detector: registry size must be positive, got %d", n))
+	}
+	r := &Registry{
+		failed:     make([]bool, n),
+		generation: make([]int, n),
+		aliveCount: n,
+	}
+	for i := range r.generation {
+		r.generation[i] = 1
+	}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Size returns the total number of ranks tracked, alive or failed.
+func (r *Registry) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.failed)
+}
+
+// SetNotifyDelay configures an artificial latency between a failure and the
+// delivery of subscriber notifications, modelling failure-detection latency.
+// Zero (the default) delivers notifications synchronously from Kill.
+func (r *Registry) SetNotifyDelay(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.notifyDelay = d
+}
+
+// Subscribe registers a callback invoked on every subsequent failure. If
+// ranks have already failed, the callback is immediately invoked for each
+// of them so that late subscribers still satisfy strong completeness.
+func (r *Registry) Subscribe(fn Subscriber) {
+	r.mu.Lock()
+	already := r.snapshotLocked()
+	r.subscribers = append(r.subscribers, fn)
+	r.mu.Unlock()
+	for _, rank := range already {
+		fn(rank)
+	}
+}
+
+// Kill marks rank as failed. It returns true if this call performed the
+// transition, false if the rank was already failed. Subscribers are
+// notified (after the configured delay, if any) exactly once per failure.
+func (r *Registry) Kill(rank int) bool {
+	r.mu.Lock()
+	if rank < 0 || rank >= len(r.failed) {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("detector: Kill(%d) out of range [0,%d)", rank, len(r.failed)))
+	}
+	if r.failed[rank] {
+		r.mu.Unlock()
+		return false
+	}
+	r.failed[rank] = true
+	r.aliveCount--
+	r.epoch++
+	subs := make([]Subscriber, len(r.subscribers))
+	copy(subs, r.subscribers)
+	delay := r.notifyDelay
+	r.cond.Broadcast()
+	r.mu.Unlock()
+
+	notify := func() {
+		for _, fn := range subs {
+			fn(rank)
+		}
+	}
+	if delay > 0 {
+		time.AfterFunc(delay, notify)
+	} else {
+		notify()
+	}
+	return true
+}
+
+// Failed reports whether rank has failed. Panics on out-of-range ranks so
+// that indexing bugs surface immediately.
+func (r *Registry) Failed(rank int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rank < 0 || rank >= len(r.failed) {
+		panic(fmt.Sprintf("detector: Failed(%d) out of range [0,%d)", rank, len(r.failed)))
+	}
+	return r.failed[rank]
+}
+
+// State returns the detector state of rank.
+func (r *Registry) State(rank int) State {
+	if r.Failed(rank) {
+		return Failed
+	}
+	return Alive
+}
+
+// Generation returns the incarnation number of rank. Run-through
+// stabilization does not recover processes, so this is always 1 here; the
+// field exists so the RankInfo plumbing matches the proposal's interface.
+func (r *Registry) Generation(rank int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rank < 0 || rank >= len(r.generation) {
+		panic(fmt.Sprintf("detector: Generation(%d) out of range [0,%d)", rank, len(r.generation)))
+	}
+	return r.generation[rank]
+}
+
+// AliveCount returns the number of ranks that have not failed.
+func (r *Registry) AliveCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.aliveCount
+}
+
+// FailedCount returns the number of ranks that have failed.
+func (r *Registry) FailedCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.failed) - r.aliveCount
+}
+
+// Snapshot returns the sorted list of failed ranks.
+func (r *Registry) Snapshot() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked()
+}
+
+func (r *Registry) snapshotLocked() []int {
+	out := make([]int, 0, len(r.failed)-r.aliveCount)
+	for rank, f := range r.failed {
+		if f {
+			out = append(out, rank)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Alive returns the sorted list of alive ranks.
+func (r *Registry) Alive() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int, 0, r.aliveCount)
+	for rank, f := range r.failed {
+		if !f {
+			out = append(out, rank)
+		}
+	}
+	return out
+}
+
+// LowestAlive returns the smallest alive rank, mirroring the leader
+// election of the paper's Figure 12. ok is false when everyone has failed.
+func (r *Registry) LowestAlive() (rank int, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, f := range r.failed {
+		if !f {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// LowestAliveIn returns the smallest alive rank drawn from the given set,
+// used for per-communicator leader election over a sub-group.
+func (r *Registry) LowestAliveIn(ranks []int) (rank int, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	best, found := -1, false
+	for _, cand := range ranks {
+		if cand < 0 || cand >= len(r.failed) || r.failed[cand] {
+			continue
+		}
+		if !found || cand < best {
+			best, found = cand, true
+		}
+	}
+	return best, found
+}
+
+// Epoch returns a counter that increases on every failure. Pollers can use
+// it to cheaply detect "some failure happened since I last looked".
+func (r *Registry) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// WaitEpochChange blocks until the failure epoch differs from since, or
+// returns immediately if it already does. It returns the current epoch.
+// This is used by protocol drivers (e.g. the validate_all coordinator
+// hand-off) that must wake when any failure occurs.
+func (r *Registry) WaitEpochChange(since uint64) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.epoch == since {
+		r.cond.Wait()
+	}
+	return r.epoch
+}
+
+// BroadcastWaiters wakes all WaitEpochChange callers without changing the
+// epoch. The runtime uses it during world shutdown so that no protocol
+// driver is left blocked forever.
+func (r *Registry) BroadcastWaiters() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cond.Broadcast()
+}

@@ -1,0 +1,182 @@
+package detector
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewAllAlive(t *testing.T) {
+	r := New(5)
+	if r.Size() != 5 || r.AliveCount() != 5 || r.FailedCount() != 0 {
+		t.Fatalf("fresh registry wrong: size=%d alive=%d failed=%d",
+			r.Size(), r.AliveCount(), r.FailedCount())
+	}
+	for i := 0; i < 5; i++ {
+		if r.Failed(i) {
+			t.Fatalf("rank %d should be alive", i)
+		}
+		if r.State(i) != Alive {
+			t.Fatalf("rank %d state %v", i, r.State(i))
+		}
+		if r.Generation(i) != 1 {
+			t.Fatalf("rank %d generation %d", i, r.Generation(i))
+		}
+	}
+	if got := len(r.Snapshot()); got != 0 {
+		t.Fatalf("snapshot %d entries", got)
+	}
+}
+
+func TestKillTransitionsOnce(t *testing.T) {
+	r := New(3)
+	if !r.Kill(1) {
+		t.Fatal("first kill should transition")
+	}
+	if r.Kill(1) {
+		t.Fatal("second kill should be a no-op")
+	}
+	if !r.Failed(1) || r.State(1) != Failed {
+		t.Fatal("rank 1 should be failed")
+	}
+	if r.AliveCount() != 2 || r.FailedCount() != 1 {
+		t.Fatalf("counts alive=%d failed=%d", r.AliveCount(), r.FailedCount())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0] != 1 {
+		t.Fatalf("snapshot %v", snap)
+	}
+	alive := r.Alive()
+	if len(alive) != 2 || alive[0] != 0 || alive[1] != 2 {
+		t.Fatalf("alive %v", alive)
+	}
+}
+
+// TestStrongCompleteness: every subscriber hears about every failure,
+// including failures that happened before subscribing.
+func TestStrongCompleteness(t *testing.T) {
+	r := New(4)
+	r.Kill(2)
+	var early, late []int
+	var mu sync.Mutex
+	r.Subscribe(func(rank int) { mu.Lock(); early = append(early, rank); mu.Unlock() })
+	r.Kill(0)
+	r.Subscribe(func(rank int) { mu.Lock(); late = append(late, rank); mu.Unlock() })
+	r.Kill(3)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(early) != 3 { // 2 (replayed), 0, 3
+		t.Fatalf("early subscriber heard %v", early)
+	}
+	if len(late) != 3 { // 2, 0 replayed; 3 live
+		t.Fatalf("late subscriber heard %v", late)
+	}
+}
+
+func TestNotifyDelayStillNotifies(t *testing.T) {
+	r := New(2)
+	r.SetNotifyDelay(5 * time.Millisecond)
+	var n atomic.Int32
+	r.Subscribe(func(int) { n.Add(1) })
+	r.Kill(1)
+	if !r.Failed(1) {
+		t.Fatal("ground truth must flip immediately (strong accuracy)")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for n.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n.Load() != 1 {
+		t.Fatalf("notification count %d", n.Load())
+	}
+}
+
+func TestLowestAlive(t *testing.T) {
+	r := New(4)
+	if got, ok := r.LowestAlive(); !ok || got != 0 {
+		t.Fatalf("lowest %d ok=%v", got, ok)
+	}
+	r.Kill(0)
+	r.Kill(1)
+	if got, ok := r.LowestAlive(); !ok || got != 2 {
+		t.Fatalf("lowest %d ok=%v", got, ok)
+	}
+	if got, ok := r.LowestAliveIn([]int{3, 1}); !ok || got != 3 {
+		t.Fatalf("lowest-in %d ok=%v", got, ok)
+	}
+	if _, ok := r.LowestAliveIn([]int{0, 1}); ok {
+		t.Fatal("no alive rank in {0,1}")
+	}
+	r.Kill(2)
+	r.Kill(3)
+	if _, ok := r.LowestAlive(); ok {
+		t.Fatal("everyone is dead")
+	}
+}
+
+func TestEpochAndWaiters(t *testing.T) {
+	r := New(3)
+	e0 := r.Epoch()
+	done := make(chan uint64, 1)
+	go func() { done <- r.WaitEpochChange(e0) }()
+	time.Sleep(5 * time.Millisecond)
+	r.Kill(1)
+	select {
+	case e := <-done:
+		if e != e0+1 {
+			t.Fatalf("epoch %d want %d", e, e0+1)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+// TestAccuracyProperty: strong accuracy by construction — Failed(r) is
+// true iff Kill(r) was called, for arbitrary kill sequences.
+func TestAccuracyProperty(t *testing.T) {
+	prop := func(mask uint8) bool {
+		r := New(8)
+		want := map[int]bool{}
+		for i := 0; i < 8; i++ {
+			if mask&(1<<i) != 0 {
+				r.Kill(i)
+				want[i] = true
+			}
+		}
+		for i := 0; i < 8; i++ {
+			if r.Failed(i) != want[i] {
+				return false
+			}
+		}
+		return r.AliveCount() == 8-len(want)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentKills(t *testing.T) {
+	r := New(64)
+	var wins atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 4; j++ { // four racers per rank
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				if r.Kill(rank) {
+					wins.Add(1)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	if wins.Load() != 64 {
+		t.Fatalf("each rank must be killed exactly once, got %d", wins.Load())
+	}
+	if r.AliveCount() != 0 {
+		t.Fatalf("alive %d", r.AliveCount())
+	}
+}

@@ -1,0 +1,173 @@
+// Package election implements leader election over the fault-tolerant
+// runtime.
+//
+// The paper's Figure 12 election is purely local: every rank scans the
+// communicator with validate_rank and takes the lowest alive rank as the
+// root. It needs no messages because the proposal's failure detector is
+// perfect — all alive ranks converge on the same answer once failure
+// notifications have propagated. LowestAlive reproduces it verbatim.
+//
+// As an extension (the paper cites reliable-broadcast/consensus work
+// [11]-[14] as the general tool), ChangRoberts implements the classic
+// ring-based election over the same fault-aware neighbor selection the
+// ring application uses, electing the minimum alive rank by circulating
+// candidate tokens. It demonstrates that an election can also be done
+// with the paper's own neighbor-failover machinery when one does not
+// want to rely on detector convergence.
+package election
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// LowestAlive is the paper's Figure 12 get_current_root: the first rank
+// of the communicator whose locally known state is MPI_RANK_OK. It aborts
+// the world if every rank appears failed (mirroring the figure's
+// MPI_Abort), which cannot happen while the caller itself is alive and
+// sane — the caller is a member.
+func LowestAlive(p *mpi.Proc, c *mpi.Comm) int {
+	for r := 0; r < c.Size(); r++ {
+		info, err := c.RankState(r)
+		if err != nil {
+			continue
+		}
+		if info.State == mpi.RankOK {
+			p.Tracer().Record(p.Rank(), trace.Elected, r, -1, -1, "lowest-alive")
+			p.Metrics().Inc(p.Rank(), metrics.NeighborScans)
+			return r
+		}
+	}
+	p.Abort(-1)
+	return -1 // unreachable
+}
+
+// electionTag is the reserved user-level tag for Chang-Roberts tokens.
+// Callers must not use it for application traffic during an election.
+const electionTag = 1<<20 + 7
+
+// ChangRoberts elects the minimum alive comm rank by circulating tokens
+// around the fault-aware ring: each rank forwards tokens smaller than
+// itself, swallows larger ones, and a rank that receives its own token
+// has been elected; it then circulates an ELECTED announcement. Right
+// neighbors are recomputed on send failure, so the election survives
+// failures that occur before the election (failures *during* the election
+// are outside this helper's scope; the paper's application only needs
+// pre-converged elections).
+//
+// Every alive member of c must call ChangRoberts concurrently. It returns
+// the elected comm rank.
+func ChangRoberts(p *mpi.Proc, c *mpi.Comm) (int, error) {
+	me := c.Rank()
+	mets := p.Metrics()
+	mets.Inc(p.Rank(), metrics.Elections)
+
+	send := func(kind byte, val int) error {
+		buf := make([]byte, 9)
+		buf[0] = kind
+		binary.LittleEndian.PutUint64(buf[1:], uint64(val))
+		right := me
+		for {
+			right = nextAlive(c, right)
+			if right == me {
+				// Alone: elected by default.
+				return errAlone
+			}
+			err := c.Send(right, electionTag, buf)
+			if err == nil {
+				return nil
+			}
+			if !mpi.IsRankFailStop(err) {
+				return err
+			}
+			// Right neighbor died between the state scan and the send:
+			// advance past it (Fig. 5 failover).
+		}
+	}
+
+	const (
+		kindToken   = 1
+		kindElected = 2
+	)
+	if err := send(kindToken, me); err != nil {
+		if err == errAlone {
+			return me, nil
+		}
+		return -1, err
+	}
+	for {
+		pl, _, err := c.Recv(mpi.AnySource, electionTag)
+		if err != nil {
+			if mpi.IsRankFailStop(err) {
+				// A failure occurred mid-election; recognize and retry the
+				// receive so the ring can drain.
+				recognizeAllKnown(c)
+				continue
+			}
+			return -1, err
+		}
+		if len(pl) != 9 {
+			return -1, fmt.Errorf("election: malformed token %v", pl)
+		}
+		kind, val := pl[0], int(binary.LittleEndian.Uint64(pl[1:]))
+		switch kind {
+		case kindToken:
+			switch {
+			case val == me:
+				// Our token survived the full circle: we are the leader.
+				p.Tracer().Record(p.Rank(), trace.Elected, me, -1, -1, "chang-roberts self")
+				if err := send(kindElected, me); err != nil && err != errAlone {
+					return -1, err
+				}
+				return me, nil
+			case val < me:
+				if err := send(kindToken, val); err != nil && err != errAlone {
+					return -1, err
+				}
+			default:
+				// Swallow tokens larger than us (our own is still out there).
+			}
+		case kindElected:
+			p.Tracer().Record(p.Rank(), trace.Elected, val, -1, -1, "chang-roberts")
+			if val != me {
+				if err := send(kindElected, val); err != nil && err != errAlone {
+					return -1, err
+				}
+			}
+			return val, nil
+		default:
+			return -1, fmt.Errorf("election: unknown message kind %d", kind)
+		}
+	}
+}
+
+// errAlone signals that the sender is the only alive member.
+var errAlone = fmt.Errorf("election: alone in communicator")
+
+// nextAlive returns the next comm rank to the right of r whose local
+// state is OK (possibly wrapping back to the caller).
+func nextAlive(c *mpi.Comm, r int) int {
+	n := c.Size()
+	for i := 0; i < n; i++ {
+		r = (r + 1) % n
+		info, err := c.RankState(r)
+		if err == nil && info.State == mpi.RankOK {
+			return r
+		}
+	}
+	return r
+}
+
+// recognizeAllKnown locally recognizes every known failed member so that
+// AnySource receives can resume.
+func recognizeAllKnown(c *mpi.Comm) {
+	for _, info := range c.FailedRanks() {
+		if info.State == mpi.RankFailed {
+			_ = c.RecognizeLocal(info.Rank)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package election
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+func runWorld(t *testing.T, n int, fn func(p *mpi.Proc) error) *mpi.RunResult {
+	t.Helper()
+	w, err := mpi.NewWorld(mpi.Config{Size: n, Deadline: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	res, err := w.Run(func(p *mpi.Proc) error {
+		p.World().SetErrhandler(mpi.ErrorsReturn)
+		return fn(p)
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestLowestAliveNoFailures(t *testing.T) {
+	var mu sync.Mutex
+	elected := map[int]int{}
+	res := runWorld(t, 5, func(p *mpi.Proc) error {
+		r := LowestAlive(p, p.World())
+		mu.Lock()
+		elected[p.Rank()] = r
+		mu.Unlock()
+		return nil
+	})
+	for rank := range res.Ranks {
+		if elected[rank] != 0 {
+			t.Fatalf("rank %d elected %d, want 0", rank, elected[rank])
+		}
+	}
+}
+
+func TestLowestAliveSkipsFailedPrefix(t *testing.T) {
+	var mu sync.Mutex
+	elected := map[int]int{}
+	res := runWorld(t, 5, func(p *mpi.Proc) error {
+		if p.Rank() == 0 || p.Rank() == 1 {
+			p.Die()
+		}
+		for p.Registry().AliveCount() > 3 {
+			time.Sleep(time.Millisecond)
+		}
+		r := LowestAlive(p, p.World())
+		mu.Lock()
+		elected[p.Rank()] = r
+		mu.Unlock()
+		return nil
+	})
+	for _, rank := range []int{2, 3, 4} {
+		if res.Ranks[rank].Err != nil {
+			t.Fatalf("rank %d: %v", rank, res.Ranks[rank].Err)
+		}
+		if elected[rank] != 2 {
+			t.Fatalf("rank %d elected %d, want 2 (Fig. 12)", rank, elected[rank])
+		}
+	}
+}
+
+func TestChangRobertsNoFailures(t *testing.T) {
+	var mu sync.Mutex
+	elected := map[int]int{}
+	res := runWorld(t, 6, func(p *mpi.Proc) error {
+		leader, err := ChangRoberts(p, p.World())
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		elected[p.Rank()] = leader
+		mu.Unlock()
+		return nil
+	})
+	for rank := range res.Ranks {
+		if res.Ranks[rank].Err != nil {
+			t.Fatalf("rank %d: %v", rank, res.Ranks[rank].Err)
+		}
+		if elected[rank] != 0 {
+			t.Fatalf("rank %d elected %d, want 0", rank, elected[rank])
+		}
+	}
+}
+
+func TestChangRobertsWithPreFailedRanks(t *testing.T) {
+	var mu sync.Mutex
+	elected := map[int]int{}
+	res := runWorld(t, 6, func(p *mpi.Proc) error {
+		if p.Rank() == 0 || p.Rank() == 3 {
+			p.Die()
+		}
+		for p.Registry().AliveCount() > 4 {
+			time.Sleep(time.Millisecond)
+		}
+		leader, err := ChangRoberts(p, p.World())
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		elected[p.Rank()] = leader
+		mu.Unlock()
+		return nil
+	})
+	for _, rank := range []int{1, 2, 4, 5} {
+		if res.Ranks[rank].Err != nil {
+			t.Fatalf("rank %d: %v", rank, res.Ranks[rank].Err)
+		}
+		if elected[rank] != 1 {
+			t.Fatalf("rank %d elected %d, want 1", rank, elected[rank])
+		}
+	}
+}
+
+func TestChangRobertsPairAndSingleton(t *testing.T) {
+	var mu sync.Mutex
+	elected := map[int]int{}
+	res := runWorld(t, 2, func(p *mpi.Proc) error {
+		leader, err := ChangRoberts(p, p.World())
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		elected[p.Rank()] = leader
+		mu.Unlock()
+		return nil
+	})
+	for rank := range res.Ranks {
+		if elected[rank] != 0 {
+			t.Fatalf("rank %d elected %d", rank, elected[rank])
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package heat is a fault-tolerant 1-D heat-diffusion solver built on the
+// run-through stabilization runtime — the application domain the paper's
+// related work points at (Ltaief, Gabriel & Garbey's fault tolerant heat
+// transfer [25]) and a natural-fault-tolerance demonstration (Engelmann &
+// Geist [26,27]).
+//
+// The domain is split into contiguous blocks, one per rank. Every step
+// exchanges halo cells with the nearest ALIVE left/right neighbor using
+// the same fault-aware neighbor selection as the ring (paper Fig. 4) and
+// the same posted-receive failure detection as FT_Recv_left. When a rank
+// dies its block is lost; survivors splice the domain across the gap and
+// keep integrating — the "approximately correct answer" mode of natural
+// fault tolerance: the global temperature field remains bounded, smooth,
+// and convergent, with a local error around the lost block.
+//
+// The solver is deliberately structured like the ring application:
+// neighbor state, send-with-failover, receive-with-detection, and a
+// validate_all-based epilogue, so it doubles as a second, independent
+// exercise of the paper's design checklist (control management, duplicate
+// suppression via step-stamped halos, termination).
+package heat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/mpi"
+)
+
+// Halo exchange tags.
+const (
+	tagLeftward  = 11 // cell flowing to the left neighbor
+	tagRightward = 12 // cell flowing to the right neighbor
+)
+
+// Config parameterizes the solver.
+type Config struct {
+	// CellsPerRank is the local block width (>= 1).
+	CellsPerRank int
+	// Steps is the number of explicit Euler steps.
+	Steps int
+	// Alpha is the diffusion number dt*k/dx^2; stability needs <= 0.5.
+	Alpha float64
+	// InitialPeak places a unit heat spike at the global domain center
+	// when true; otherwise blocks start with rank-dependent plateaus.
+	InitialPeak bool
+}
+
+// Result is one rank's outcome.
+type Result struct {
+	// Block is the final local temperature field.
+	Block []float64
+	// StepsDone counts completed steps.
+	StepsDone int
+	// NeighborChanges counts halo-partner failovers (deaths survived).
+	NeighborChanges int
+	// Sum is the local heat content (for conservation checks).
+	Sum float64
+}
+
+// solver is the per-rank state.
+type solver struct {
+	p    *mpi.Proc
+	c    *mpi.Comm
+	cfg  Config
+	me   int
+	size int
+	left int // current left halo partner (comm rank), ProcNull at edge
+	rght int // current right halo partner
+
+	block []float64
+	res   Result
+}
+
+// Run executes the solver on rank p and returns its result. All ranks of
+// the world must call Run with the same Config.
+func Run(p *mpi.Proc, cfg Config) (*Result, error) {
+	if cfg.CellsPerRank < 1 || cfg.Steps < 0 {
+		return nil, fmt.Errorf("heat: invalid config %+v: %w", cfg, mpi.ErrInvalidArg)
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 0.5 {
+		return nil, fmt.Errorf("heat: alpha %v outside stable (0, 0.5]: %w", cfg.Alpha, mpi.ErrInvalidArg)
+	}
+	s := &solver{p: p, c: p.World(), cfg: cfg, me: p.Rank(), size: p.Size()}
+	s.c.SetErrhandler(mpi.ErrorsReturn)
+	s.initBlock()
+	s.left = s.nearestAlive(-1)
+	s.rght = s.nearestAlive(+1)
+	for step := 0; step < cfg.Steps; step++ {
+		if err := s.step(step); err != nil {
+			return nil, err
+		}
+		s.res.StepsDone++
+	}
+	s.drainEpilogue()
+	for _, v := range s.block {
+		s.res.Sum += v
+	}
+	s.res.Block = s.block
+	return &s.res, nil
+}
+
+// initBlock builds the initial condition.
+func (s *solver) initBlock() {
+	s.block = make([]float64, s.cfg.CellsPerRank)
+	if s.cfg.InitialPeak {
+		mid := s.size * s.cfg.CellsPerRank / 2
+		for i := range s.block {
+			if s.me*s.cfg.CellsPerRank+i == mid {
+				s.block[i] = 1.0
+			}
+		}
+		return
+	}
+	for i := range s.block {
+		s.block[i] = float64(s.me + 1)
+	}
+}
+
+// nearestAlive walks from this rank in the given direction (+1 right,
+// -1 left) to the nearest alive rank, returning ProcNull at the domain
+// edge (the physical boundary does not wrap).
+func (s *solver) nearestAlive(dir int) int {
+	for r := s.me + dir; 0 <= r && r < s.size; r += dir {
+		info, err := s.c.RankState(r)
+		if err == nil && info.State == mpi.RankOK {
+			return r
+		}
+	}
+	return mpi.ProcNull
+}
+
+// halo is a step-stamped boundary cell. The step stamp plays the role of
+// the ring's iteration marker: after a neighbor failover the replacement
+// partner's first halo may belong to an older step and must be re-read.
+type halo struct {
+	Step  int64
+	Value float64
+}
+
+func (h halo) encode() []byte {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf, uint64(h.Step))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(h.Value))
+	return buf
+}
+
+func decodeHalo(b []byte) (halo, error) {
+	if len(b) != 16 {
+		return halo{}, fmt.Errorf("heat: malformed halo (%d bytes)", len(b))
+	}
+	return halo{
+		Step:  int64(binary.LittleEndian.Uint64(b)),
+		Value: math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+	}, nil
+}
+
+// step performs one halo exchange + Euler update, riding through any
+// neighbor failures it encounters.
+func (s *solver) step(step int) error {
+	leftVal, err := s.exchange(step, &s.left, -1, tagLeftward, tagRightward, s.block[0])
+	if err != nil {
+		return err
+	}
+	rightVal, err := s.exchange(step, &s.rght, +1, tagRightward, tagLeftward, s.block[len(s.block)-1])
+	if err != nil {
+		return err
+	}
+
+	next := make([]float64, len(s.block))
+	for i := range s.block {
+		l := leftVal
+		if i > 0 {
+			l = s.block[i-1]
+		}
+		r := rightVal
+		if i < len(s.block)-1 {
+			r = s.block[i+1]
+		}
+		next[i] = s.block[i] + s.cfg.Alpha*(l-2*s.block[i]+r)
+	}
+	s.block = next
+	return nil
+}
+
+// exchange swaps one boundary cell with the partner in *partner,
+// failing over to the next alive rank in direction dir on death. sendTag
+// is the tag this cell travels on toward the partner; recvTag is the tag
+// of the partner's cell flowing back. At a physical boundary (ProcNull)
+// the exchange degenerates to an insulated boundary (mirror value).
+//
+// Step stamps handle the desynchronization a failover introduces: the
+// surviving pair on either side of a dead rank can be one step apart
+// (the dead rank finished one side's exchange but not the other's).
+// Halos older than the current step are dropped like the ring's stale
+// markers; halos from the future are accepted as this step's boundary —
+// the natural-fault-tolerance approximation. The production/consumption
+// deficit this creates is covered by drainEpilogue's surplus halos.
+func (s *solver) exchange(step int, partner *int, dir, sendTag, recvTag int, boundary float64) (float64, error) {
+	sent := mpi.ProcNull // partner the halo was last sent to this step
+	for {
+		if *partner == mpi.ProcNull {
+			return boundary, nil // insulated edge: zero-flux boundary
+		}
+		req := s.c.Irecv(*partner, recvTag)
+		if sent != *partner {
+			h := halo{Step: int64(step), Value: boundary}
+			if err := s.c.Send(*partner, sendTag, h.encode()); err != nil {
+				req.Cancel()
+				if !mpi.IsRankFailStop(err) {
+					return 0, err
+				}
+				s.failover(partner, dir)
+				continue
+			}
+			sent = *partner
+		}
+		if _, err := req.Wait(); err != nil {
+			if !mpi.IsRankFailStop(err) {
+				return 0, err
+			}
+			s.failover(partner, dir)
+			continue
+		}
+		got, err := decodeHalo(req.Payload())
+		if err != nil {
+			return 0, err
+		}
+		if got.Step < int64(step) {
+			// Stale halo from a partner one step behind (it just failed
+			// over to us): drop it and wait for the current step's value.
+			continue
+		}
+		return got.Value, nil
+	}
+}
+
+// drainEpilogue sends surplus final halos in both directions after the
+// last step. A surviving neighbor that ended up a step behind due to a
+// failover (see exchange) consumes one of these to finish; the rest land
+// in dead-letter queues harmlessly. The surplus bound is the number of
+// failures a direction can absorb, i.e. the world size.
+func (s *solver) drainEpilogue() {
+	final := halo{Step: int64(s.cfg.Steps), Value: 0}
+	if len(s.block) > 0 {
+		final.Value = s.block[0]
+	}
+	for i := 0; i < s.size; i++ {
+		if s.left != mpi.ProcNull {
+			final.Value = s.block[0]
+			if err := s.c.Send(s.left, tagLeftward, final.encode()); err != nil {
+				s.failover(&s.left, -1)
+			}
+		}
+		if s.rght != mpi.ProcNull {
+			final.Value = s.block[len(s.block)-1]
+			if err := s.c.Send(s.rght, tagRightward, final.encode()); err != nil {
+				s.failover(&s.rght, +1)
+			}
+		}
+	}
+}
+
+// failover advances the partner pointer past a dead rank.
+func (s *solver) failover(partner *int, dir int) {
+	next := mpi.ProcNull
+	for r := *partner + dir; 0 <= r && r < s.size; r += dir {
+		info, err := s.c.RankState(r)
+		if err == nil && info.State == mpi.RankOK {
+			next = r
+			break
+		}
+	}
+	*partner = next
+	s.res.NeighborChanges++
+}

@@ -1,0 +1,201 @@
+package heat
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/inject"
+	"repro/internal/mpi"
+)
+
+// runHeat executes the solver on n ranks and collects per-rank results.
+func runHeat(t *testing.T, n int, cfg Config, mut func(*mpi.Config)) (map[int]*Result, *mpi.RunResult) {
+	t.Helper()
+	mcfg := mpi.Config{Size: n, Deadline: 30 * time.Second}
+	if mut != nil {
+		mut(&mcfg)
+	}
+	w, err := mpi.NewWorld(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	results := map[int]*Result{}
+	res, err := w.Run(func(p *mpi.Proc) error {
+		r, err := Run(p, cfg)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[p.Rank()] = r
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return results, res
+}
+
+// serial computes the same explicit scheme on one array, as the oracle.
+func serial(n, cells, steps int, alpha float64, peak bool) []float64 {
+	field := make([]float64, n*cells)
+	if peak {
+		field[len(field)/2] = 1.0
+	} else {
+		for i := range field {
+			field[i] = float64(i/cells + 1)
+		}
+	}
+	for s := 0; s < steps; s++ {
+		next := make([]float64, len(field))
+		for i := range field {
+			l := field[i]
+			if i > 0 {
+				l = field[i-1]
+			}
+			r := field[i]
+			if i < len(field)-1 {
+				r = field[i+1]
+			}
+			next[i] = field[i] + alpha*(l-2*field[i]+r)
+		}
+		field = next
+	}
+	return field
+}
+
+func TestMatchesSerialSolutionFailureFree(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			cfg := Config{CellsPerRank: 8, Steps: 25, Alpha: 0.4, InitialPeak: true}
+			results, res := runHeat(t, n, cfg, nil)
+			for rank, rr := range res.Ranks {
+				if rr.Err != nil || !rr.Finished {
+					t.Fatalf("rank %d: %+v", rank, rr)
+				}
+			}
+			oracle := serial(n, cfg.CellsPerRank, cfg.Steps, cfg.Alpha, true)
+			for rank := 0; rank < n; rank++ {
+				block := results[rank].Block
+				for i, v := range block {
+					want := oracle[rank*cfg.CellsPerRank+i]
+					if math.Abs(v-want) > 1e-12 {
+						t.Fatalf("rank %d cell %d: got %v want %v", rank, i, v, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestHeatConservationFailureFree(t *testing.T) {
+	cfg := Config{CellsPerRank: 16, Steps: 40, Alpha: 0.25, InitialPeak: true}
+	results, _ := runHeat(t, 4, cfg, nil)
+	total := 0.0
+	for _, r := range results {
+		total += r.Sum
+	}
+	// Insulated boundaries conserve total heat exactly (up to rounding).
+	if math.Abs(total-1.0) > 1e-9 {
+		t.Fatalf("total heat %v, want 1.0", total)
+	}
+}
+
+func TestHeatRunsThroughNeighborFailure(t *testing.T) {
+	cfg := Config{CellsPerRank: 8, Steps: 30, Alpha: 0.4}
+	plan := inject.NewPlan().Add(inject.AfterNthRecv(2, 10))
+	results, res := runHeat(t, 5, cfg, func(m *mpi.Config) { m.Hook = plan.Hook() })
+	if !res.Ranks[2].Killed {
+		t.Fatalf("rank 2 should have died: %+v", res.Ranks[2])
+	}
+	changes := 0
+	for _, rank := range []int{0, 1, 3, 4} {
+		rr := res.Ranks[rank]
+		if rr.Err != nil || !rr.Finished {
+			t.Fatalf("rank %d: %+v", rank, rr)
+		}
+		r := results[rank]
+		if r.StepsDone != cfg.Steps {
+			t.Fatalf("rank %d completed %d steps, want %d", rank, r.StepsDone, cfg.Steps)
+		}
+		changes += r.NeighborChanges
+		for i, v := range r.Block {
+			if math.IsNaN(v) || v < -1e-9 || v > float64(5)+1e-9 {
+				t.Fatalf("rank %d cell %d diverged: %v", rank, i, v)
+			}
+		}
+	}
+	if changes < 2 {
+		t.Fatalf("expected both neighbors of rank 2 to fail over, got %d changes", changes)
+	}
+}
+
+func TestHeatRunsThroughMultipleFailures(t *testing.T) {
+	cfg := Config{CellsPerRank: 6, Steps: 24, Alpha: 0.3}
+	plan := inject.NewPlan().Add(
+		inject.AfterNthRecv(1, 6),
+		inject.AfterNthRecv(4, 14),
+	)
+	results, res := runHeat(t, 6, cfg, func(m *mpi.Config) { m.Hook = plan.Hook() })
+	for _, rank := range []int{0, 2, 3, 5} {
+		rr := res.Ranks[rank]
+		if rr.Err != nil || !rr.Finished {
+			t.Fatalf("rank %d: %+v", rank, rr)
+		}
+		if results[rank].StepsDone != cfg.Steps {
+			t.Fatalf("rank %d steps %d", rank, results[rank].StepsDone)
+		}
+	}
+}
+
+func TestHeatEdgeRankFailure(t *testing.T) {
+	// Killing the leftmost rank turns rank 1 into the new domain edge.
+	cfg := Config{CellsPerRank: 8, Steps: 20, Alpha: 0.4}
+	plan := inject.NewPlan().Add(inject.AfterNthRecv(0, 5))
+	results, res := runHeat(t, 4, cfg, func(m *mpi.Config) { m.Hook = plan.Hook() })
+	for _, rank := range []int{1, 2, 3} {
+		if res.Ranks[rank].Err != nil || !res.Ranks[rank].Finished {
+			t.Fatalf("rank %d: %+v", rank, res.Ranks[rank])
+		}
+		if results[rank].StepsDone != cfg.Steps {
+			t.Fatalf("rank %d steps %d", rank, results[rank].StepsDone)
+		}
+	}
+}
+
+func TestHeatConfigValidation(t *testing.T) {
+	w, err := mpi.NewWorld(mpi.Config{Size: 1, Deadline: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(p *mpi.Proc) error {
+		if _, err := Run(p, Config{CellsPerRank: 0, Steps: 1, Alpha: 0.4}); err == nil {
+			return fmt.Errorf("zero cells accepted")
+		}
+		if _, err := Run(p, Config{CellsPerRank: 4, Steps: 1, Alpha: 0.9}); err == nil {
+			return fmt.Errorf("unstable alpha accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks[0].Err != nil {
+		t.Fatal(res.Ranks[0].Err)
+	}
+}
+
+func TestHaloCodecRoundTrip(t *testing.T) {
+	h := halo{Step: 42, Value: -3.75}
+	got, err := decodeHalo(h.encode())
+	if err != nil || got != h {
+		t.Fatalf("round trip %+v err %v", got, err)
+	}
+	if _, err := decodeHalo([]byte{1, 2}); err == nil {
+		t.Fatal("short halo accepted")
+	}
+}

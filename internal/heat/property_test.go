@@ -1,0 +1,123 @@
+package heat
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/inject"
+	"repro/internal/mpi"
+)
+
+// TestSerialEquivalenceProperty: for arbitrary (small) configurations,
+// the failure-free parallel solver matches the serial oracle bit-for-bit
+// at every rank — the scheme is deterministic, so the halo exchange must
+// introduce no drift at any decomposition.
+func TestSerialEquivalenceProperty(t *testing.T) {
+	prop := func(seed uint16) bool {
+		n := 1 + int(seed%6)         // 1..6 ranks
+		cells := 2 + int(seed>>3)%6  // 2..7 cells per rank
+		steps := 1 + int(seed>>6)%12 // 1..12 steps
+		alpha := 0.05 + 0.4*float64(seed%7)/7.0
+		peak := seed%2 == 0
+		cfg := Config{CellsPerRank: cells, Steps: steps, Alpha: alpha, InitialPeak: peak}
+
+		w, err := mpi.NewWorld(mpi.Config{Size: n, Deadline: 30 * time.Second})
+		if err != nil {
+			return false
+		}
+		var mu sync.Mutex
+		blocks := map[int][]float64{}
+		res, err := w.Run(func(p *mpi.Proc) error {
+			r, err := Run(p, cfg)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			blocks[p.Rank()] = r.Block
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Logf("seed %d cfg %+v: %v", seed, cfg, err)
+			return false
+		}
+		for rank, rr := range res.Ranks {
+			if rr.Err != nil {
+				t.Logf("seed %d: rank %d %v", seed, rank, rr.Err)
+				return false
+			}
+		}
+		oracle := serial(n, cells, steps, alpha, peak)
+		for rank := 0; rank < n; rank++ {
+			for i, v := range blocks[rank] {
+				if math.Abs(v-oracle[rank*cells+i]) > 1e-12 {
+					t.Logf("seed %d cfg %+v: rank %d cell %d: %v vs %v",
+						seed, cfg, rank, i, v, oracle[rank*cells+i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeatBoundednessUnderRandomFailure: with one random mid-run failure,
+// survivors stay within the physical bounds of the initial condition
+// (maximum principle, up to the splice approximation).
+func TestHeatBoundednessUnderRandomFailure(t *testing.T) {
+	prop := func(seed uint16) bool {
+		n := 4 + int(seed%3)
+		victim := 1 + int(seed)%(n-1)
+		ordinal := 1 + int(seed>>4)%10
+		cfg := Config{CellsPerRank: 6, Steps: 20, Alpha: 0.35}
+		plan := inject.NewPlan().Add(inject.AfterNthRecv(victim, ordinal))
+		w, err := mpi.NewWorld(mpi.Config{
+			Size: n, Deadline: 30 * time.Second, Hook: plan.Hook(),
+		})
+		if err != nil {
+			return false
+		}
+		var mu sync.Mutex
+		blocks := map[int][]float64{}
+		res, err := w.Run(func(p *mpi.Proc) error {
+			r, err := Run(p, cfg)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			blocks[p.Rank()] = r.Block
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Plateau initial condition: values must stay within [1, n].
+		for rank, rr := range res.Ranks {
+			if rr.Killed {
+				continue
+			}
+			if rr.Err != nil || !rr.Finished {
+				t.Logf("seed %d: rank %d %+v", seed, rank, rr)
+				return false
+			}
+			for i, v := range blocks[rank] {
+				if math.IsNaN(v) || v < 1-1e-9 || v > float64(n)+1e-9 {
+					t.Logf("seed %d: rank %d cell %d out of bounds: %v", seed, rank, i, v)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

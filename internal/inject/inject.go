@@ -1,0 +1,199 @@
+// Package inject builds deterministic fault-injection plans for the MPI
+// runtime. The paper (Section III-E) identifies fault injection as "the
+// most popular technique available to application developers" for
+// validating ABFT designs; this package is that tool for our runtime,
+// with a precision real injectors lack: failures are placed at exact
+// operation boundaries ("rank 2, immediately after its 3rd receive
+// completes"), so every scenario figure of the paper replays identically
+// on every run.
+//
+// A Plan is a set of triggers; Plan.Hook adapts it to mpi.Config.Hook.
+// Triggers count events per (rank, hook point) and fire a kill when their
+// condition matches. Random plans draw kill points from a seeded
+// generator for soak-style testing, remaining reproducible per seed.
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/mpi"
+)
+
+// Trigger decides whether the observed event should kill the rank. It
+// runs under the plan's lock; implementations must not block.
+type Trigger interface {
+	// Matches inspects the event together with the per-(rank,point) event
+	// ordinal (1-based: this is the n-th such event on this rank).
+	Matches(ev mpi.HookEvent, ordinal int) bool
+	// Describe renders the trigger for logs and DESIGN/EXPERIMENTS tables.
+	Describe() string
+}
+
+// Plan is a deterministic fault-injection schedule.
+type Plan struct {
+	mu       sync.Mutex
+	triggers []Trigger
+	counts   map[countKey]int
+	fired    map[string]bool
+	log      []string
+}
+
+type countKey struct {
+	rank  int
+	point mpi.HookPoint
+}
+
+// NewPlan creates an empty plan (which never kills anything).
+func NewPlan() *Plan {
+	return &Plan{
+		counts: make(map[countKey]int),
+		fired:  make(map[string]bool),
+	}
+}
+
+// Add appends triggers to the plan and returns the plan for chaining.
+func (p *Plan) Add(ts ...Trigger) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.triggers = append(p.triggers, ts...)
+	return p
+}
+
+// Hook adapts the plan to the runtime's hook interface. Each trigger
+// fires at most once (a fail-stop rank cannot die twice).
+func (p *Plan) Hook() mpi.HookFunc {
+	return func(ev mpi.HookEvent) mpi.Action {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		key := countKey{rank: ev.Rank, point: ev.Point}
+		p.counts[key]++
+		ordinal := p.counts[key]
+		for _, tr := range p.triggers {
+			desc := tr.Describe()
+			if p.fired[desc] {
+				continue
+			}
+			if tr.Matches(ev, ordinal) {
+				p.fired[desc] = true
+				p.log = append(p.log, fmt.Sprintf("kill rank %d at %s #%d (%s)",
+					ev.Rank, ev.Point, ordinal, desc))
+				return mpi.ActKill
+			}
+		}
+		return mpi.ActNone
+	}
+}
+
+// Log returns the human-readable record of fired triggers.
+func (p *Plan) Log() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.log...)
+}
+
+// FiredCount returns how many triggers have fired.
+func (p *Plan) FiredCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.fired)
+}
+
+// String lists the plan's triggers.
+func (p *Plan) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	descs := make([]string, len(p.triggers))
+	for i, tr := range p.triggers {
+		descs[i] = tr.Describe()
+	}
+	return strings.Join(descs, "; ")
+}
+
+// --- concrete triggers -------------------------------------------------------
+
+type afterNth struct {
+	rank  int
+	point mpi.HookPoint
+	n     int
+}
+
+// Matches implements Trigger.
+func (t afterNth) Matches(ev mpi.HookEvent, ordinal int) bool {
+	return ev.Rank == t.rank && ev.Point == t.point && ordinal == t.n
+}
+
+// Describe implements Trigger.
+func (t afterNth) Describe() string {
+	return fmt.Sprintf("rank %d @ %s #%d", t.rank, t.point, t.n)
+}
+
+// AfterNthRecv kills rank immediately after its n-th (1-based) observed
+// receive completion — the Figure 6/7 placement ("P2 fails after
+// receiving the buffer but before sending it on").
+func AfterNthRecv(rank, n int) Trigger {
+	return afterNth{rank: rank, point: mpi.HookAfterRecv, n: n}
+}
+
+// AfterNthSend kills rank immediately after its n-th send is accepted by
+// the fabric — the Figure 8 placement ("P2 fails as P3 sends to P0"): the
+// forwarded message stays deliverable.
+func AfterNthSend(rank, n int) Trigger {
+	return afterNth{rank: rank, point: mpi.HookAfterSend, n: n}
+}
+
+// BeforeNthSend kills rank just before its n-th send would be handed to
+// the fabric: the message is never sent.
+func BeforeNthSend(rank, n int) Trigger {
+	return afterNth{rank: rank, point: mpi.HookBeforeSend, n: n}
+}
+
+type atCheckpoint struct {
+	rank  int
+	label string
+}
+
+// Matches implements Trigger. The plan's fired-once bookkeeping limits
+// the kill to the first matching checkpoint.
+func (t atCheckpoint) Matches(ev mpi.HookEvent, _ int) bool {
+	return ev.Rank == t.rank && ev.Point == mpi.HookCheckpoint && ev.Label == t.label
+}
+
+// Describe implements Trigger.
+func (t atCheckpoint) Describe() string {
+	return fmt.Sprintf("rank %d @ checkpoint %q", t.rank, t.label)
+}
+
+// AtCheckpoint kills rank at its first Proc.Checkpoint(label).
+func AtCheckpoint(rank int, label string) Trigger {
+	return atCheckpoint{rank: rank, label: label}
+}
+
+// --- random schedules ---------------------------------------------------------
+
+// RandomPlan kills `failures` distinct ranks drawn from candidates, each
+// at a receive ordinal drawn from [1, maxOrdinal]. The schedule is fully
+// determined by seed, making soak failures reproducible. It returns the
+// plan and the chosen (rank, ordinal) pairs sorted by rank.
+func RandomPlan(seed int64, candidates []int, failures, maxOrdinal int) (*Plan, [][2]int) {
+	if failures > len(candidates) {
+		failures = len(candidates)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(candidates))
+	chosen := make([][2]int, 0, failures)
+	for i := 0; i < failures; i++ {
+		rank := candidates[perm[i]]
+		ord := 1 + rng.Intn(maxOrdinal)
+		chosen = append(chosen, [2]int{rank, ord})
+	}
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i][0] < chosen[j][0] })
+	plan := NewPlan()
+	for _, c := range chosen {
+		plan.Add(AfterNthRecv(c[0], c[1]))
+	}
+	return plan, chosen
+}

@@ -1,0 +1,137 @@
+package inject
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+func TestAfterNthRecvFiresExactlyOnce(t *testing.T) {
+	plan := NewPlan().Add(AfterNthRecv(1, 2))
+	hook := plan.Hook()
+	ev := mpi.HookEvent{Rank: 1, Point: mpi.HookAfterRecv}
+	if hook(ev) != mpi.ActNone {
+		t.Fatal("first receive should not kill")
+	}
+	if hook(ev) != mpi.ActKill {
+		t.Fatal("second receive should kill")
+	}
+	if hook(ev) != mpi.ActNone {
+		t.Fatal("trigger must not fire twice")
+	}
+	if plan.FiredCount() != 1 {
+		t.Fatalf("fired %d", plan.FiredCount())
+	}
+	if len(plan.Log()) != 1 || !strings.Contains(plan.Log()[0], "rank 1") {
+		t.Fatalf("log %v", plan.Log())
+	}
+}
+
+func TestTriggersAreRankAndPointScoped(t *testing.T) {
+	plan := NewPlan().Add(AfterNthSend(2, 1))
+	hook := plan.Hook()
+	if hook(mpi.HookEvent{Rank: 2, Point: mpi.HookAfterRecv}) != mpi.ActNone {
+		t.Fatal("recv must not match a send trigger")
+	}
+	if hook(mpi.HookEvent{Rank: 1, Point: mpi.HookAfterSend}) != mpi.ActNone {
+		t.Fatal("other rank must not match")
+	}
+	if hook(mpi.HookEvent{Rank: 2, Point: mpi.HookAfterSend}) != mpi.ActKill {
+		t.Fatal("matching event should kill")
+	}
+}
+
+func TestBeforeNthSendOrdinalsIndependent(t *testing.T) {
+	plan := NewPlan().Add(BeforeNthSend(0, 2))
+	hook := plan.Hook()
+	// AfterSend events must not advance the BeforeSend ordinal.
+	hook(mpi.HookEvent{Rank: 0, Point: mpi.HookAfterSend})
+	hook(mpi.HookEvent{Rank: 0, Point: mpi.HookAfterSend})
+	if hook(mpi.HookEvent{Rank: 0, Point: mpi.HookBeforeSend}) != mpi.ActNone {
+		t.Fatal("first before-send should pass")
+	}
+	if hook(mpi.HookEvent{Rank: 0, Point: mpi.HookBeforeSend}) != mpi.ActKill {
+		t.Fatal("second before-send should kill")
+	}
+}
+
+func TestAtCheckpoint(t *testing.T) {
+	plan := NewPlan().Add(AtCheckpoint(3, "phase-2"))
+	hook := plan.Hook()
+	if hook(mpi.HookEvent{Rank: 3, Point: mpi.HookCheckpoint, Label: "phase-1"}) != mpi.ActNone {
+		t.Fatal("wrong label must not match")
+	}
+	if hook(mpi.HookEvent{Rank: 3, Point: mpi.HookCheckpoint, Label: "phase-2"}) != mpi.ActKill {
+		t.Fatal("matching checkpoint should kill")
+	}
+}
+
+func TestRandomPlanDeterministicPerSeed(t *testing.T) {
+	cands := []int{1, 2, 3, 4, 5, 6, 7}
+	_, a := RandomPlan(42, cands, 3, 10)
+	_, b := RandomPlan(42, cands, 3, 10)
+	_, c := RandomPlan(43, cands, 3, 10)
+	if len(a) != 3 {
+		t.Fatalf("chose %d failures", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	same := true
+	for i := range a {
+		if len(c) != len(a) || a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Logf("seeds 42 and 43 coincided (possible but unlikely): %v", a)
+	}
+	seen := map[int]bool{}
+	for _, pair := range a {
+		if seen[pair[0]] {
+			t.Fatalf("rank %d chosen twice: %v", pair[0], a)
+		}
+		seen[pair[0]] = true
+		if pair[1] < 1 || pair[1] > 10 {
+			t.Fatalf("ordinal out of range: %v", a)
+		}
+	}
+}
+
+func TestRandomPlanClampsFailures(t *testing.T) {
+	_, chosen := RandomPlan(7, []int{1, 2}, 10, 3)
+	if len(chosen) != 2 {
+		t.Fatalf("chose %d, want clamp to 2", len(chosen))
+	}
+}
+
+// TestPlanKillsInsideWorld wires a plan into a real world.
+func TestPlanKillsInsideWorld(t *testing.T) {
+	plan := NewPlan().Add(AtCheckpoint(1, "die-here"))
+	w, err := mpi.NewWorld(mpi.Config{Size: 2, Deadline: 30 * time.Second, Hook: plan.Hook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(p *mpi.Proc) error {
+		p.World().SetErrhandler(mpi.ErrorsReturn)
+		p.Checkpoint("warm-up")
+		p.Checkpoint("die-here")
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Ranks[1].Killed || res.Ranks[0].Killed {
+		t.Fatalf("exactly rank 1 should die: %+v", res.Ranks)
+	}
+	if plan.FiredCount() != 1 {
+		t.Fatalf("fired %d", plan.FiredCount())
+	}
+	if plan.String() == "" {
+		t.Fatal("plan description empty")
+	}
+}

@@ -1,0 +1,291 @@
+// Package managerworker rebuilds the fault-tolerant manager/worker
+// pattern of Gropp & Lusk ("Fault tolerance in message passing interface
+// programs", 2004) — the closest related work the paper discusses — on
+// top of run-through stabilization instead of intercommunicator tricks.
+//
+// Where Gropp & Lusk "forget about intercommunicators connecting to lost
+// processes", this version keeps the single world intracommunicator and
+// uses the proposal's machinery directly, exactly as the paper argues
+// libraries should be able to (Section IV):
+//
+//   - the manager farms tasks to workers and collects results with an
+//     MPI_ANY_SOURCE receive;
+//   - a worker death surfaces as ErrRankFailStop on that receive;
+//   - the manager queries the failed set (MPI_Comm_validate), recognizes
+//     the failures locally (MPI_Comm_validate_clear) to re-arm
+//     AnySource, and re-queues the dead worker's in-flight tasks;
+//   - when every task has completed, surviving workers get a shutdown
+//     message.
+//
+// The manager is a single point of failure here, as in the original
+// paper's design; electing a replacement manager is the ring example's
+// Section III-D territory and out of scope for this library.
+package managerworker
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/mpi"
+)
+
+// Message tags.
+const (
+	tagTask   = 21
+	tagResult = 22
+	tagStop   = 23
+)
+
+// Task is one unit of work.
+type Task struct {
+	ID    int
+	Input int64
+}
+
+// TaskResult is a completed task.
+type TaskResult struct {
+	ID     int
+	Worker int // comm rank that computed it
+	Output int64
+}
+
+// WorkFn computes a task's output. It must be deterministic for the
+// duplicate-result checks in the tests to hold.
+type WorkFn func(input int64) int64
+
+// Square is the default workload.
+func Square(x int64) int64 { return x * x }
+
+// encodeTask / decodeTask serialize tasks as fixed 12-byte frames.
+func encodeTask(t Task) []byte {
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint32(buf, uint32(t.ID))
+	binary.LittleEndian.PutUint64(buf[4:], uint64(t.Input))
+	return buf
+}
+
+func decodeTask(b []byte) (Task, error) {
+	if len(b) != 12 {
+		return Task{}, fmt.Errorf("managerworker: malformed task (%d bytes)", len(b))
+	}
+	return Task{
+		ID:    int(binary.LittleEndian.Uint32(b)),
+		Input: int64(binary.LittleEndian.Uint64(b[4:])),
+	}, nil
+}
+
+func encodeResult(r TaskResult) []byte {
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint32(buf, uint32(r.ID))
+	binary.LittleEndian.PutUint64(buf[4:], uint64(r.Output))
+	return buf
+}
+
+func decodeResult(b []byte) (TaskResult, error) {
+	if len(b) != 12 {
+		return TaskResult{}, fmt.Errorf("managerworker: malformed result (%d bytes)", len(b))
+	}
+	return TaskResult{
+		ID:     int(binary.LittleEndian.Uint32(b)),
+		Output: int64(binary.LittleEndian.Uint64(b[4:])),
+	}, nil
+}
+
+// Stats describes a completed manager run.
+type Stats struct {
+	// Results maps task ID to its result.
+	Results map[int]TaskResult
+	// Reassigned counts tasks re-queued after their worker died.
+	Reassigned int
+	// WorkersLost counts worker deaths the manager rode through.
+	WorkersLost int
+}
+
+// RunManager farms tasks from rank 0 (which must be the caller) and
+// blocks until every task has a result or no workers remain. On success
+// it shuts surviving workers down.
+func RunManager(p *mpi.Proc, tasks []Task) (*Stats, error) {
+	c := p.World()
+	c.SetErrhandler(mpi.ErrorsReturn)
+	if p.Rank() != 0 {
+		return nil, fmt.Errorf("managerworker: manager must be rank 0: %w", mpi.ErrInvalidRank)
+	}
+
+	stats := &Stats{Results: make(map[int]TaskResult, len(tasks))}
+	queue := append([]Task(nil), tasks...)
+	inflight := make(map[int][]Task) // worker -> assigned tasks
+	lost := make(map[int]bool)       // workers counted as dead already
+	idle := make([]int, 0, p.Size()-1)
+	for r := 1; r < p.Size(); r++ {
+		idle = append(idle, r)
+	}
+
+	// markLost retires a dead worker exactly once: count it, re-queue its
+	// in-flight tasks, and purge it from the idle pool.
+	markLost := func(w int) {
+		if lost[w] {
+			return
+		}
+		lost[w] = true
+		stats.WorkersLost++
+		if held := inflight[w]; len(held) > 0 {
+			queue = append(queue, held...)
+			stats.Reassigned += len(held)
+			delete(inflight, w)
+		}
+		idle = removeRank(idle, w)
+	}
+
+	assign := func() error {
+		for len(queue) > 0 && len(idle) > 0 {
+			w := idle[0]
+			task := queue[0]
+			if err := c.Send(w, tagTask, encodeTask(task)); err != nil {
+				if !mpi.IsRankFailStop(err) {
+					return err
+				}
+				// Worker died before we could use it; drop it from the pool.
+				_ = c.RecognizeLocal(w)
+				markLost(w)
+				continue
+			}
+			idle = idle[1:]
+			queue = queue[1:]
+			inflight[w] = append(inflight[w], task)
+		}
+		return nil
+	}
+
+	for len(stats.Results) < len(tasks) {
+		if err := assign(); err != nil {
+			return stats, err
+		}
+		if len(inflight) == 0 && len(queue) > 0 {
+			return stats, fmt.Errorf("managerworker: %d tasks remain but no workers survive",
+				len(queue))
+		}
+		pl, st, err := c.Recv(mpi.AnySource, tagResult)
+		if err != nil {
+			if !mpi.IsRankFailStop(err) {
+				return stats, err
+			}
+			// One or more workers died. Recognize each failure on the
+			// communicator (validate + validate_clear) to re-arm the
+			// AnySource receive, and re-queue the dead workers' tasks.
+			for _, info := range c.FailedRanks() {
+				if info.State == mpi.RankFailed {
+					if err := c.RecognizeLocal(info.Rank); err != nil {
+						return stats, err
+					}
+				}
+				markLost(info.Rank)
+			}
+			continue
+		}
+		res, derr := decodeResult(pl)
+		if derr != nil {
+			return stats, derr
+		}
+		res.Worker = st.Source
+		// A task can legitimately complete twice if its first worker died
+		// after sending the result; keep the first.
+		if _, dup := stats.Results[res.ID]; !dup {
+			stats.Results[res.ID] = res
+		}
+		inflight[st.Source] = removeTask(inflight[st.Source], res.ID)
+		if len(inflight[st.Source]) == 0 {
+			delete(inflight, st.Source)
+		}
+		// Validate the worker before returning it to the pool: this can
+		// be the posthumous result of a worker that died right after
+		// sending (eager delivery outlives the sender). Re-idling a
+		// recognized-dead worker would make the next assignment a
+		// ProcNull no-op "success" and silently drop the task — the same
+		// check-before-use discipline as the ring's Fig. 4 neighbor
+		// selection.
+		if info, err := c.RankState(st.Source); err == nil && info.State == mpi.RankOK {
+			idle = append(idle, st.Source)
+		} else {
+			markLost(st.Source)
+		}
+	}
+
+	// Shut down the survivors; failures here are irrelevant.
+	for r := 1; r < p.Size(); r++ {
+		_ = c.Send(r, tagStop, nil)
+	}
+	return stats, nil
+}
+
+// RunWorker processes tasks until the shutdown message arrives. Worker
+// deaths are injected from outside (fault plans); a worker that survives
+// returns the number of tasks it completed.
+func RunWorker(p *mpi.Proc, fn WorkFn) (int, error) {
+	c := p.World()
+	c.SetErrhandler(mpi.ErrorsReturn)
+	if fn == nil {
+		fn = Square
+	}
+	done := 0
+	for {
+		pl, st, err := c.Recv(0, mpi.AnyTag)
+		if err != nil {
+			// The manager died: nothing sensible left to do (manager
+			// failure is out of scope, as in Gropp & Lusk).
+			return done, err
+		}
+		if st.Tag == tagStop {
+			return done, nil
+		}
+		task, derr := decodeTask(pl)
+		if derr != nil {
+			return done, derr
+		}
+		out := TaskResult{ID: task.ID, Output: fn(task.Input)}
+		p.Checkpoint("computed") // fault-injection point: die holding a result
+		if err := c.Send(0, tagResult, encodeResult(out)); err != nil {
+			return done, err
+		}
+		done++
+	}
+}
+
+// MakeTasks builds n tasks with inputs 1..n.
+func MakeTasks(n int) []Task {
+	out := make([]Task, n)
+	for i := range out {
+		out[i] = Task{ID: i, Input: int64(i + 1)}
+	}
+	return out
+}
+
+func removeRank(ranks []int, r int) []int {
+	out := ranks[:0]
+	for _, x := range ranks {
+		if x != r {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func removeTask(tasks []Task, id int) []Task {
+	out := tasks[:0]
+	for _, t := range tasks {
+		if t.ID != id {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SortedIDs lists result task IDs in order (test/report helper).
+func SortedIDs(results map[int]TaskResult) []int {
+	out := make([]int, 0, len(results))
+	for id := range results {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

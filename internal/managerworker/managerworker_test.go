@@ -1,0 +1,201 @@
+package managerworker
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/inject"
+	"repro/internal/mpi"
+)
+
+// runMW executes a manager/worker world; rank 0 manages.
+func runMW(t *testing.T, n, tasks int, mut func(*mpi.Config)) (*Stats, *mpi.RunResult) {
+	t.Helper()
+	mcfg := mpi.Config{Size: n, Deadline: 30 * time.Second}
+	if mut != nil {
+		mut(&mcfg)
+	}
+	w, err := mpi.NewWorld(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var stats *Stats
+	res, err := w.Run(func(p *mpi.Proc) error {
+		if p.Rank() == 0 {
+			s, err := RunManager(p, MakeTasks(tasks))
+			mu.Lock()
+			stats = s
+			mu.Unlock()
+			return err
+		}
+		_, err := RunWorker(p, nil)
+		if mpi.IsRankFailStop(err) {
+			return nil // manager-side shutdown race; not a worker fault
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return stats, res
+}
+
+func verifyResults(t *testing.T, stats *Stats, tasks int) {
+	t.Helper()
+	if len(stats.Results) != tasks {
+		t.Fatalf("completed %d tasks, want %d (ids %v)", len(stats.Results), tasks, SortedIDs(stats.Results))
+	}
+	for id, r := range stats.Results {
+		want := int64(id+1) * int64(id+1)
+		if r.Output != want {
+			t.Fatalf("task %d output %d, want %d", id, r.Output, want)
+		}
+	}
+}
+
+func TestAllTasksCompleteFailureFree(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 9} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			stats, res := runMW(t, n, 20, nil)
+			verifyResults(t, stats, 20)
+			if stats.WorkersLost != 0 || stats.Reassigned != 0 {
+				t.Fatalf("unexpected failures: %+v", stats)
+			}
+			for rank, rr := range res.Ranks {
+				if rr.Err != nil {
+					t.Fatalf("rank %d: %v", rank, rr.Err)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkerDiesHoldingTask: the worker dies at the "computed" checkpoint,
+// before sending its result; the manager must detect the death through
+// the failed AnySource receive and reassign.
+func TestWorkerDiesHoldingTask(t *testing.T) {
+	plan := inject.NewPlan().Add(inject.AtCheckpoint(2, "computed"))
+	stats, res := runMW(t, 4, 12, func(m *mpi.Config) { m.Hook = plan.Hook() })
+	verifyResults(t, stats, 12)
+	if !res.Ranks[2].Killed {
+		t.Fatalf("rank 2 should have died: %+v", res.Ranks[2])
+	}
+	if stats.WorkersLost != 1 {
+		t.Fatalf("workers lost %d, want 1", stats.WorkersLost)
+	}
+	if stats.Reassigned < 1 {
+		t.Fatalf("the held task should have been reassigned: %+v", stats)
+	}
+}
+
+// TestWorkerDiesAfterSendingResult: the death races the result; the
+// eager-delivery guarantee means the result may still arrive, and the
+// task must not be double-counted.
+func TestWorkerDiesAfterSendingResult(t *testing.T) {
+	plan := inject.NewPlan().Add(inject.AfterNthSend(2, 1))
+	stats, res := runMW(t, 4, 12, func(m *mpi.Config) { m.Hook = plan.Hook() })
+	verifyResults(t, stats, 12)
+	if !res.Ranks[2].Killed {
+		t.Fatal("rank 2 should have died")
+	}
+	if stats.WorkersLost != 1 {
+		t.Fatalf("workers lost %d, want 1", stats.WorkersLost)
+	}
+}
+
+func TestMultipleWorkerDeaths(t *testing.T) {
+	plan := inject.NewPlan().Add(
+		inject.AtCheckpoint(1, "computed"),
+		inject.AtCheckpoint(3, "computed"),
+	)
+	stats, res := runMW(t, 5, 16, func(m *mpi.Config) { m.Hook = plan.Hook() })
+	verifyResults(t, stats, 16)
+	if stats.WorkersLost != 2 {
+		t.Fatalf("workers lost %d, want 2", stats.WorkersLost)
+	}
+	for _, rank := range []int{1, 3} {
+		if !res.Ranks[rank].Killed {
+			t.Fatalf("rank %d should have died", rank)
+		}
+	}
+	// All results must come from surviving workers.
+	for id, r := range stats.Results {
+		if r.Worker == 1 || r.Worker == 3 {
+			// Legitimate only if the worker died after sending (not the
+			// case here: checkpoint kills strike before the send).
+			t.Fatalf("task %d credited to dead worker %d", id, r.Worker)
+		}
+	}
+}
+
+// TestAllWorkersDie: with every worker dead and tasks remaining, the
+// manager reports the stall instead of hanging.
+func TestAllWorkersDie(t *testing.T) {
+	plan := inject.NewPlan().Add(
+		inject.AtCheckpoint(1, "computed"),
+		inject.AtCheckpoint(2, "computed"),
+	)
+	mcfg := mpi.Config{Size: 3, Deadline: 30 * time.Second, Hook: plan.Hook()}
+	w, err := mpi.NewWorld(mcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var managerErr error
+	_, err = w.Run(func(p *mpi.Proc) error {
+		if p.Rank() == 0 {
+			_, managerErr = RunManager(p, MakeTasks(10))
+			return nil
+		}
+		_, _ = RunWorker(p, nil)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if managerErr == nil {
+		t.Fatal("manager should report that no workers survive")
+	}
+}
+
+func TestTaskCodecRoundTrip(t *testing.T) {
+	task := Task{ID: 7, Input: -40}
+	got, err := decodeTask(encodeTask(task))
+	if err != nil || got != task {
+		t.Fatalf("task round trip: %+v %v", got, err)
+	}
+	r := TaskResult{ID: 9, Output: 81}
+	gr, err := decodeResult(encodeResult(r))
+	if err != nil || gr.ID != 9 || gr.Output != 81 {
+		t.Fatalf("result round trip: %+v %v", gr, err)
+	}
+	if _, err := decodeTask(nil); err == nil {
+		t.Fatal("nil task accepted")
+	}
+	if _, err := decodeResult([]byte{1}); err == nil {
+		t.Fatal("short result accepted")
+	}
+}
+
+func TestManagerMustBeRankZero(t *testing.T) {
+	w, err := mpi.NewWorld(mpi.Config{Size: 2, Deadline: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(p *mpi.Proc) error {
+		if p.Rank() == 1 {
+			if _, err := RunManager(p, MakeTasks(1)); err == nil {
+				return fmt.Errorf("non-zero manager accepted")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks[1].Err != nil {
+		t.Fatal(res.Ranks[1].Err)
+	}
+}

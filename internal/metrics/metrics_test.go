@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddGetTotal(t *testing.T) {
+	w := NewWorld(3)
+	w.Inc(0, Sends)
+	w.Add(1, Sends, 4)
+	w.Add(2, BytesSent, 100)
+	if w.Get(0, Sends) != 1 || w.Get(1, Sends) != 4 || w.Get(2, Sends) != 0 {
+		t.Fatal("per-rank values wrong")
+	}
+	if w.Total(Sends) != 5 || w.Total(BytesSent) != 100 || w.Total(Recvs) != 0 {
+		t.Fatal("totals wrong")
+	}
+	if w.Size() != 3 {
+		t.Fatalf("size %d", w.Size())
+	}
+}
+
+func TestNilWorldIsInert(t *testing.T) {
+	var w *World
+	w.Inc(0, Sends)
+	w.Add(1, Recvs, 5)
+	if w.Get(0, Sends) != 0 || w.Total(Recvs) != 0 || w.Size() != 0 {
+		t.Fatal("nil world must be inert")
+	}
+	if w.Snapshot() != nil || w.Render() != "" {
+		t.Fatal("nil world renders nothing")
+	}
+}
+
+func TestOutOfRangeIgnored(t *testing.T) {
+	w := NewWorld(2)
+	w.Inc(-1, Sends)
+	w.Inc(5, Sends)
+	w.Add(0, Counter(999), 3)
+	if w.Total(Sends) != 0 {
+		t.Fatal("out-of-range increments must be dropped")
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	w := NewWorld(4)
+	var wg sync.WaitGroup
+	for rank := 0; rank < 4; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				w.Inc(rank, Recvs)
+			}
+		}(rank)
+	}
+	wg.Wait()
+	if w.Total(Recvs) != 4000 {
+		t.Fatalf("total %d", w.Total(Recvs))
+	}
+}
+
+func TestSnapshotShape(t *testing.T) {
+	w := NewWorld(2)
+	w.Inc(1, Errors)
+	snap := w.Snapshot()
+	if len(snap) != 2 || snap[1][Errors] != 1 || snap[0][Errors] != 0 {
+		t.Fatalf("snapshot %v", snap)
+	}
+}
+
+func TestRenderShowsOnlyNonZeroColumns(t *testing.T) {
+	w := NewWorld(2)
+	w.Inc(0, Resends)
+	out := w.Render()
+	if !strings.Contains(out, "resends") {
+		t.Fatalf("missing resends column:\n%s", out)
+	}
+	if strings.Contains(out, "alltoall") || strings.Contains(out, "bytes_sent") {
+		t.Fatalf("zero column rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "total") {
+		t.Fatalf("missing totals row:\n%s", out)
+	}
+}
+
+func TestCounterNamesComplete(t *testing.T) {
+	for _, c := range Counters() {
+		if strings.HasPrefix(c.String(), "counter(") {
+			t.Fatalf("counter %d missing name", int(c))
+		}
+	}
+	if Counter(999).String() == "" {
+		t.Fatal("unknown counter should render")
+	}
+}

@@ -1,0 +1,343 @@
+package mpi
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// This file implements the fault-tolerant consensus behind
+// MPI_Comm_validate_all. The paper (Section II) states that validate_all
+// "provides the application with an implementation of a fault tolerant
+// consensus algorithm [9]": all alive members of the communicator agree
+// on the set (and therefore count) of failed ranks, and the operation
+// returns success everywhere or an error at each alive rank.
+//
+// Protocol. Instances are numbered per communicator (MPI's collective
+// ordering rule keeps the numbering aligned across ranks). Within an
+// instance:
+//
+//   - The coordinator is the lowest alive member (the same choice as the
+//     paper's Figure 12 leader election).
+//   - The coordinator requests a VOTE from every alive member, unions the
+//     reported failure sets (plus any deaths it observes while
+//     collecting), records the decision, and sends DECIDE to all alive
+//     members.
+//   - Non-coordinators respond to vote requests reactively — the response
+//     logic runs at packet-delivery time inside the engine, so a rank
+//     blocked in unrelated point-to-point code still answers, the way a
+//     real MPI implementation's progress engine would.
+//   - If a non-coordinator observes the coordinator's death before a
+//     decision arrives, it re-evaluates: by strong accuracy of the
+//     failure detector, a new coordinator arises only after the previous
+//     one really died, so coordinator succession is sequential.
+//
+// Uniqueness: a new coordinator collects votes from every alive member;
+// any member that saw a previous DECIDE reports it, and the new
+// coordinator adopts it verbatim. If no alive member saw the previous
+// DECIDE then no alive member returned it, so deciding fresh is safe.
+// Hence all alive ranks return the same failure set per instance.
+const (
+	agreeReq uint8 = iota
+	agreeVote
+	agreeDecide
+)
+
+// agreeMsg is the gob-encoded payload of KindAgreement packets.
+type agreeMsg struct {
+	Type    uint8
+	Inst    int   // per-communicator instance number
+	From    int   // sender's world rank
+	Failed  []int // vote payload or decision (world ranks)
+	Decided bool  // Failed carries an already-made decision
+	Group   []int // REQ only: the communicator group (world ranks)
+}
+
+type agreeKey struct {
+	ctx  int // communicator internal context (names the communicator)
+	inst int
+}
+
+// agreementState is the per-engine slice of the protocol, guarded by the
+// engine mutex.
+type agreementState struct {
+	decisions map[agreeKey][]int
+	votes     map[agreeKey]map[int]agreeMsg // votes received while coordinating
+	// started marks instances this rank has entered (called validate_all
+	// for). Vote requests arriving earlier are parked in pendingReqs and
+	// answered at entry: validate_all is a collective, so a rank must not
+	// vote in an instance it has not reached — otherwise the coordinator
+	// could decide "no failures" using votes from ranks that die before
+	// ever making the call.
+	started     map[agreeKey]bool
+	pendingReqs map[agreeKey][]agreeMsg
+}
+
+func (a *agreementState) init() {
+	a.decisions = make(map[agreeKey][]int)
+	a.votes = make(map[agreeKey]map[int]agreeMsg)
+	a.started = make(map[agreeKey]bool)
+	a.pendingReqs = make(map[agreeKey][]agreeMsg)
+}
+
+// deliverAgreement handles an inbound agreement packet reactively. Runs
+// on the delivering goroutine; never blocks; sends replies only after
+// releasing the engine lock (lock discipline: one engine lock at a time).
+func (e *engine) deliverAgreement(pkt *transport.Packet) {
+	var msg agreeMsg
+	if err := decodeGob(pkt.Payload, &msg); err != nil {
+		return // corrupt internal message: drop
+	}
+	key := agreeKey{ctx: pkt.Context, inst: msg.Inst}
+
+	var reply *agreeMsg
+	e.mu.Lock()
+	if e.dead || e.closed {
+		e.mu.Unlock()
+		return
+	}
+	switch msg.Type {
+	case agreeReq:
+		_, haveDecision := e.agree.decisions[key]
+		switch {
+		case haveDecision:
+			reply = &agreeMsg{Type: agreeVote, Inst: msg.Inst, From: e.rank,
+				Failed: e.agree.decisions[key], Decided: true}
+		case e.agree.started[key]:
+			reply = &agreeMsg{Type: agreeVote, Inst: msg.Inst, From: e.rank,
+				Failed: e.knownFailedSnapshotLocked(msg.Group)}
+		default:
+			// Not in the collective yet: park the request; enterInstance
+			// answers it when this rank reaches its validate_all call.
+			e.agree.pendingReqs[key] = append(e.agree.pendingReqs[key], msg)
+		}
+	case agreeVote:
+		m, ok := e.agree.votes[key]
+		if !ok {
+			m = make(map[int]agreeMsg)
+			e.agree.votes[key] = m
+		}
+		m[msg.From] = msg
+		e.cond.Broadcast()
+	case agreeDecide:
+		if _, ok := e.agree.decisions[key]; !ok {
+			if msg.Failed == nil {
+				msg.Failed = []int{} // gob flattens empty slices to nil
+			}
+			e.agree.decisions[key] = msg.Failed
+		}
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+
+	if reply != nil {
+		e.sendAgreement(pkt.Src, pkt.Context, reply)
+	}
+}
+
+// sendAgreement transmits an agreement message. Errors are ignored: a
+// message to a dead rank simply vanishes, and the protocol's liveness
+// rests on the failure detector, not on delivery acknowledgements.
+func (e *engine) sendAgreement(dstWorld, ctx int, msg *agreeMsg) {
+	payload, err := encodeGob(msg)
+	if err != nil {
+		return
+	}
+	e.w.metrics.Inc(e.rank, metrics.AgreementMsgs)
+	_ = e.w.fabric.Send(&transport.Packet{
+		Src: e.rank, Dst: dstWorld, Tag: 0, Context: ctx,
+		Kind: transport.KindAgreement, Payload: payload,
+	})
+}
+
+// validateAllDriver runs one agreement instance for comm c and returns
+// the agreed set of failed world ranks within c's group. It blocks the
+// calling goroutine; IvalidateAll wraps it in a request-completing
+// goroutine.
+func (c *Comm) validateAllDriver(inst int) ([]int, error) {
+	e := c.eng
+	key := agreeKey{ctx: c.ctxInternal, inst: inst}
+	reg := c.proc.w.registry
+	e.enterInstance(key, c)
+
+	for {
+		e.mu.Lock()
+		if d, ok := e.agree.decisions[key]; ok {
+			e.mu.Unlock()
+			return d, nil
+		}
+		if e.dead {
+			e.mu.Unlock()
+			panic(killedPanic{rank: e.rank})
+		}
+		if e.closed {
+			e.mu.Unlock()
+			return nil, ErrNoDecision
+		}
+		e.mu.Unlock()
+
+		coord, ok := reg.LowestAliveIn(c.group)
+		if !ok {
+			return nil, ErrNoDecision // unreachable while the caller lives
+		}
+		if coord == c.proc.rank {
+			return c.coordinateAgreement(key)
+		}
+
+		// Passive role: wait for the decision, the coordinator's death, or
+		// shutdown. The engine cond is broadcast on all three.
+		e.mu.Lock()
+		for {
+			if _, ok := e.agree.decisions[key]; ok {
+				break
+			}
+			if e.dead || e.closed {
+				break
+			}
+			if e.w.aborted.Load() {
+				e.mu.Unlock()
+				panic(abortPanic{code: e.w.abortCode()})
+			}
+			if e.knownFailed[coord] {
+				break // coordinator died: re-evaluate
+			}
+			e.cond.Wait()
+		}
+		e.mu.Unlock()
+	}
+}
+
+// enterInstance marks the instance as joined by this rank and answers any
+// vote requests that arrived before the rank reached its validate_all
+// call.
+func (e *engine) enterInstance(key agreeKey, c *Comm) {
+	type pendingReply struct {
+		dst int
+		msg agreeMsg
+	}
+	var replies []pendingReply
+	e.mu.Lock()
+	if e.agree.started[key] {
+		e.mu.Unlock()
+		return
+	}
+	e.agree.started[key] = true
+	parked := e.agree.pendingReqs[key]
+	delete(e.agree.pendingReqs, key)
+	for _, req := range parked {
+		vote := agreeMsg{Type: agreeVote, Inst: key.inst, From: e.rank}
+		if d, ok := e.agree.decisions[key]; ok {
+			vote.Failed, vote.Decided = d, true
+		} else {
+			vote.Failed = e.knownFailedSnapshotLocked(req.Group)
+		}
+		replies = append(replies, pendingReply{dst: req.From, msg: vote})
+	}
+	e.mu.Unlock()
+	for _, r := range replies {
+		msg := r.msg
+		e.sendAgreement(r.dst, key.ctx, &msg)
+	}
+}
+
+// coordinateAgreement runs the coordinator role: gather votes from every
+// alive member, decide, distribute.
+func (c *Comm) coordinateAgreement(key agreeKey) ([]int, error) {
+	e := c.eng
+	me := c.proc.rank
+
+	// Solicit votes from everyone this rank believes alive.
+	union := make(map[int]bool)
+	pending := make(map[int]bool)
+	e.mu.Lock()
+	for _, m := range c.group {
+		if e.knownFailed[m] {
+			union[m] = true
+		} else if m != me {
+			pending[m] = true
+		}
+	}
+	e.mu.Unlock()
+
+	req := &agreeMsg{Type: agreeReq, Inst: key.inst, From: me, Group: c.Group()}
+	for m := range pending {
+		e.sendAgreement(m, c.ctxInternal, req)
+	}
+
+	var adopted []int
+	haveAdopted := false
+	e.mu.Lock()
+	for {
+		if d, ok := e.agree.decisions[key]; ok {
+			adopted, haveAdopted = d, true // a previous coordinator's DECIDE raced in
+			break
+		}
+		for from, v := range e.agree.votes[key] {
+			if !pending[from] {
+				continue
+			}
+			delete(pending, from)
+			if v.Decided {
+				adopted, haveAdopted = v.Failed, true
+			} else {
+				for _, f := range v.Failed {
+					union[f] = true
+				}
+			}
+		}
+		for m := range pending {
+			if e.knownFailed[m] {
+				delete(pending, m)
+				union[m] = true // died before voting: part of the decision
+			}
+		}
+		if haveAdopted || len(pending) == 0 {
+			break
+		}
+		if e.dead {
+			e.mu.Unlock()
+			panic(killedPanic{rank: e.rank})
+		}
+		if e.closed {
+			e.mu.Unlock()
+			return nil, ErrNoDecision
+		}
+		if e.w.aborted.Load() {
+			e.mu.Unlock()
+			panic(abortPanic{code: e.w.abortCode()})
+		}
+		e.cond.Wait()
+	}
+
+	decision := adopted
+	if !haveAdopted {
+		decision = make([]int, 0, len(union))
+		for f := range union {
+			decision = append(decision, f)
+		}
+		sort.Ints(decision)
+	} else if decision == nil {
+		decision = []int{} // gob flattens empty slices to nil
+	}
+	if _, ok := e.agree.decisions[key]; !ok {
+		e.agree.decisions[key] = decision
+	} else {
+		decision = e.agree.decisions[key]
+	}
+	knownDead := make(map[int]bool)
+	for _, m := range c.group {
+		if e.knownFailed[m] {
+			knownDead[m] = true
+		}
+	}
+	e.mu.Unlock()
+
+	dec := &agreeMsg{Type: agreeDecide, Inst: key.inst, From: me, Failed: decision}
+	for _, m := range c.group {
+		if m != me && !knownDead[m] {
+			e.sendAgreement(m, c.ctxInternal, dec)
+		}
+	}
+	return decision, nil
+}

@@ -1,0 +1,34 @@
+// Package mpi is a message-passing runtime that reproduces, in Go, the
+// MPI semantics the paper "Building a Fault Tolerant MPI Application: A
+// Ring Communication Example" (Hursey & Graham, 2011) depends on — both
+// the MPI-1 subset (point-to-point matching with tags and communicator
+// contexts, non-blocking requests, Waitany, collective operations via
+// internal/collective) and the MPI Forum Fault Tolerance Working Group's
+// run-through stabilization extensions (per-communicator failure
+// recognition, the MPI_ERR_RANK_FAIL_STOP error class, validate_all as a
+// built-in fault-tolerant consensus).
+//
+// Ranks are goroutines inside a World. Fail-stop process failure is
+// modelled by killing a rank: its next (or currently blocked) MPI call
+// unwinds the goroutine, the perfect failure detector records the death,
+// and every other rank's engine fails the posted receives that can no
+// longer complete — which is exactly the mechanism the paper's Figure 9
+// exploits to use MPI_Irecv as a failure detector.
+//
+// Semantics implemented (paper Section II):
+//
+//   - Point-to-point with a non-failed rank works normally even while
+//     unrecognized failures exist in the communicator.
+//   - Communication with an unrecognized failed rank returns
+//     ErrRankFailStop; so does a posted receive on MPI_ANY_SOURCE while
+//     any unrecognized failure exists.
+//   - Messages sent by a rank before its death remain deliverable (eager
+//     delivery), enabling the Figure 8 duplicate-message race.
+//   - Recognized failed ranks have MPI_PROC_NULL semantics.
+//   - Collective operations fail with ErrRankFailStop once a participant
+//     has failed, until the communicator is repaired with validate_all;
+//     return codes across ranks are intentionally not consistent (a
+//     broadcast tree lets some ranks exit early).
+//   - Comm.ValidateAll / Comm.IvalidateAll implement the proposal's
+//     fault-tolerant consensus (see agreement.go).
+package mpi

@@ -1,0 +1,276 @@
+package mpi
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// engine is the per-rank message-matching machinery: the posted-receive
+// queue, the unexpected-message queue, and this rank's view of failure
+// notifications. All mutable state is guarded by mu; cond is broadcast on
+// every state change that could unblock a waiter (packet arrival, request
+// completion, failure notification, kill, abort, teardown).
+//
+// Lock discipline: an engine's methods never call another engine or the
+// fabric while holding mu. Cross-rank delivery locks exactly one engine at
+// a time, so there is no lock-ordering cycle by construction.
+type engine struct {
+	w    *World
+	rank int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	dead   bool // this rank has fail-stopped
+	closed bool // world torn down (normal completion path)
+
+	posted     []*Request
+	unexpected []*transport.Packet
+
+	// knownFailed is this engine's failure-notification view: which world
+	// ranks this rank has been told are dead. With zero notification delay
+	// it tracks the registry exactly; with a delay it lags, modelling
+	// detection latency.
+	knownFailed []bool
+
+	agree agreementState
+}
+
+func newEngine(w *World, rank int) *engine {
+	e := &engine{
+		w:           w,
+		rank:        rank,
+		knownFailed: make([]bool, w.size),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.agree.init()
+	return e
+}
+
+// --- liveness -------------------------------------------------------------
+
+// checkAlive panics with the fail-stop sentinel if this rank was killed.
+// Every user-facing operation calls it first, so a killed rank unwinds at
+// its next MPI call.
+func (e *engine) checkAlive() {
+	e.mu.Lock()
+	dead := e.dead
+	e.mu.Unlock()
+	if dead {
+		panic(killedPanic{rank: e.rank})
+	}
+	if e.w.aborted.Load() {
+		panic(abortPanic{code: e.w.abortCode()})
+	}
+}
+
+// die fail-stops this rank from its own goroutine: registers the death
+// with the perfect failure detector (which notifies every other engine)
+// and unwinds the goroutine. It does not return.
+func (e *engine) die() {
+	e.w.registry.Kill(e.rank) // subscriber marks us dead and notifies peers
+	panic(killedPanic{rank: e.rank})
+}
+
+// markDead flips the engine's dead flag and wakes all waiters. Called by
+// the registry subscriber (for both self-kills and external kills).
+func (e *engine) markDead() {
+	e.mu.Lock()
+	e.dead = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// markClosed wakes any lingering internal waiters at world teardown.
+func (e *engine) markClosed() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// --- failure notification --------------------------------------------------
+
+// onPeerFailure records that world rank f has failed and fails the posted
+// receives that can no longer complete: receives posted directly to f, and
+// AnySource receives on communicators where f is an unrecognized member
+// (paper Section II).
+func (e *engine) onPeerFailure(f int) {
+	e.mu.Lock()
+	if e.knownFailed[f] {
+		e.mu.Unlock()
+		return
+	}
+	e.knownFailed[f] = true
+	kept := e.posted[:0]
+	for _, r := range e.posted {
+		switch {
+		case r.srcWorld == f && !r.comm.recognizedLocked(f):
+			r.completeLocked(failStop(f), Status{Source: r.comm.rankOf(f), Tag: r.tag}, nil)
+		case r.srcWorld == AnySource && r.comm.memberUnrecognizedLocked(f):
+			r.completeLocked(failStop(f), Status{Source: AnySource, Tag: r.tag}, nil)
+		case r.ctx == r.comm.ctxInternal && r.comm.collMemberLocked(f):
+			// Section II: once any rank fails, ALL collective operations
+			// on the communicator return an error until it is repaired —
+			// including collectives already in flight. Without this, a
+			// rank blocked mid-collective on an ALIVE peer that errored
+			// at the entry gate would wait forever.
+			r.completeLocked(failStop(f), Status{Source: r.comm.rankOf(f), Tag: r.tag}, nil)
+		default:
+			kept = append(kept, r)
+		}
+	}
+	e.posted = kept
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// knownFailedSnapshot returns the world ranks this engine has been
+// notified about, restricted to the given group (nil = all).
+func (e *engine) knownFailedSnapshot(group []int) []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.knownFailedSnapshotLocked(group)
+}
+
+func (e *engine) knownFailedSnapshotLocked(group []int) []int {
+	var out []int
+	if group == nil {
+		for r, f := range e.knownFailed {
+			if f {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	for _, r := range group {
+		if r >= 0 && r < len(e.knownFailed) && e.knownFailed[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// --- delivery and matching --------------------------------------------------
+
+// deliver accepts an inbound packet. It runs on the sender's goroutine
+// (Local fabric) or a fabric reader goroutine (TCP), never on this rank's
+// own goroutine while it holds mu.
+func (e *engine) deliver(pkt *transport.Packet) {
+	if pkt.Kind == transport.KindAgreement {
+		e.deliverAgreement(pkt)
+		return
+	}
+	e.mu.Lock()
+	if e.dead || e.closed {
+		e.mu.Unlock()
+		return // packets to a dead rank vanish
+	}
+	if r := e.matchPostedLocked(pkt); r != nil {
+		e.completeRecvLocked(r, pkt)
+	} else {
+		e.unexpected = append(e.unexpected, pkt)
+		e.cond.Broadcast() // wake Probe waiters
+	}
+	e.mu.Unlock()
+}
+
+// matchPostedLocked finds and removes the first posted receive matching
+// the packet, honouring post order (MPI non-overtaking).
+func (e *engine) matchPostedLocked(pkt *transport.Packet) *Request {
+	for i, r := range e.posted {
+		if r.ctx == pkt.Context &&
+			(r.tag == AnyTag || r.tag == pkt.Tag) &&
+			(r.srcWorld == AnySource || r.srcWorld == pkt.Src) {
+			e.posted = append(e.posted[:i], e.posted[i+1:]...)
+			return r
+		}
+	}
+	return nil
+}
+
+// completeRecvLocked finishes a receive with the packet's payload.
+func (e *engine) completeRecvLocked(r *Request, pkt *transport.Packet) {
+	st := Status{Source: r.comm.rankOf(pkt.Src), Tag: pkt.Tag, Len: len(pkt.Payload)}
+	r.completeLocked(nil, st, pkt.Payload)
+	e.w.metrics.Inc(e.rank, metrics.Recvs)
+	e.w.metrics.Add(e.rank, metrics.BytesRecv, int64(len(pkt.Payload)))
+}
+
+// matchUnexpectedLocked finds and removes the earliest queued packet
+// matching the receive criteria.
+func (e *engine) matchUnexpectedLocked(srcWorld, tag, ctx int) *transport.Packet {
+	for i, pkt := range e.unexpected {
+		if pkt.Context == ctx &&
+			(tag == AnyTag || tag == pkt.Tag) &&
+			(srcWorld == AnySource || srcWorld == pkt.Src) {
+			e.unexpected = append(e.unexpected[:i], e.unexpected[i+1:]...)
+			return pkt
+		}
+	}
+	return nil
+}
+
+// postRecv installs a receive request: satisfy it from the unexpected
+// queue if possible; otherwise fail it immediately when the source can
+// never produce a message (failed unrecognized source, or AnySource with
+// an unrecognized failure in the communicator); otherwise queue it.
+func (e *engine) postRecv(r *Request) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead {
+		panic(killedPanic{rank: e.rank}) // deferred unlock still runs
+	}
+	// An AnySource receive fails while ANY unrecognized failure exists in
+	// the communicator, even if a matching message is already queued: the
+	// application cannot know whether the message it would get is the one
+	// the dead rank should have sent (paper Section II).
+	if r.srcWorld == AnySource {
+		if f, ok := r.comm.anyUnrecognizedLocked(); ok {
+			r.completeLocked(failStop(f), Status{Source: AnySource, Tag: r.tag}, nil)
+			return
+		}
+	}
+	if pkt := e.matchUnexpectedLocked(r.srcWorld, r.tag, r.ctx); pkt != nil {
+		e.completeRecvLocked(r, pkt)
+		return
+	}
+	// A directed receive from a known-failed, unrecognized rank can never
+	// be satisfied once the queue holds no matching message: fail it now.
+	if r.srcWorld >= 0 && e.knownFailed[r.srcWorld] && !r.comm.recognizedLocked(r.srcWorld) {
+		r.completeLocked(failStop(r.srcWorld), Status{Source: r.comm.rankOf(r.srcWorld), Tag: r.tag}, nil)
+		return
+	}
+	// Collective-context receives are disabled while any collective
+	// participant is known failed (the Section II gate, applied to
+	// receives posted after the notification raced past the entry check).
+	if r.ctx == r.comm.ctxInternal {
+		if f, ok := r.comm.anyCollMemberFailedLocked(); ok {
+			r.completeLocked(failStop(f), Status{Source: r.comm.rankOf(f), Tag: r.tag}, nil)
+			return
+		}
+	}
+	e.posted = append(e.posted, r)
+}
+
+// removePostedLocked removes a request from the posted queue if present.
+func (e *engine) removePostedLocked(r *Request) {
+	for i, q := range e.posted {
+		if q == r {
+			e.posted = append(e.posted[:i], e.posted[i+1:]...)
+			return
+		}
+	}
+}
+
+// sendPacket hands a fully addressed packet to the fabric, tracing and
+// counting it. Must be called with no engine lock held.
+func (e *engine) sendPacket(pkt *transport.Packet) error {
+	e.w.metrics.Inc(e.rank, metrics.Sends)
+	e.w.metrics.Add(e.rank, metrics.BytesSent, int64(len(pkt.Payload)))
+	e.w.tracer.Record(e.rank, trace.SendPosted, pkt.Dst, pkt.Tag, -1, "")
+	return e.w.fabric.Send(pkt)
+}

@@ -1,0 +1,102 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error classes. ErrRankFailStop corresponds to the proposal's
+// MPI_ERR_RANK_FAIL_STOP class: the operation involved (directly or
+// indirectly) a failed, unrecognized rank.
+var (
+	// ErrRankFailStop reports that a peer of the operation has failed and
+	// has not been recognized on the communicator (MPI_ERR_RANK_FAIL_STOP).
+	ErrRankFailStop = errors.New("mpi: rank failed (MPI_ERR_RANK_FAIL_STOP)")
+	// ErrAborted reports that the world was aborted (MPI_Abort) while the
+	// operation was in progress.
+	ErrAborted = errors.New("mpi: world aborted")
+	// ErrCancelled reports that the request was cancelled before completing.
+	ErrCancelled = errors.New("mpi: request cancelled")
+	// ErrInvalidRank reports a rank outside the communicator.
+	ErrInvalidRank = errors.New("mpi: invalid rank")
+	// ErrInvalidArg reports a malformed argument.
+	ErrInvalidArg = errors.New("mpi: invalid argument")
+	// ErrTimedOut reports that the world watchdog expired before the run
+	// completed — how the harness surfaces the paper's Figure 6 deadlock.
+	ErrTimedOut = errors.New("mpi: world deadline exceeded")
+	// ErrNoDecision reports that a validate operation could not reach a
+	// decision because the world shut down underneath it.
+	ErrNoDecision = errors.New("mpi: agreement shut down before decision")
+)
+
+// RankError wraps an error class with the world rank that triggered it,
+// so application-level failover code (the paper's FT_Send_right) can tell
+// which peer died.
+type RankError struct {
+	Rank int // world rank of the failed peer (-1 if unknown)
+	Err  error
+}
+
+// Error implements the error interface.
+func (e *RankError) Error() string {
+	return fmt.Sprintf("%v (world rank %d)", e.Err, e.Rank)
+}
+
+// Unwrap exposes the error class for errors.Is.
+func (e *RankError) Unwrap() error { return e.Err }
+
+func failStop(rank int) error { return &RankError{Rank: rank, Err: ErrRankFailStop} }
+
+// IsRankFailStop reports whether err is in the rank-fail-stop class.
+func IsRankFailStop(err error) bool { return errors.Is(err, ErrRankFailStop) }
+
+// FailedRankOf extracts the world rank carried by a rank-fail-stop error,
+// or -1 when unavailable.
+func FailedRankOf(err error) int {
+	var re *RankError
+	if errors.As(err, &re) {
+		return re.Rank
+	}
+	return -1
+}
+
+// Errhandler selects how errors raised by operations on a communicator
+// are handled, mirroring MPI_ERRORS_ARE_FATAL / MPI_ERRORS_RETURN.
+type Errhandler int
+
+const (
+	// ErrorsAreFatal aborts the world on any error — the MPI default. The
+	// paper's first fault-tolerance change (Fig. 3 line 10) is to replace
+	// this with ErrorsReturn.
+	ErrorsAreFatal Errhandler = iota
+	// ErrorsReturn surfaces errors through return values.
+	ErrorsReturn
+)
+
+// String returns the MPI-style name of the handler.
+func (h Errhandler) String() string {
+	switch h {
+	case ErrorsAreFatal:
+		return "MPI_ERRORS_ARE_FATAL"
+	case ErrorsReturn:
+		return "MPI_ERRORS_RETURN"
+	default:
+		return fmt.Sprintf("Errhandler(%d)", int(h))
+	}
+}
+
+// killedPanic unwinds a killed rank's goroutine at its next MPI call:
+// fail-stop. Recovered by the world runner.
+type killedPanic struct{ rank int }
+
+// abortPanic unwinds every rank after MPI_Abort. Recovered by the runner.
+type abortPanic struct{ code int }
+
+// closedPanic unwinds internal service goroutines at world teardown.
+type closedPanic struct{}
+
+// AbortError is returned by World.Run when the application called Abort.
+type AbortError struct{ Code int }
+
+// Error implements the error interface.
+func (e *AbortError) Error() string { return fmt.Sprintf("mpi: aborted with code %d", e.Code) }

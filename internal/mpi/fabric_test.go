@@ -1,0 +1,236 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// runWorldOn executes fn over an explicit fabric.
+func runWorldOn(t *testing.T, n int, fab transport.Fabric, fn func(p *Proc) error) *RunResult {
+	t.Helper()
+	w, err := NewWorld(Config{Size: n, Deadline: 60 * time.Second, Fabric: fab})
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	res, err := w.Run(func(p *Proc) error {
+		p.World().SetErrhandler(ErrorsReturn)
+		return fn(p)
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+// ringBody circulates a counter and checks the accumulated value.
+func ringBody(iters int) func(p *Proc) error {
+	return func(p *Proc) error {
+		c := p.World()
+		n := p.Size()
+		right := (p.Rank() + 1) % n
+		left := (p.Rank() - 1 + n) % n
+		for i := 0; i < iters; i++ {
+			if p.Rank() == 0 {
+				if err := c.Send(right, 1, []byte{1}); err != nil {
+					return err
+				}
+				pl, _, err := c.Recv(left, 1)
+				if err != nil {
+					return err
+				}
+				if int(pl[0]) != n {
+					return fmt.Errorf("iteration %d accumulated %d, want %d", i, pl[0], n)
+				}
+			} else {
+				pl, _, err := c.Recv(left, 1)
+				if err != nil {
+					return err
+				}
+				if err := c.Send(right, 1, []byte{pl[0] + 1}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+func TestRingOverTCPFabric(t *testing.T) {
+	res := runWorldOn(t, 4, transport.NewTCP(4), ringBody(10))
+	requireNoRankErrors(t, res)
+}
+
+func TestRingOverLatencyFabric(t *testing.T) {
+	fab := transport.NewLatency(transport.NewLocal(), 200*time.Microsecond)
+	res := runWorldOn(t, 3, fab, ringBody(5))
+	requireNoRankErrors(t, res)
+}
+
+// TestFailureSemanticsOverTCP: the Fig. 9 detector property must hold
+// over a real network fabric too.
+func TestFailureSemanticsOverTCP(t *testing.T) {
+	res := runWorldOn(t, 2, transport.NewTCP(2), func(p *Proc) error {
+		c := p.World()
+		if p.Rank() == 1 {
+			if _, _, err := c.Recv(0, 1); err != nil {
+				return err
+			}
+			p.Die()
+		}
+		det := c.Irecv(1, 9)
+		if err := c.Send(1, 1, nil); err != nil {
+			return err
+		}
+		if _, err := det.Wait(); !IsRankFailStop(err) {
+			return fmt.Errorf("detector over tcp: %v", err)
+		}
+		return nil
+	})
+	if res.Ranks[0].Err != nil {
+		t.Fatal(res.Ranks[0].Err)
+	}
+}
+
+// TestValidateAllOverTCP exercises the agreement protocol's gob frames
+// over sockets.
+func TestValidateAllOverTCP(t *testing.T) {
+	res := runWorldOn(t, 4, transport.NewTCP(4), func(p *Proc) error {
+		c := p.World()
+		if p.Rank() == 3 {
+			p.Die()
+		}
+		for p.Registry().AliveCount() > 3 {
+			time.Sleep(time.Millisecond)
+		}
+		cnt, err := c.ValidateAll()
+		if err != nil {
+			return err
+		}
+		if cnt != 1 {
+			return fmt.Errorf("agreed %d, want 1", cnt)
+		}
+		return nil
+	})
+	for rank := 0; rank < 3; rank++ {
+		if res.Ranks[rank].Err != nil {
+			t.Fatalf("rank %d: %v", rank, res.Ranks[rank].Err)
+		}
+	}
+}
+
+// TestNotifyDelayDefersDetection: with detection latency configured, a
+// send can still slip through to a dead rank (and vanish) before the
+// notification lands — the weaker, more realistic detector mode.
+func TestNotifyDelayDefersDetection(t *testing.T) {
+	w, err := NewWorld(Config{Size: 2, Deadline: 60 * time.Second, NotifyDelay: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(p *Proc) error {
+		c := p.World()
+		c.SetErrhandler(ErrorsReturn)
+		if p.Rank() == 1 {
+			p.Die()
+		}
+		// Immediately after the kill the ground truth knows, but this
+		// engine may not: the send may succeed into the void.
+		for !p.Registry().Failed(1) {
+			time.Sleep(time.Millisecond)
+		}
+		_ = c.Send(1, 0, []byte("may vanish")) // either outcome is legal here
+		// Eventually (strong completeness) the failure must surface.
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			info, err := c.RankState(1)
+			if err != nil {
+				return err
+			}
+			if info.State == RankFailed {
+				return nil
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return fmt.Errorf("notification never arrived")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks[0].Err != nil {
+		t.Fatal(res.Ranks[0].Err)
+	}
+}
+
+// --- micro-benchmarks ---------------------------------------------------------
+
+func BenchmarkPingPongLocal(b *testing.B) {
+	benchPingPong(b, nil)
+}
+
+func BenchmarkPingPongTCP(b *testing.B) {
+	benchPingPong(b, transport.NewTCP(2))
+}
+
+func benchPingPong(b *testing.B, fab transport.Fabric) {
+	b.Helper()
+	b.ReportAllocs()
+	w, err := NewWorld(Config{Size: 2, Deadline: 5 * time.Minute, Fabric: fab})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	if _, err := w.Run(func(p *Proc) error {
+		c := p.World()
+		c.SetErrhandler(ErrorsReturn)
+		peer := 1 - p.Rank()
+		for i := 0; i < b.N; i++ {
+			if p.Rank() == 0 {
+				if err := c.Send(peer, 1, payload); err != nil {
+					return err
+				}
+				if _, _, err := c.Recv(peer, 2); err != nil {
+					return err
+				}
+			} else {
+				if _, _, err := c.Recv(peer, 1); err != nil {
+					return err
+				}
+				if err := c.Send(peer, 2, payload); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkWaitanyTwoRequests(b *testing.B) {
+	b.ReportAllocs()
+	w, err := NewWorld(Config{Size: 2, Deadline: 5 * time.Minute})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Run(func(p *Proc) error {
+		c := p.World()
+		c.SetErrhandler(ErrorsReturn)
+		peer := 1 - p.Rank()
+		for i := 0; i < b.N; i++ {
+			det := c.Irecv(peer, 99) // never completes
+			data := c.Irecv(peer, 1)
+			if err := c.Send(peer, 1, nil); err != nil {
+				return err
+			}
+			if idx, _, err := Waitany(data, det); err != nil || idx != 0 {
+				return fmt.Errorf("waitany idx=%d err=%v", idx, err)
+			}
+			det.Cancel()
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+}

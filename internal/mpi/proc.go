@@ -1,0 +1,74 @@
+package mpi
+
+import (
+	"repro/internal/detector"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Proc is one rank's handle to the world, passed to the rank function by
+// World.Run. All MPI operations hang off the communicators it owns; the
+// world communicator is Proc.World().
+type Proc struct {
+	w         *World
+	rank      int
+	eng       *engine
+	worldComm *Comm
+	ctxSeq    int // per-proc communicator-context allocator (see newComm)
+}
+
+func newProc(w *World, rank int) *Proc {
+	p := &Proc{w: w, rank: rank, eng: w.engines[rank]}
+	group := make([]int, w.size)
+	for i := range group {
+		group[i] = i
+	}
+	p.worldComm = newComm(p, group, ctxWorldP2P, ctxWorldInternal)
+	return p
+}
+
+// Rank returns this process's world rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the world size (including failed ranks — fail-stop ranks
+// are never removed from the universe, per run-through stabilization).
+func (p *Proc) Size() int { return p.w.size }
+
+// World returns the world communicator (MPI_COMM_WORLD).
+func (p *Proc) World() *Comm { return p.worldComm }
+
+// Registry exposes the perfect failure detector's registry. Application
+// code normally goes through Comm.RankState (the paper's validate_rank);
+// the registry is for harness-level assertions.
+func (p *Proc) Registry() *detector.Registry { return p.w.registry }
+
+// Tracer returns the world's event recorder (possibly nil; a nil recorder
+// accepts and drops events).
+func (p *Proc) Tracer() *trace.Recorder { return p.w.tracer }
+
+// Metrics returns the world's counter table (possibly nil; a nil table
+// accepts and drops increments).
+func (p *Proc) Metrics() *metrics.World { return p.w.metrics }
+
+// Checkpoint announces an application-defined point to the fault
+// injector, which may fail-stop the rank exactly here.
+func (p *Proc) Checkpoint(label string) {
+	p.eng.checkAlive()
+	p.w.fireHook(p.rank, HookEvent{Rank: p.rank, Point: HookCheckpoint, Peer: -1, Label: label})
+}
+
+// Abort tears down the whole world (MPI_Abort on MPI_COMM_WORLD). It does
+// not return: the calling rank unwinds immediately and every other rank
+// unwinds at its next MPI call.
+func (p *Proc) Abort(code int) {
+	p.w.tracer.Record(p.rank, trace.Note, -1, -1, -1, "MPI_Abort")
+	p.w.abort(code)
+	panic(abortPanic{code: code})
+}
+
+// Die fail-stops the calling rank (used by scripted failure scenarios
+// that kill from application level rather than via hooks). Does not
+// return.
+func (p *Proc) Die() {
+	p.eng.die()
+}

@@ -1,0 +1,382 @@
+package mpi
+
+// Special rank and tag values, mirroring MPI_PROC_NULL, MPI_ANY_SOURCE
+// and MPI_ANY_TAG.
+const (
+	// ProcNull is the null process: sends to it succeed without effect and
+	// receives from it complete immediately with no data. Recognized
+	// failed ranks behave like ProcNull (run-through stabilization).
+	ProcNull = -2
+	// AnySource matches a message from any source (MPI_ANY_SOURCE). While
+	// an unrecognized failure exists in the communicator, a receive on
+	// AnySource fails with ErrRankFailStop (paper Section II).
+	AnySource = -3
+	// AnyTag matches a message with any tag (MPI_ANY_TAG).
+	AnyTag = -4
+)
+
+// Status describes a completed receive, like MPI_Status.
+type Status struct {
+	// Source is the communicator rank the message came from (ProcNull for
+	// null receives).
+	Source int
+	// Tag is the matched message tag.
+	Tag int
+	// Len is the payload length in bytes. For a completed validate
+	// request it carries the agreed failure count.
+	Len int
+}
+
+// Request is a non-blocking operation handle (MPI_Request). A Request is
+// owned by the rank that created it and must only be waited on by that
+// rank's goroutine (or by internal service goroutines of the same rank).
+type Request struct {
+	eng  *engine
+	comm *Comm
+
+	// Matching criteria for posted receives; srcWorld is a world rank or
+	// AnySource.
+	isRecv   bool
+	srcWorld int
+	tag      int
+	ctx      int
+
+	// Completion state, guarded by eng.mu.
+	done         bool
+	consumed     bool   // returned by a Waitany/Waitall already
+	observedHook bool   // HookAfterRecv already fired for this completion
+	doneSeq      uint64 // world-wide completion order, for Waitany fairness
+	err          error
+	status       Status
+	payload      []byte
+	result       int // validate_all agreed failure count
+	kind         reqKind
+}
+
+type reqKind int
+
+const (
+	reqRecv reqKind = iota
+	reqSend
+	reqValidate
+	reqGeneric // goroutine-backed non-blocking collectives
+)
+
+// Done reports whether the request has completed (without consuming it).
+func (r *Request) Done() bool {
+	r.eng.mu.Lock()
+	defer r.eng.mu.Unlock()
+	return r.done
+}
+
+// Payload returns the received bytes of a completed receive request. It
+// must only be called after Wait/Waitany/Test reported completion.
+func (r *Request) Payload() []byte { return r.payload }
+
+// Result returns the agreed failure count of a completed validate
+// request (Comm.IvalidateAll).
+func (r *Request) Result() int { return r.result }
+
+// completeLocked finishes the request. Caller holds eng.mu.
+func (r *Request) completeLocked(err error, st Status, payload []byte) {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.doneSeq = r.eng.w.completionSeq.Add(1)
+	r.err = err
+	r.status = st
+	r.payload = payload
+	r.eng.cond.Broadcast()
+}
+
+// Cancel removes a pending receive from the matching engine and completes
+// it with ErrCancelled. Cancelling a completed request is a no-op. The
+// ring library uses this to retire the Figure 9 "failure detector" Irecv
+// posted to the right neighbor when the neighbor changes — a lifecycle
+// detail the paper's pseudocode leaves implicit.
+func (r *Request) Cancel() {
+	e := r.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r.done {
+		return
+	}
+	e.removePostedLocked(r)
+	r.completeLocked(ErrCancelled, Status{Source: ProcNull}, nil)
+}
+
+// CancelOrPayload atomically retires a receive request: if it has
+// already completed successfully, the received payload is returned (ok
+// true) so the caller can re-queue or process it — no message is lost;
+// otherwise the request is cancelled (or its error swallowed) and ok is
+// false. This closes the race inherent in "cancel the failure-detector
+// receive": the peer may have sent a legitimate message in the instant
+// before cancellation (e.g. when a shrinking ring makes the right
+// neighbor also the left neighbor).
+func (r *Request) CancelOrPayload() ([]byte, bool) {
+	e := r.eng
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r.done {
+		if r.err == nil && r.isRecv && r.status.Source != ProcNull && r.payload != nil {
+			return r.payload, true
+		}
+		return nil, false
+	}
+	e.removePostedLocked(r)
+	r.completeLocked(ErrCancelled, Status{Source: ProcNull}, nil)
+	return nil, false
+}
+
+// Wait blocks until the request completes and returns its status and
+// error. Waiting again on a completed request returns the same result.
+func (r *Request) Wait() (Status, error) {
+	e := r.eng
+	e.mu.Lock()
+	for !r.done {
+		if e.dead {
+			e.mu.Unlock()
+			panic(killedPanic{rank: e.rank})
+		}
+		if e.closed {
+			e.mu.Unlock()
+			panic(closedPanic{})
+		}
+		if e.w.aborted.Load() {
+			e.mu.Unlock()
+			panic(abortPanic{code: e.w.abortCode()})
+		}
+		e.cond.Wait()
+	}
+	if e.dead {
+		e.mu.Unlock()
+		panic(killedPanic{rank: e.rank})
+	}
+	st, err := r.status, r.err
+	observed := r.isRecv && err == nil && !r.observedHook
+	if observed {
+		r.observedHook = true
+	}
+	e.mu.Unlock()
+	if observed && st.Source != ProcNull {
+		e.w.fireHook(e.rank, HookEvent{Rank: e.rank, Point: HookAfterRecv, Peer: r.srcWorld, Tag: st.Tag})
+	}
+	return st, err
+}
+
+// Test reports completion without blocking. If the request has completed
+// it returns (true, status, error).
+func (r *Request) Test() (bool, Status, error) {
+	e := r.eng
+	e.mu.Lock()
+	if e.dead {
+		e.mu.Unlock()
+		panic(killedPanic{rank: e.rank})
+	}
+	if !r.done {
+		e.mu.Unlock()
+		return false, Status{}, nil
+	}
+	st, err := r.status, r.err
+	observed := r.isRecv && err == nil && !r.observedHook
+	if observed {
+		r.observedHook = true
+	}
+	e.mu.Unlock()
+	if observed && st.Source != ProcNull {
+		e.w.fireHook(e.rank, HookEvent{Rank: e.rank, Point: HookAfterRecv, Peer: r.srcWorld, Tag: st.Tag})
+	}
+	return true, st, err
+}
+
+// Waitany blocks until at least one of the requests completes and returns
+// its index, status and error — the MPI_Waitany shape the paper's Figures
+// 9, 11 and 13 are built around. Completed requests are consumed: a
+// subsequent Waitany over the same slice returns a different request.
+// Nil entries and already-consumed requests are skipped; if every entry is
+// nil or consumed, Waitany returns ErrInvalidArg.
+//
+// When several requests have completed, the one that completed FIRST is
+// returned. This matters for the paper's Figure 9 receive: the failure of
+// the right neighbor and the arrival of the next ring buffer can both be
+// pending, and handling them in completion order keeps recovery
+// (resending the held buffer) ahead of fresh progress deterministically.
+func Waitany(reqs ...*Request) (int, Status, error) {
+	var e *engine
+	live := 0
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		live++
+		if e == nil {
+			e = r.eng
+		} else if e != r.eng {
+			return -1, Status{}, ErrInvalidArg
+		}
+	}
+	if e == nil {
+		return -1, Status{}, ErrInvalidArg
+	}
+
+	e.mu.Lock()
+	for {
+		if e.dead {
+			e.mu.Unlock()
+			panic(killedPanic{rank: e.rank})
+		}
+		if e.closed {
+			e.mu.Unlock()
+			panic(closedPanic{})
+		}
+		if e.w.aborted.Load() {
+			e.mu.Unlock()
+			panic(abortPanic{code: e.w.abortCode()})
+		}
+		remaining := 0
+		best := -1
+		for i, r := range reqs {
+			if r == nil || r.consumed {
+				continue
+			}
+			remaining++
+			if r.done && (best < 0 || r.doneSeq < reqs[best].doneSeq) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			r := reqs[best]
+			r.consumed = true
+			st, err := r.status, r.err
+			observed := r.isRecv && err == nil && !r.observedHook
+			if observed {
+				r.observedHook = true
+			}
+			e.mu.Unlock()
+			if observed && st.Source != ProcNull {
+				e.w.fireHook(e.rank, HookEvent{Rank: e.rank, Point: HookAfterRecv, Peer: r.srcWorld, Tag: st.Tag})
+			}
+			return best, st, err
+		}
+		if remaining == 0 {
+			e.mu.Unlock()
+			return -1, Status{}, ErrInvalidArg
+		}
+		e.cond.Wait()
+	}
+}
+
+// Testany is the non-blocking Waitany (MPI_Testany): if some non-nil,
+// unconsumed request has completed, it is consumed and returned;
+// otherwise ok is false and nothing is consumed.
+func Testany(reqs ...*Request) (ok bool, idx int, st Status, err error) {
+	var e *engine
+	for _, r := range reqs {
+		if r != nil {
+			e = r.eng
+			break
+		}
+	}
+	if e == nil {
+		return false, -1, Status{}, ErrInvalidArg
+	}
+	e.mu.Lock()
+	if e.dead {
+		e.mu.Unlock()
+		panic(killedPanic{rank: e.rank})
+	}
+	best := -1
+	for i, r := range reqs {
+		if r == nil || r.consumed || r.eng != e || !r.done {
+			continue
+		}
+		if best < 0 || r.doneSeq < reqs[best].doneSeq {
+			best = i
+		}
+	}
+	if best < 0 {
+		e.mu.Unlock()
+		return false, -1, Status{}, nil
+	}
+	r := reqs[best]
+	r.consumed = true
+	st, err = r.status, r.err
+	observed := r.isRecv && err == nil && !r.observedHook
+	if observed {
+		r.observedHook = true
+	}
+	e.mu.Unlock()
+	if observed && st.Source != ProcNull {
+		e.w.fireHook(e.rank, HookEvent{Rank: e.rank, Point: HookAfterRecv, Peer: r.srcWorld, Tag: st.Tag})
+	}
+	return true, best, st, err
+}
+
+// Waitsome blocks until at least one request completes, then consumes
+// and returns ALL currently completed requests in completion order
+// (MPI_Waitsome). The statuses and errors slices parallel the returned
+// indices.
+func Waitsome(reqs ...*Request) (indices []int, sts []Status, errs []error, err error) {
+	idx, st, werr := Waitany(reqs...)
+	if idx < 0 {
+		return nil, nil, nil, werr
+	}
+	indices = append(indices, idx)
+	sts = append(sts, st)
+	errs = append(errs, werr)
+	for {
+		ok, i, s, e := Testany(reqs...)
+		if !ok {
+			return indices, sts, errs, nil
+		}
+		indices = append(indices, i)
+		sts = append(sts, s)
+		errs = append(errs, e)
+	}
+}
+
+// GoRequest runs fn on a helper goroutine of the calling rank and returns
+// a Request that completes with fn's result. It is the building block for
+// goroutine-backed non-blocking operations (Ibarrier, Ibcast) — the moral
+// equivalent of an MPI implementation's progress thread. If the rank is
+// killed while fn runs, the request never completes; its waiters unwind
+// through the usual fail-stop path.
+func (c *Comm) GoRequest(fn func() (Status, error)) *Request {
+	c.eng.checkAlive()
+	r := &Request{eng: c.eng, comm: c, kind: reqGeneric, ctx: c.ctxInternal}
+	go func() {
+		defer func() {
+			switch recover().(type) {
+			case nil:
+			case killedPanic, closedPanic, abortPanic:
+				// Rank died or world ended; nobody can be waiting safely.
+			}
+		}()
+		st, err := fn()
+		c.eng.mu.Lock()
+		r.completeLocked(err, st, nil)
+		c.eng.mu.Unlock()
+	}()
+	return r
+}
+
+// Waitall blocks until every non-nil request completes. It returns the
+// per-request statuses and the first error encountered (in index order),
+// matching the paper's observation that collective-style completions need
+// not agree across requests.
+func Waitall(reqs ...*Request) ([]Status, error) {
+	sts := make([]Status, len(reqs))
+	var firstErr error
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		st, err := r.Wait()
+		sts[i] = st
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return sts, firstErr
+}

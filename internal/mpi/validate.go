@@ -1,0 +1,90 @@
+package mpi
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// ValidateAll is the proposal's MPI_Comm_validate_all: a collective,
+// fault-tolerant agreement on the communicator's failed ranks. On
+// success:
+//
+//   - every alive member obtains the same failure count (the return
+//     value),
+//   - all agreed failures become recognized on this communicator
+//     (MPI_RANK_NULL), and
+//   - collective operations are re-enabled over the surviving members.
+//
+// All alive members of the communicator must call it (in the same order
+// relative to other collectives), but it tolerates any member failing
+// before or during the call — including the coordinator, per the
+// agreement protocol in agreement.go.
+func (c *Comm) ValidateAll() (int, error) {
+	c.eng.checkAlive()
+	inst := c.validateSeq
+	c.validateSeq++
+	decision, err := c.validateAllDriver(inst)
+	if err != nil {
+		return 0, c.herr(err)
+	}
+	c.applyValidateDecision(decision)
+	return len(decision), nil
+}
+
+// IvalidateAll is the non-blocking MPI_Icomm_validate_all of the paper's
+// Figure 13: it starts the agreement and returns a request that completes
+// when the decision is reached, so the caller can Waitany over it
+// together with the right-neighbor failure-detector receive. The agreed
+// failure count is available from Request.Result (and Status.Len).
+func (c *Comm) IvalidateAll() *Request {
+	c.eng.checkAlive()
+	inst := c.validateSeq
+	c.validateSeq++
+	r := &Request{eng: c.eng, comm: c, kind: reqValidate, tag: 0, ctx: c.ctxInternal}
+	go func() {
+		defer func() {
+			switch recover().(type) {
+			case nil:
+			case killedPanic, closedPanic, abortPanic:
+				// The proc died or the world ended; nobody is waiting.
+			}
+		}()
+		decision, err := c.validateAllDriver(inst)
+		if err == nil {
+			c.applyValidateDecision(decision)
+		}
+		c.eng.mu.Lock()
+		r.result = len(decision)
+		r.completeLocked(err, Status{Source: c.myRank, Len: len(decision)}, nil)
+		c.eng.mu.Unlock()
+	}()
+	return r
+}
+
+// applyValidateDecision recognizes the agreed failures and rebuilds the
+// collective participant list.
+func (c *Comm) applyValidateDecision(decision []int) {
+	c.eng.mu.Lock()
+	dec := make(map[int]bool, len(decision))
+	for _, f := range decision {
+		c.recognized[f] = true
+		dec[f] = true
+	}
+	// The participant list is rebuilt from the agreed decision alone (not
+	// from locally recognized ranks) so that every alive member computes
+	// the identical list.
+	members := make([]int, 0, len(c.group)-len(decision))
+	for _, wr := range c.group {
+		if !dec[wr] {
+			members = append(members, wr)
+		}
+	}
+	c.collMembers = members
+	c.validateEpoch++
+	// Re-align the collective tag sequence across ranks: members of a
+	// failed collective epoch may have consumed different tag counts.
+	c.collSeq = c.validateEpoch * collSeqEpochStride
+	c.eng.mu.Unlock()
+	c.proc.w.metrics.Inc(c.proc.rank, metrics.Validates)
+	c.proc.w.tracer.Record(c.proc.rank, trace.ValidateDone, -1, -1, -1, "")
+}

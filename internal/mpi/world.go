@@ -1,0 +1,277 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Config configures a World.
+type Config struct {
+	// Size is the number of ranks (required, > 0).
+	Size int
+	// Fabric moves packets; nil selects the in-memory Local fabric.
+	Fabric transport.Fabric
+	// Tracer records communication events; nil disables tracing.
+	Tracer *trace.Recorder
+	// Metrics counts per-rank operations; nil disables counting.
+	Metrics *metrics.World
+	// Hook observes operation boundaries for fault injection; nil disables.
+	Hook HookFunc
+	// Deadline bounds Run's wall-clock time. When it expires the world is
+	// torn down and Run reports ErrTimedOut together with the ranks that
+	// were still running — how the harness turns the paper's Figure 6
+	// deadlock into an observable, testable outcome. Zero means no limit.
+	Deadline time.Duration
+	// NotifyDelay delays failure notifications to surviving ranks,
+	// modelling failure-detection latency. Zero delivers synchronously.
+	NotifyDelay time.Duration
+}
+
+// World is one MPI universe: a fixed set of ranks, a fabric, and the
+// ground-truth failure registry. Create with NewWorld, execute with Run.
+type World struct {
+	size     int
+	registry *detector.Registry
+	fabric   transport.Fabric
+	engines  []*engine
+	tracer   *trace.Recorder
+	metrics  *metrics.World
+	hook     HookFunc
+	deadline time.Duration
+
+	aborted       atomic.Bool
+	abortVal      atomic.Int64
+	completionSeq atomic.Uint64 // request-completion order for Waitany
+	startOnce     sync.Once
+	started       bool
+}
+
+// NewWorld builds a world of cfg.Size ranks. The world is single-use: one
+// Run per World.
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("%w: world size %d", ErrInvalidArg, cfg.Size)
+	}
+	fabric := cfg.Fabric
+	if fabric == nil {
+		fabric = transport.NewLocal()
+	}
+	w := &World{
+		size:     cfg.Size,
+		registry: detector.New(cfg.Size),
+		fabric:   fabric,
+		tracer:   cfg.Tracer,
+		metrics:  cfg.Metrics,
+		hook:     cfg.Hook,
+		deadline: cfg.Deadline,
+	}
+	if cfg.NotifyDelay > 0 {
+		w.registry.SetNotifyDelay(cfg.NotifyDelay)
+	}
+	w.engines = make([]*engine, cfg.Size)
+	for i := range w.engines {
+		w.engines[i] = newEngine(w, i)
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks in the world (alive or failed).
+func (w *World) Size() int { return w.size }
+
+// Registry exposes the ground-truth failure registry (the perfect
+// failure detector's backing store).
+func (w *World) Registry() *detector.Registry { return w.registry }
+
+// Tracer returns the configured event recorder (possibly nil).
+func (w *World) Tracer() *trace.Recorder { return w.tracer }
+
+// Metrics returns the configured counter table (possibly nil).
+func (w *World) Metrics() *metrics.World { return w.metrics }
+
+// Kill fail-stops a rank from outside (e.g. a test driver). If the rank
+// is blocked in an MPI call it unwinds immediately; if it is computing,
+// it unwinds at its next MPI call. Prefer hook-based kills for
+// deterministic placement.
+func (w *World) Kill(rank int) {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: Kill(%d) out of range [0,%d)", rank, w.size))
+	}
+	w.registry.Kill(rank)
+}
+
+// abortCode returns the code passed to Abort.
+func (w *World) abortCode() int { return int(w.abortVal.Load()) }
+
+// abort tears the world down with the given code (MPI_Abort semantics):
+// every rank unwinds at its next (or current) MPI call.
+func (w *World) abort(code int) {
+	if w.aborted.CompareAndSwap(false, true) {
+		w.abortVal.Store(int64(code))
+	}
+	for _, e := range w.engines {
+		e.mu.Lock()
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+	w.registry.BroadcastWaiters()
+}
+
+// RankResult reports how one rank's function ended.
+type RankResult struct {
+	// Err is the value returned by the rank function (nil on success).
+	// Killed and aborted ranks report nil here; inspect Killed/Aborted.
+	Err error
+	// Killed reports the rank fail-stopped (fault injection or World.Kill).
+	Killed bool
+	// Aborted reports the rank unwound due to MPI_Abort or teardown.
+	Aborted bool
+	// Finished reports the rank function returned normally.
+	Finished bool
+}
+
+// RunResult aggregates a world execution.
+type RunResult struct {
+	// Ranks holds one result per world rank.
+	Ranks []RankResult
+	// TimedOut reports that the watchdog expired — the run deadlocked or
+	// overran the configured deadline.
+	TimedOut bool
+	// Stuck lists ranks that had neither finished nor been killed when the
+	// watchdog expired: the hung processes of the paper's Figure 6.
+	Stuck []int
+	// AbortCode is the MPI_Abort exit code, meaningful when Aborted.
+	AbortCode int
+	// Aborted reports that some rank called Abort.
+	Aborted bool
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// FirstError returns the first non-nil rank error, or nil.
+func (r *RunResult) FirstError() error {
+	for _, rr := range r.Ranks {
+		if rr.Err != nil {
+			return rr.Err
+		}
+	}
+	return nil
+}
+
+// FinishedCount returns how many ranks returned normally.
+func (r *RunResult) FinishedCount() int {
+	n := 0
+	for _, rr := range r.Ranks {
+		if rr.Finished {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes fn on every rank concurrently and waits for the world to
+// drain. It returns the per-rank outcomes; err is non-nil only for
+// harness-level failures (fabric startup, deadline, abort).
+func (w *World) Run(fn func(p *Proc) error) (*RunResult, error) {
+	var startErr error
+	w.startOnce.Do(func() {
+		startErr = w.fabric.Start(func(dst int, pkt *transport.Packet) {
+			if dst >= 0 && dst < w.size {
+				w.engines[dst].deliver(pkt)
+			}
+		})
+		if startErr != nil {
+			return
+		}
+		w.registry.Subscribe(func(f int) {
+			w.tracer.Record(f, trace.Killed, -1, -1, -1, "fail-stop")
+			w.engines[f].markDead()
+			for _, e := range w.engines {
+				if e.rank != f {
+					e.onPeerFailure(f)
+				}
+			}
+		})
+		w.started = true
+	})
+	if startErr != nil {
+		return nil, startErr
+	}
+	if !w.started {
+		return nil, fmt.Errorf("%w: World.Run called twice", ErrInvalidArg)
+	}
+	w.started = false // consume the single use
+
+	begin := time.Now()
+	res := &RunResult{Ranks: make([]RankResult, w.size)}
+	finished := make([]atomic.Bool, w.size)
+	var wg sync.WaitGroup
+	for rank := 0; rank < w.size; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				finished[rank].Store(true)
+				if r := recover(); r != nil {
+					switch r.(type) {
+					case killedPanic:
+						res.Ranks[rank].Killed = true
+					case abortPanic, closedPanic:
+						res.Ranks[rank].Aborted = true
+					default:
+						panic(r) // real bug: propagate
+					}
+				}
+			}()
+			p := newProc(w, rank)
+			res.Ranks[rank].Err = fn(p)
+			res.Ranks[rank].Finished = true
+		}(rank)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	if w.deadline > 0 {
+		timer := time.NewTimer(w.deadline)
+		defer timer.Stop()
+		select {
+		case <-done:
+		case <-timer.C:
+			res.TimedOut = true
+			for rank := 0; rank < w.size; rank++ {
+				if !finished[rank].Load() && !w.registry.Failed(rank) {
+					res.Stuck = append(res.Stuck, rank)
+				}
+			}
+			w.abort(-1) // unwind everything
+			<-done
+		}
+	} else {
+		<-done
+	}
+
+	// Teardown: wake any internal service goroutines, close the fabric.
+	for _, e := range w.engines {
+		e.markClosed()
+	}
+	w.registry.BroadcastWaiters()
+	_ = w.fabric.Close()
+
+	res.Elapsed = time.Since(begin)
+	if w.aborted.Load() && !res.TimedOut {
+		res.Aborted = true
+		res.AbortCode = w.abortCode()
+		return res, &AbortError{Code: res.AbortCode}
+	}
+	if res.TimedOut {
+		return res, ErrTimedOut
+	}
+	return res, nil
+}

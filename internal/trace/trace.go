@@ -1,0 +1,270 @@
+// Package trace records the communication-level events of a run so that
+// the paper's failure-scenario figures (Figs. 6, 7, 8 and 10) can be
+// reproduced and *verified* rather than merely narrated. The fault
+// injector, the MPI engine, and the ring application all emit events; the
+// scenario tests then assert on the recorded sequences (e.g. "rank 1
+// resent the iteration-2 buffer to rank 3 after rank 2 failed", or "rank 3
+// never forwarded a duplicate").
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies a recorded event.
+type Kind int
+
+const (
+	// SendPosted is a send handed to the fabric.
+	SendPosted Kind = iota
+	// RecvPosted is a receive posted to the matching engine.
+	RecvPosted
+	// RecvCompleted is a receive that matched and completed successfully.
+	RecvCompleted
+	// OpFailed is any operation that returned an error (e.g. rank-fail-stop).
+	OpFailed
+	// Killed marks a rank's fail-stop death.
+	Killed
+	// Resend marks an application-level retransmission (Fig. 7).
+	Resend
+	// DupDropped marks a duplicate suppressed by the iteration marker (Fig. 10).
+	DupDropped
+	// DupForwarded marks a duplicate forwarded because markers were
+	// disabled — the Fig. 8 failure mode.
+	DupForwarded
+	// IterDone marks a rank completing one ring iteration.
+	IterDone
+	// Elected marks a rank discovering a new root (Fig. 12 outcome).
+	Elected
+	// TermSent and TermRecv bracket termination-detection messages (Fig. 11).
+	TermSent
+	// TermRecv marks termination notification receipt.
+	TermRecv
+	// ValidateDone marks completion of MPI_Comm_validate_all (Fig. 13).
+	ValidateDone
+	// Note is a free-form annotation.
+	Note
+)
+
+var kindNames = map[Kind]string{
+	SendPosted:    "send",
+	RecvPosted:    "recv-post",
+	RecvCompleted: "recv",
+	OpFailed:      "op-failed",
+	Killed:        "killed",
+	Resend:        "resend",
+	DupDropped:    "dup-dropped",
+	DupForwarded:  "dup-forwarded",
+	IterDone:      "iter-done",
+	Elected:       "elected",
+	TermSent:      "term-sent",
+	TermRecv:      "term-recv",
+	ValidateDone:  "validate-done",
+	Note:          "note",
+}
+
+// String returns the event-kind name used in rendered timelines.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence. Peer is the other rank involved (-1
+// when not applicable); Iter is the ring iteration marker (-1 when not
+// applicable).
+type Event struct {
+	Seq  int
+	At   time.Time
+	Rank int
+	Kind Kind
+	Peer int
+	Tag  int
+	Iter int
+	Note string
+}
+
+// String renders one event in the compact timeline form.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%04d r%d %-13s", e.Seq, e.Rank, e.Kind)
+	if e.Peer >= 0 {
+		fmt.Fprintf(&b, " peer=%d", e.Peer)
+	}
+	if e.Iter >= 0 {
+		fmt.Fprintf(&b, " iter=%d", e.Iter)
+	}
+	if e.Note != "" {
+		fmt.Fprintf(&b, " %s", e.Note)
+	}
+	return b.String()
+}
+
+// Recorder accumulates events. The zero value is unusable; use New. A nil
+// *Recorder is valid everywhere and records nothing, so tracing can be
+// disabled without branching at every call site.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	seq    int
+	limit  int
+}
+
+// New creates a recorder retaining at most limit events (0 = unlimited).
+func New(limit int) *Recorder {
+	return &Recorder{limit: limit}
+}
+
+// Record appends an event. Safe for concurrent use; a nil recorder drops
+// the event.
+func (r *Recorder) Record(rank int, kind Kind, peer, tag, iter int, note string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.limit > 0 && len(r.events) >= r.limit {
+		return
+	}
+	r.events = append(r.events, Event{
+		Seq:  r.seq,
+		At:   time.Now(),
+		Rank: rank,
+		Kind: kind,
+		Peer: peer,
+		Tag:  tag,
+		Iter: iter,
+		Note: note,
+	})
+	r.seq++
+}
+
+// Notef records a free-form annotation for rank.
+func (r *Recorder) Notef(rank int, format string, args ...any) {
+	r.Record(rank, Note, -1, -1, -1, fmt.Sprintf(format, args...))
+}
+
+// Events returns a copy of all recorded events in record order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Filter returns the events matching pred, in record order.
+func (r *Recorder) Filter(pred func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns the number of events of the given kind.
+func (r *Recorder) Count(kind Kind) int {
+	n := 0
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// CountBy returns the number of events of the given kind at the given rank.
+func (r *Recorder) CountBy(rank int, kind Kind) int {
+	n := 0
+	for _, e := range r.Events() {
+		if e.Kind == kind && e.Rank == rank {
+			n++
+		}
+	}
+	return n
+}
+
+// First returns the earliest event of the given kind, if any.
+func (r *Recorder) First(kind Kind) (Event, bool) {
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// HappensBefore reports whether some event satisfying a precedes (in
+// record order) some event satisfying b. Scenario tests use it to check
+// causal claims such as "rank 2's death precedes rank 1's resend".
+func (r *Recorder) HappensBefore(a, b func(Event) bool) bool {
+	events := r.Events()
+	firstA := -1
+	for i, e := range events {
+		if a(e) {
+			firstA = i
+			break
+		}
+	}
+	if firstA < 0 {
+		return false
+	}
+	for _, e := range events[firstA+1:] {
+		if b(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// Render formats the full event log, one event per line.
+func (r *Recorder) Render() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderByRank formats per-rank timelines, ranks in ascending order, the
+// way the paper's figures present one horizontal lane per process.
+func (r *Recorder) RenderByRank() string {
+	lanes := make(map[int][]Event)
+	for _, e := range r.Events() {
+		lanes[e.Rank] = append(lanes[e.Rank], e)
+	}
+	ranks := make([]int, 0, len(lanes))
+	for rank := range lanes {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks)
+	var b strings.Builder
+	for _, rank := range ranks {
+		fmt.Fprintf(&b, "P%d:\n", rank)
+		for _, e := range lanes[rank] {
+			fmt.Fprintf(&b, "  %s\n", e.String())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndQuery(t *testing.T) {
+	r := New(0)
+	r.Record(1, SendPosted, 2, 5, 0, "")
+	r.Record(2, Killed, -1, -1, -1, "fail-stop")
+	r.Record(1, Resend, 3, 5, 0, "")
+	if r.Len() != 3 {
+		t.Fatalf("len %d", r.Len())
+	}
+	if r.Count(Resend) != 1 || r.CountBy(1, SendPosted) != 1 || r.CountBy(2, SendPosted) != 0 {
+		t.Fatal("counts wrong")
+	}
+	ev, ok := r.First(Killed)
+	if !ok || ev.Rank != 2 || ev.Note != "fail-stop" {
+		t.Fatalf("first killed %+v ok=%v", ev, ok)
+	}
+	if got := len(r.Filter(func(e Event) bool { return e.Rank == 1 })); got != 2 {
+		t.Fatalf("filter got %d", got)
+	}
+}
+
+func TestHappensBefore(t *testing.T) {
+	r := New(0)
+	r.Record(2, Killed, -1, -1, -1, "")
+	r.Record(1, Resend, 3, 1, 2, "")
+	kill := func(e Event) bool { return e.Kind == Killed }
+	resend := func(e Event) bool { return e.Kind == Resend }
+	if !r.HappensBefore(kill, resend) {
+		t.Fatal("kill should precede resend")
+	}
+	if r.HappensBefore(resend, kill) {
+		t.Fatal("resend must not precede kill")
+	}
+	if r.HappensBefore(kill, kill) {
+		t.Fatal("single event cannot precede itself")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, Note, -1, -1, -1, "dropped")
+	r.Notef(0, "also dropped %d", 1)
+	if r.Len() != 0 || r.Events() != nil || r.Count(Note) != 0 {
+		t.Fatal("nil recorder must be inert")
+	}
+}
+
+func TestLimitCapsEvents(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 5; i++ {
+		r.Record(0, Note, -1, -1, i, "x")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len %d want 2", r.Len())
+	}
+}
+
+func TestRenderByRankGroupsLanes(t *testing.T) {
+	r := New(0)
+	r.Record(1, IterDone, -1, -1, 0, "")
+	r.Record(0, IterDone, -1, -1, 0, "")
+	out := r.RenderByRank()
+	p0 := strings.Index(out, "P0:")
+	p1 := strings.Index(out, "P1:")
+	if p0 < 0 || p1 < 0 || p0 > p1 {
+		t.Fatalf("lanes wrong:\n%s", out)
+	}
+	if !strings.Contains(r.Render(), "iter-done") {
+		t.Fatalf("render missing kind name:\n%s", r.Render())
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(g, SendPosted, 0, 0, i, "")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("len %d want 800", r.Len())
+	}
+	// Sequence numbers must be unique and dense.
+	seen := make(map[int]bool)
+	for _, e := range r.Events() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k := SendPosted; k <= Note; k++ {
+		if s := k.String(); strings.HasPrefix(s, "kind(") {
+			t.Fatalf("kind %d missing name", int(k))
+		}
+	}
+}

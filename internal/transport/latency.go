@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Latency wraps another fabric and delays every packet by a configurable
+// per-hop duration while preserving FIFO order per (src, dst) pair. It
+// models interconnect latency for the quantitative experiments without
+// perturbing matching semantics: each ordered pair gets a dedicated
+// forwarding queue drained by one goroutine.
+type Latency struct {
+	inner Fabric
+	delay func(pkt *Packet) time.Duration
+
+	mu     sync.Mutex
+	queues map[[2]int]chan *Packet
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewLatency wraps inner with a constant per-packet delay.
+func NewLatency(inner Fabric, d time.Duration) *Latency {
+	return NewLatencyFunc(inner, func(*Packet) time.Duration { return d })
+}
+
+// NewLatencyFunc wraps inner with a per-packet delay function, allowing
+// size-dependent models (e.g. alpha-beta: latency + bytes/bandwidth).
+func NewLatencyFunc(inner Fabric, delay func(pkt *Packet) time.Duration) *Latency {
+	return &Latency{
+		inner:  inner,
+		delay:  delay,
+		queues: make(map[[2]int]chan *Packet),
+	}
+}
+
+// Start starts the inner fabric.
+func (l *Latency) Start(deliver DeliverFunc) error {
+	return l.inner.Start(deliver)
+}
+
+// Send enqueues the packet on the (src,dst) forwarding queue; a per-pair
+// goroutine applies the delay and forwards to the inner fabric, so packets
+// between the same pair never reorder.
+func (l *Latency) Send(pkt *Packet) error {
+	d := l.delay(pkt)
+	if d <= 0 {
+		return l.inner.Send(pkt)
+	}
+	key := [2]int{pkt.Src, pkt.Dst}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	q, ok := l.queues[key]
+	if !ok {
+		q = make(chan *Packet, 1024)
+		l.queues[key] = q
+		l.wg.Add(1)
+		go l.forward(q)
+	}
+	l.mu.Unlock()
+	select {
+	case q <- pkt.Clone():
+		return nil
+	default:
+		return errors.New("transport: latency queue overflow")
+	}
+}
+
+func (l *Latency) forward(q chan *Packet) {
+	defer l.wg.Done()
+	for pkt := range q {
+		time.Sleep(l.delay(pkt))
+		_ = l.inner.Send(pkt)
+	}
+}
+
+// Close drains and closes all forwarding queues, then closes the inner
+// fabric.
+func (l *Latency) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	for _, q := range l.queues {
+		close(q)
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+	return l.inner.Close()
+}

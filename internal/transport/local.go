@@ -1,0 +1,59 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+)
+
+// Local is an in-memory fabric: Send invokes the delivery callback
+// directly on the sender's goroutine. Delivery is therefore synchronous
+// and FIFO per sender trivially. This mirrors an eager shared-memory BTL:
+// once Send returns, the packet is queued at the destination, so packets
+// sent by a rank before it is killed remain deliverable — the property the
+// paper's Figure 8 duplicate-message race depends on.
+type Local struct {
+	mu      sync.RWMutex
+	deliver DeliverFunc
+	closed  bool
+}
+
+// NewLocal creates an in-memory fabric.
+func NewLocal() *Local { return &Local{} }
+
+// Start records the delivery callback.
+func (l *Local) Start(deliver DeliverFunc) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.deliver != nil {
+		return errors.New("transport: Local.Start called twice")
+	}
+	if deliver == nil {
+		return errors.New("transport: nil delivery callback")
+	}
+	l.deliver = deliver
+	return nil
+}
+
+// Send delivers the packet synchronously.
+func (l *Local) Send(pkt *Packet) error {
+	l.mu.RLock()
+	deliver := l.deliver
+	closed := l.closed
+	l.mu.RUnlock()
+	if closed {
+		return nil // packets into a torn-down world vanish, like the network
+	}
+	if deliver == nil {
+		return errors.New("transport: Local.Send before Start")
+	}
+	deliver(pkt.Dst, pkt)
+	return nil
+}
+
+// Close marks the fabric closed; subsequent sends are dropped.
+func (l *Local) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}

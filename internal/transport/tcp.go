@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCP is a loopback-socket fabric: every rank owns a listener on
+// 127.0.0.1, and packets are gob-encoded frames over cached connections.
+// It drives the exact same engine code as the Local fabric through a real
+// network stack, which is what the E15 transport experiment compares.
+//
+// Ordering: one outbound connection exists per destination, and writes to
+// it are serialized, so packets from any given source to a destination are
+// FIFO — the ordering the matching engine requires.
+type TCP struct {
+	n int
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	addrs     []string
+	conns     map[int]*tcpConn
+	deliver   DeliverFunc
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// NewTCP creates a TCP fabric for n ranks. Listeners are created in Start.
+func NewTCP(n int) *TCP {
+	return &TCP{n: n, conns: make(map[int]*tcpConn)}
+}
+
+// Start opens one loopback listener per rank and begins accepting.
+func (t *TCP) Start(deliver DeliverFunc) error {
+	if deliver == nil {
+		return errors.New("transport: nil delivery callback")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.deliver != nil {
+		return errors.New("transport: TCP.Start called twice")
+	}
+	t.deliver = deliver
+	t.listeners = make([]net.Listener, t.n)
+	t.addrs = make([]string, t.n)
+	for i := 0; i < t.n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for j := 0; j < i; j++ {
+				_ = t.listeners[j].Close()
+			}
+			return fmt.Errorf("transport: listen for rank %d: %w", i, err)
+		}
+		t.listeners[i] = ln
+		t.addrs[i] = ln.Addr().String()
+		t.wg.Add(1)
+		go t.acceptLoop(ln)
+	}
+	return nil
+}
+
+func (t *TCP) acceptLoop(ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	for {
+		var pkt Packet
+		if err := dec.Decode(&pkt); err != nil {
+			return // peer closed or world shut down
+		}
+		t.mu.Lock()
+		deliver := t.deliver
+		closed := t.closed
+		t.mu.Unlock()
+		if closed || deliver == nil {
+			return
+		}
+		deliver(pkt.Dst, &pkt)
+	}
+}
+
+// Send encodes the packet onto the cached connection to pkt.Dst, dialing
+// on first use.
+func (t *TCP) Send(pkt *Packet) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	if t.deliver == nil {
+		t.mu.Unlock()
+		return errors.New("transport: TCP.Send before Start")
+	}
+	if pkt.Dst < 0 || pkt.Dst >= t.n {
+		t.mu.Unlock()
+		return fmt.Errorf("transport: destination rank %d out of range [0,%d)", pkt.Dst, t.n)
+	}
+	tc, ok := t.conns[pkt.Dst]
+	if !ok {
+		conn, err := net.Dial("tcp", t.addrs[pkt.Dst])
+		if err != nil {
+			t.mu.Unlock()
+			return fmt.Errorf("transport: dial rank %d: %w", pkt.Dst, err)
+		}
+		tc = &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+		t.conns[pkt.Dst] = tc
+	}
+	t.mu.Unlock()
+
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if err := tc.enc.Encode(pkt); err != nil {
+		return fmt.Errorf("transport: send to rank %d: %w", pkt.Dst, err)
+	}
+	return nil
+}
+
+// Close shuts down all listeners and connections and waits for the accept
+// and read loops to exit.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for _, ln := range t.listeners {
+		if ln != nil {
+			_ = ln.Close()
+		}
+	}
+	for _, tc := range t.conns {
+		_ = tc.conn.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,92 @@
+// Package transport carries packets between ranks.
+//
+// The MPI engine (internal/mpi) is transport-agnostic: it hands fully
+// addressed packets to a Fabric and receives inbound packets through a
+// delivery callback. Two fabrics are provided:
+//
+//   - Local: direct in-memory delivery (a function call into the
+//     destination engine). This is the default and is what the
+//     deterministic paper-scenario tests use.
+//   - TCP: real loopback sockets with gob framing, one listener per rank.
+//     It exercises the same engine code over an actual network stack and
+//     backs the E15 transport-comparison experiment.
+//
+// Both fabrics preserve FIFO ordering per (source, destination) pair, the
+// ordering MPI guarantees per (source, tag, communicator). A Latency
+// wrapper adds a configurable per-hop delay while preserving that order.
+package transport
+
+import "fmt"
+
+// Kind classifies a packet for routing inside the destination engine.
+type Kind uint8
+
+const (
+	// KindData is ordinary point-to-point traffic subject to MPI matching.
+	KindData Kind = iota
+	// KindAgreement is internal traffic for the fault-tolerant agreement
+	// service behind MPI_Comm_validate_all. It bypasses user-level
+	// matching and is routed to the per-rank agreement service.
+	KindAgreement
+)
+
+// String returns a short name for the packet kind.
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindAgreement:
+		return "agreement"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Packet is one message on the wire. Ranks are world ranks; Context
+// identifies the communicator context (point-to-point and internal
+// contexts are distinct, as in MPI implementations).
+type Packet struct {
+	Src     int
+	Dst     int
+	Tag     int
+	Context int
+	Kind    Kind
+	Seq     uint64 // per-(src,dst) sequence number, assigned by the fabric user
+	Payload []byte
+}
+
+// Clone returns a deep copy of the packet. Fabrics that buffer packets
+// (latency, TCP) use it so callers may reuse payload buffers.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.Payload != nil {
+		q.Payload = make([]byte, len(p.Payload))
+		copy(q.Payload, p.Payload)
+	}
+	return &q
+}
+
+// String renders the packet header for traces and debugging.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{%d->%d tag=%d ctx=%d kind=%s len=%d}",
+		p.Src, p.Dst, p.Tag, p.Context, p.Kind, len(p.Payload))
+}
+
+// DeliverFunc is invoked by a fabric on arrival of a packet for rank dst.
+// It runs on a fabric-owned goroutine (or the sender's goroutine for the
+// Local fabric) and must not block indefinitely.
+type DeliverFunc func(dst int, pkt *Packet)
+
+// Fabric moves packets between ranks.
+type Fabric interface {
+	// Start wires the delivery callback. It must be called exactly once,
+	// before the first Send.
+	Start(deliver DeliverFunc) error
+	// Send transmits the packet to pkt.Dst. Sending to a rank whose
+	// endpoint has been torn down is not an error: fail-stop semantics are
+	// the engine's concern, and packets to dead ranks are dropped silently
+	// (as a real network would deliver them to a dead process).
+	Send(pkt *Packet) error
+	// Close releases fabric resources. Sends after Close are dropped.
+	Close() error
+}

@@ -1,0 +1,207 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collector gathers delivered packets per destination.
+type collector struct {
+	mu   sync.Mutex
+	got  map[int][]*Packet
+	cond *sync.Cond
+}
+
+func newCollector() *collector {
+	c := &collector{got: map[int][]*Packet{}}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *collector) deliver(dst int, pkt *Packet) {
+	c.mu.Lock()
+	c.got[dst] = append(c.got[dst], pkt)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (c *collector) waitFor(dst, n int, timeout time.Duration) []*Packet {
+	deadline := time.Now().Add(timeout)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.got[dst]) < n {
+		if time.Now().After(deadline) {
+			return c.got[dst]
+		}
+		c.mu.Unlock()
+		time.Sleep(time.Millisecond)
+		c.mu.Lock()
+	}
+	return append([]*Packet(nil), c.got[dst]...)
+}
+
+func testFabricBasics(t *testing.T, f Fabric) {
+	t.Helper()
+	col := newCollector()
+	if err := f.Start(col.deliver); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer f.Close()
+	const n = 50
+	for i := 0; i < n; i++ {
+		err := f.Send(&Packet{Src: 0, Dst: 1, Tag: i, Context: 7, Payload: []byte{byte(i)}})
+		if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	got := col.waitFor(1, n, 5*time.Second)
+	if len(got) != n {
+		t.Fatalf("delivered %d packets, want %d", len(got), n)
+	}
+	for i, pkt := range got {
+		if pkt.Tag != i || pkt.Payload[0] != byte(i) {
+			t.Fatalf("packet %d out of order or corrupted: %+v", i, pkt)
+		}
+		if pkt.Src != 0 || pkt.Dst != 1 || pkt.Context != 7 {
+			t.Fatalf("header corrupted: %+v", pkt)
+		}
+	}
+}
+
+func TestLocalFabricFIFO(t *testing.T) { testFabricBasics(t, NewLocal()) }
+
+func TestTCPFabricFIFO(t *testing.T) { testFabricBasics(t, NewTCP(2)) }
+
+func TestLatencyFabricPreservesOrder(t *testing.T) {
+	testFabricBasics(t, NewLatency(NewLocal(), 100*time.Microsecond))
+}
+
+func TestLocalStartTwiceFails(t *testing.T) {
+	f := NewLocal()
+	if err := f.Start(func(int, *Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(func(int, *Packet) {}); err == nil {
+		t.Fatal("second Start should fail")
+	}
+}
+
+func TestSendBeforeStartFails(t *testing.T) {
+	if err := NewLocal().Send(&Packet{}); err == nil {
+		t.Fatal("send before start should fail")
+	}
+}
+
+func TestSendAfterCloseIsDropped(t *testing.T) {
+	f := NewLocal()
+	col := newCollector()
+	if err := f.Start(col.deliver); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(&Packet{Dst: 0}); err != nil {
+		t.Fatalf("post-close send must be silently dropped, got %v", err)
+	}
+	if got := col.waitFor(0, 1, 50*time.Millisecond); len(got) != 0 {
+		t.Fatalf("packet delivered after close: %v", got)
+	}
+}
+
+func TestTCPCrossTraffic(t *testing.T) {
+	const ranks = 4
+	f := NewTCP(ranks)
+	col := newCollector()
+	if err := f.Start(col.deliver); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var wg sync.WaitGroup
+	for src := 0; src < ranks; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				dst := (src + 1 + i) % ranks
+				if err := f.Send(&Packet{Src: src, Dst: dst, Tag: i}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(src)
+	}
+	wg.Wait()
+	total := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		total = 0
+		col.mu.Lock()
+		for _, pkts := range col.got {
+			total += len(pkts)
+		}
+		col.mu.Unlock()
+		if total == ranks*20 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if total != ranks*20 {
+		t.Fatalf("delivered %d packets, want %d", total, ranks*20)
+	}
+}
+
+func TestTCPOutOfRangeDestination(t *testing.T) {
+	f := NewTCP(2)
+	if err := f.Start(func(int, *Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Send(&Packet{Dst: 5}); err == nil {
+		t.Fatal("out-of-range destination should error")
+	}
+}
+
+func TestPacketClone(t *testing.T) {
+	p := &Packet{Src: 1, Dst: 2, Tag: 3, Payload: []byte{9}}
+	q := p.Clone()
+	q.Payload[0] = 7
+	if p.Payload[0] != 9 {
+		t.Fatal("clone shares payload storage")
+	}
+	if q.Src != 1 || q.Dst != 2 || q.Tag != 3 {
+		t.Fatalf("clone header %+v", q)
+	}
+}
+
+func TestLatencyActuallyDelays(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	f := NewLatency(NewLocal(), delay)
+	col := newCollector()
+	if err := f.Start(col.deliver); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	if err := f.Send(&Packet{Src: 0, Dst: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got := col.waitFor(1, 1, 5*time.Second)
+	if len(got) != 1 {
+		t.Fatal("packet lost")
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("delivered after %v, want >= %v", elapsed, delay)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindData.String() != "data" || KindAgreement.String() != "agreement" {
+		t.Fatal("kind names changed")
+	}
+	if s := fmt.Sprint(Kind(99)); s == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}

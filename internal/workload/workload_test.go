@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("demo", "a", "b")
+	tab.Add(1, 2*time.Millisecond)
+	tab.Add("x", 3.14159)
+	tab.Note("footnote %d", 7)
+	out := tab.Render()
+	for _, want := range []string{"== demo ==", "a", "b", "2ms", "3.142", "note: footnote 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, e := range All() {
+		got, ok := ByID(e.ID)
+		if !ok || got.Title != e.Title {
+			t.Fatalf("ByID(%q) failed", e.ID)
+		}
+	}
+	if _, ok := ByID("e99"); ok {
+		t.Fatal("unknown id should not resolve")
+	}
+}
+
+func TestAllHaveMetadata(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.PaperRef == "" || e.Run == nil {
+			t.Fatalf("experiment %+v incomplete", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	if len(ids) != 16 {
+		t.Fatalf("have %d experiments, want 16", len(ids))
+	}
+}
+
+// TestEveryExperimentRunsQuick executes the full suite in quick mode —
+// the same code path cmd/ftbench uses — and sanity-checks each table.
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	opt := Options{Quick: true, Seed: 1}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(opt)
+			if err != nil {
+				t.Fatalf("%s (%s): %v", e.ID, e.PaperRef, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Fatalf("%s table %q has no rows", e.ID, tab.Title)
+				}
+				if out := tab.Render(); !strings.Contains(out, tab.Title) {
+					t.Fatalf("%s render broken", e.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int64]int64{3: 1, 1: 1, 2: 1}
+	got := sortedKeys(m)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("sortedKeys %v", got)
+	}
+}
