@@ -296,7 +296,9 @@ func BenchmarkE14Collectives(b *testing.B) {
 	}
 }
 
-// BenchmarkE15Transports runs the identical FT ring over each fabric.
+// BenchmarkE15Transports runs the identical FT ring over each fabric:
+// the in-memory baseline and TCP loopback under both wire codecs (the
+// gob baseline the fabric used to ship vs the pooled binary framing).
 func BenchmarkE15Transports(b *testing.B) {
 	const n = 8
 	fabrics := []struct {
@@ -304,7 +306,8 @@ func BenchmarkE15Transports(b *testing.B) {
 		make func() transport.Fabric
 	}{
 		{"local", func() transport.Fabric { return transport.NewLocal() }},
-		{"tcp", func() transport.Fabric { return transport.NewTCP(n) }},
+		{"tcp-gob", func() transport.Fabric { return transport.NewTCPCodec(n, transport.CodecGob) }},
+		{"tcp-binary", func() transport.Fabric { return transport.NewTCP(n) }},
 	}
 	for _, f := range fabrics {
 		b.Run(f.name, func(b *testing.B) {

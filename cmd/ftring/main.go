@@ -40,7 +40,7 @@ func main() {
 		kills    killFlags
 		randomF  = flag.Int("random-failures", 0, "kill this many random non-root ranks")
 		seed     = flag.Int64("seed", 1, "seed for -random-failures")
-		fabric   = flag.String("transport", "local", "fabric: local|tcp|latency")
+		fabric   = flag.String("transport", "local", "fabric: local|tcp|tcpgob|latency")
 		latency  = flag.Duration("latency", 100*time.Microsecond, "per-hop delay for -transport latency")
 		deadline = flag.Duration("deadline", 15*time.Second, "watchdog (0 = none)")
 		padding  = flag.Int("padding", 0, "extra payload bytes per message")
@@ -88,6 +88,8 @@ func main() {
 	case "local":
 	case "tcp":
 		mcfg.Fabric = transport.NewTCP(*n)
+	case "tcpgob":
+		mcfg.Fabric = transport.NewTCPCodec(*n, transport.CodecGob)
 	case "latency":
 		mcfg.Fabric = transport.NewLatency(transport.NewLocal(), *latency)
 	default:

@@ -11,14 +11,37 @@ import (
 // models interconnect latency for the quantitative experiments without
 // perturbing matching semantics: each ordered pair gets a dedicated
 // forwarding queue drained by one goroutine.
+//
+// The model is a pipelined link: every packet is stamped with a deadline
+// (enqueue time + delay) when Send accepts it, and the forwarder sleeps
+// only until that deadline. N back-to-back packets therefore arrive ~delay
+// after their own sends, not N×delay after the first — while channel order
+// keeps the pair FIFO even when a later packet's deadline lands earlier
+// (size-dependent delay functions).
 type Latency struct {
-	inner Fabric
-	delay func(pkt *Packet) time.Duration
+	inner  Fabric
+	delay  func(pkt *Packet) time.Duration
+	pooled bool // inner is NonRetaining: clones can use pooled payloads
 
 	mu     sync.Mutex
-	queues map[[2]int]chan *Packet
+	queues map[[2]int]*latQueue
+	done   chan struct{}
 	wg     sync.WaitGroup
 	closed bool
+}
+
+// latQueue is the forwarding state of one (src, dst) pair. pending counts
+// packets accepted by Send but not yet handed to the inner fabric
+// (queued, sleeping, or mid-forward); it is guarded by Latency.mu.
+type latQueue struct {
+	ch      chan timedPacket
+	pending int
+}
+
+// timedPacket carries a cloned packet and its delivery deadline.
+type timedPacket struct {
+	pkt *Packet
+	due time.Time
 }
 
 // NewLatency wraps inner with a constant per-packet delay.
@@ -29,10 +52,13 @@ func NewLatency(inner Fabric, d time.Duration) *Latency {
 // NewLatencyFunc wraps inner with a per-packet delay function, allowing
 // size-dependent models (e.g. alpha-beta: latency + bytes/bandwidth).
 func NewLatencyFunc(inner Fabric, delay func(pkt *Packet) time.Duration) *Latency {
+	_, pooled := inner.(NonRetaining)
 	return &Latency{
 		inner:  inner,
 		delay:  delay,
-		queues: make(map[[2]int]chan *Packet),
+		pooled: pooled,
+		queues: make(map[[2]int]*latQueue),
+		done:   make(chan struct{}),
 	}
 }
 
@@ -41,46 +67,93 @@ func (l *Latency) Start(deliver DeliverFunc) error {
 	return l.inner.Start(deliver)
 }
 
-// Send enqueues the packet on the (src,dst) forwarding queue; a per-pair
-// goroutine applies the delay and forwards to the inner fabric, so packets
-// between the same pair never reorder.
+// Send enqueues the packet on the (src,dst) forwarding queue with a
+// deadline of now+delay; a per-pair goroutine sleeps until each deadline
+// and forwards to the inner fabric, so packets between the same pair never
+// reorder. A zero-delay packet may bypass the queue only when nothing for
+// its pair is queued or in flight — otherwise it would overtake earlier
+// delayed packets and break the FIFO guarantee the matching engine
+// requires.
 func (l *Latency) Send(pkt *Packet) error {
 	d := l.delay(pkt)
-	if d <= 0 {
-		return l.inner.Send(pkt)
-	}
 	key := [2]int{pkt.Src, pkt.Dst}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		return nil
 	}
-	q, ok := l.queues[key]
-	if !ok {
-		q = make(chan *Packet, 1024)
+	q := l.queues[key]
+	if d <= 0 && (q == nil || q.pending == 0) {
+		l.mu.Unlock()
+		return l.inner.Send(pkt)
+	}
+	if q == nil {
+		q = &latQueue{ch: make(chan timedPacket, 1024)}
 		l.queues[key] = q
 		l.wg.Add(1)
 		go l.forward(q)
 	}
+	var clone *Packet
+	if l.pooled {
+		clone = pkt.ClonePooled()
+	} else {
+		clone = pkt.Clone()
+	}
+	q.pending++
 	l.mu.Unlock()
+	tp := timedPacket{pkt: clone, due: time.Now().Add(d)}
 	select {
-	case q <- pkt.Clone():
+	case q.ch <- tp:
+		return nil
+	case <-l.done:
+		l.release(q, clone)
 		return nil
 	default:
+		l.release(q, clone)
 		return errors.New("transport: latency queue overflow")
 	}
 }
 
-func (l *Latency) forward(q chan *Packet) {
-	defer l.wg.Done()
-	for pkt := range q {
-		time.Sleep(l.delay(pkt))
-		_ = l.inner.Send(pkt)
+// release undoes the bookkeeping of an accepted-then-dropped packet.
+func (l *Latency) release(q *latQueue, clone *Packet) {
+	l.mu.Lock()
+	q.pending--
+	l.mu.Unlock()
+	if l.pooled {
+		clone.ReleasePayload()
 	}
 }
 
-// Close drains and closes all forwarding queues, then closes the inner
-// fabric.
+func (l *Latency) forward(q *latQueue) {
+	defer l.wg.Done()
+	for {
+		var tp timedPacket
+		select {
+		case tp = <-q.ch:
+		case <-l.done:
+			// Drain what was accepted before Close, still honouring the
+			// (mostly already-expired) deadlines, then exit.
+			select {
+			case tp = <-q.ch:
+			default:
+				return
+			}
+		}
+		if d := time.Until(tp.due); d > 0 {
+			time.Sleep(d)
+		}
+		_ = l.inner.Send(tp.pkt)
+		if l.pooled {
+			tp.pkt.ReleasePayload()
+		}
+		l.mu.Lock()
+		q.pending--
+		l.mu.Unlock()
+	}
+}
+
+// Close drains the forwarding queues, stops the per-pair goroutines, then
+// closes the inner fabric.
 func (l *Latency) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -88,9 +161,7 @@ func (l *Latency) Close() error {
 		return nil
 	}
 	l.closed = true
-	for _, q := range l.queues {
-		close(q)
-	}
+	close(l.done)
 	l.mu.Unlock()
 	l.wg.Wait()
 	return l.inner.Close()

@@ -11,6 +11,11 @@ import (
 // once Send returns, the packet is queued at the destination, so packets
 // sent by a rank before it is killed remain deliverable — the property the
 // paper's Figure 8 duplicate-message race depends on.
+//
+// Local intentionally does not implement NonRetaining: the packet pointer
+// is handed to the destination engine, which may hold the payload on its
+// unexpected-message queue indefinitely, so callers must not reuse or
+// pool-release a payload after Send.
 type Local struct {
 	mu      sync.RWMutex
 	deliver DeliverFunc

@@ -1,43 +1,110 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
-// TCP is a loopback-socket fabric: every rank owns a listener on
-// 127.0.0.1, and packets are gob-encoded frames over cached connections.
-// It drives the exact same engine code as the Local fabric through a real
-// network stack, which is what the E15 transport experiment compares.
-//
-// Ordering: one outbound connection exists per destination, and writes to
-// it are serialized, so packets from any given source to a destination are
-// FIFO — the ordering the matching engine requires.
-type TCP struct {
-	n int
+// Codec selects the wire encoding of the TCP fabric.
+type Codec uint8
 
-	mu        sync.Mutex
-	listeners []net.Listener
-	addrs     []string
-	conns     map[int]*tcpConn
-	deliver   DeliverFunc
-	closed    bool
-	wg        sync.WaitGroup
+const (
+	// CodecBinary is the length-prefixed binary frame format of codec.go:
+	// a fixed 34-byte header written with encoding/binary into pooled
+	// buffers, followed by the raw payload. This is the default.
+	CodecBinary Codec = iota
+	// CodecGob is the original reflection-based gob stream. It is kept as
+	// the comparison baseline for the E15 transport experiment.
+	CodecGob
+)
+
+// String returns a short name for the codec.
+func (c Codec) String() string {
+	switch c {
+	case CodecBinary:
+		return "binary"
+	case CodecGob:
+		return "gob"
+	default:
+		return fmt.Sprintf("codec(%d)", uint8(c))
+	}
 }
+
+// TCP is a loopback-socket fabric: every rank owns a listener on
+// 127.0.0.1, and packets are framed over cached connections — binary
+// frames by default, gob as a baseline (NewTCPCodec). It drives the exact
+// same engine code as the Local fabric through a real network stack, which
+// is what the E15 transport experiment compares.
+//
+// Ordering: one outbound connection exists per destination and frames are
+// handed to it in Send order (per-connection writer goroutine for the
+// binary codec, per-connection lock for gob), so packets from any given
+// source to a destination are FIFO — the ordering the matching engine
+// requires.
+//
+// Concurrency: there is no global send lock. Send touches only the
+// per-destination connection state, so sends to distinct destinations
+// proceed in parallel. For the binary codec, Send encodes the frame into a
+// pooled buffer and enqueues it on the connection's writer, which
+// coalesces whatever is queued into one buffered write and flushes
+// explicitly once the queue is empty.
+type TCP struct {
+	n     int
+	codec Codec
+
+	started atomic.Bool
+	closed  atomic.Bool
+
+	mu        sync.Mutex // guards Start/Close bookkeeping only
+	listeners []net.Listener
+	conns     []*tcpConn
+	deliver   DeliverFunc // written once in Start, before any reader starts
+
+	wg        sync.WaitGroup // accept + read loops
+	wgWriters sync.WaitGroup // per-connection write loops
+}
+
+// connState tracks the lifecycle of one outbound connection.
+type connState uint8
+
+const (
+	connIdle connState = iota // not dialed yet
+	connUp                    // dialed, usable
+	connDown                  // dial failed or torn down: drop silently
+)
 
 type tcpConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
+	addr string
+
+	mu    sync.Mutex
+	state connState
+	conn  net.Conn
+	enc   *gob.Encoder // CodecGob only
+
+	// CodecBinary only: encoded frames travel Send -> writeLoop here.
+	frames chan *frameBuf
+	done   chan struct{}
 }
 
-// NewTCP creates a TCP fabric for n ranks. Listeners are created in Start.
-func NewTCP(n int) *TCP {
-	return &TCP{n: n, conns: make(map[int]*tcpConn)}
+// NewTCP creates a TCP fabric for n ranks using the binary codec.
+// Listeners are created in Start.
+func NewTCP(n int) *TCP { return NewTCPCodec(n, CodecBinary) }
+
+// NewTCPCodec creates a TCP fabric with an explicit wire codec.
+func NewTCPCodec(n int, codec Codec) *TCP {
+	return &TCP{n: n, codec: codec}
 }
+
+// NonRetainingSend marks that TCP.Send copies everything it needs (into
+// an encoded frame) before returning: callers may immediately reuse or
+// release the packet and its payload.
+func (t *TCP) NonRetainingSend() {}
 
 // Start opens one loopback listener per rank and begins accepting.
 func (t *TCP) Start(deliver DeliverFunc) error {
@@ -51,20 +118,26 @@ func (t *TCP) Start(deliver DeliverFunc) error {
 	}
 	t.deliver = deliver
 	t.listeners = make([]net.Listener, t.n)
-	t.addrs = make([]string, t.n)
+	t.conns = make([]*tcpConn, t.n)
 	for i := 0; i < t.n; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			for j := 0; j < i; j++ {
 				_ = t.listeners[j].Close()
 			}
+			t.deliver = nil
 			return fmt.Errorf("transport: listen for rank %d: %w", i, err)
 		}
 		t.listeners[i] = ln
-		t.addrs[i] = ln.Addr().String()
+		t.conns[i] = &tcpConn{
+			addr:   ln.Addr().String(),
+			frames: make(chan *frameBuf, 256),
+			done:   make(chan struct{}),
+		}
 		t.wg.Add(1)
 		go t.acceptLoop(ln)
 	}
+	t.started.Store(true)
 	return nil
 }
 
@@ -83,77 +156,232 @@ func (t *TCP) acceptLoop(ln net.Listener) {
 func (t *TCP) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	for {
-		var pkt Packet
-		if err := dec.Decode(&pkt); err != nil {
-			return // peer closed or world shut down
+	if t.codec == CodecGob {
+		dec := gob.NewDecoder(conn)
+		for {
+			var pkt Packet
+			if err := dec.Decode(&pkt); err != nil {
+				return // peer closed or world shut down
+			}
+			if t.closed.Load() {
+				return
+			}
+			t.deliver(pkt.Dst, &pkt)
 		}
-		t.mu.Lock()
-		deliver := t.deliver
-		closed := t.closed
-		t.mu.Unlock()
-		if closed || deliver == nil {
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var hdr [FrameHeaderSize]byte
+	for {
+		pkt, err := ReadFrame(br, hdr[:])
+		if err != nil {
+			return // peer closed, world shut down, or corrupt stream
+		}
+		if t.closed.Load() {
 			return
 		}
-		deliver(pkt.Dst, &pkt)
+		t.deliver(pkt.Dst, pkt)
 	}
 }
 
-// Send encodes the packet onto the cached connection to pkt.Dst, dialing
-// on first use.
+// Send frames the packet onto the cached connection to pkt.Dst, dialing on
+// first use. Sends racing Close, and sends to destinations whose endpoint
+// is already torn down (dial failure, broken connection), are dropped
+// silently: fail-stop semantics are the engine's concern, and packets to
+// dead ranks vanish as a real network would deliver them to a dead
+// process.
 func (t *TCP) Send(pkt *Packet) error {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return nil
-	}
-	if t.deliver == nil {
-		t.mu.Unlock()
+	if !t.started.Load() {
 		return errors.New("transport: TCP.Send before Start")
 	}
 	if pkt.Dst < 0 || pkt.Dst >= t.n {
-		t.mu.Unlock()
 		return fmt.Errorf("transport: destination rank %d out of range [0,%d)", pkt.Dst, t.n)
 	}
-	tc, ok := t.conns[pkt.Dst]
-	if !ok {
-		conn, err := net.Dial("tcp", t.addrs[pkt.Dst])
-		if err != nil {
-			t.mu.Unlock()
-			return fmt.Errorf("transport: dial rank %d: %w", pkt.Dst, err)
-		}
-		tc = &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
-		t.conns[pkt.Dst] = tc
+	if t.closed.Load() {
+		return nil
 	}
-	t.mu.Unlock()
+	tc := t.conns[pkt.Dst]
+	if t.codec == CodecGob {
+		return t.sendGob(tc, pkt)
+	}
+	return t.sendBinary(tc, pkt)
+}
 
+func (t *TCP) sendBinary(tc *tcpConn, pkt *Packet) error {
+	fb := getFrameBuf()
+	b, err := AppendFrame(fb.b, pkt)
+	if err != nil {
+		putFrameBuf(fb)
+		return err // malformed packet: a caller bug, not a network condition
+	}
+	fb.b = b
+	if !tc.ensureDialed(t) {
+		putFrameBuf(fb)
+		return nil // torn-down destination or racing Close: silent drop
+	}
+	select {
+	case tc.frames <- fb:
+		return nil
+	case <-tc.done:
+		putFrameBuf(fb)
+		return nil // closed while waiting: silent drop
+	}
+}
+
+func (t *TCP) sendGob(tc *tcpConn, pkt *Packet) error {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
+	if !tc.dialLocked(t) {
+		return nil
+	}
 	if err := tc.enc.Encode(pkt); err != nil {
-		return fmt.Errorf("transport: send to rank %d: %w", pkt.Dst, err)
+		// The connection was closed under us (Close race) or the peer is
+		// gone: mark it down and drop silently per the Fabric contract.
+		tc.state = connDown
+		_ = tc.conn.Close()
+		return nil
 	}
 	return nil
 }
 
-// Close shuts down all listeners and connections and waits for the accept
-// and read loops to exit.
+// ensureDialed dials the destination on first use and starts its write
+// loop. It reports whether the connection is usable.
+func (tc *tcpConn) ensureDialed(t *TCP) bool {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if !tc.dialLocked(t) {
+		return false
+	}
+	return true
+}
+
+// dialLocked transitions connIdle to connUp (or connDown on failure).
+// Caller holds tc.mu.
+func (tc *tcpConn) dialLocked(t *TCP) bool {
+	switch tc.state {
+	case connUp:
+		return true
+	case connDown:
+		return false
+	}
+	conn, err := net.Dial("tcp", tc.addr)
+	if err != nil {
+		tc.state = connDown
+		return false
+	}
+	tc.conn = conn
+	tc.state = connUp
+	if t.codec == CodecGob {
+		tc.enc = gob.NewEncoder(conn)
+	} else {
+		t.wgWriters.Add(1)
+		go t.writeLoop(tc, conn)
+	}
+	return true
+}
+
+// writeLoop drains the frame queue onto the socket. Queued frames are
+// coalesced into one buffered write and flushed explicitly once the queue
+// is momentarily empty — small ring messages share syscalls without ever
+// sitting unflushed.
+func (t *TCP) writeLoop(tc *tcpConn, conn net.Conn) {
+	defer t.wgWriters.Done()
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	for {
+		select {
+		case <-tc.done:
+			t.drainAndFlush(tc, bw)
+			return
+		case fb := <-tc.frames:
+			_, err := bw.Write(fb.b)
+			putFrameBuf(fb)
+			// Coalesce whatever else is already queued.
+			for more := err == nil; more; {
+				select {
+				case fb := <-tc.frames:
+					_, err = bw.Write(fb.b)
+					putFrameBuf(fb)
+					more = err == nil
+				default:
+					more = false
+				}
+			}
+			if err == nil {
+				err = bw.Flush()
+			}
+			if err != nil {
+				// Peer torn down: keep consuming frames so senders never
+				// block on a dead destination (silent-drop semantics).
+				for {
+					select {
+					case fb := <-tc.frames:
+						putFrameBuf(fb)
+					case <-tc.done:
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// drainAndFlush performs the graceful-shutdown write: everything already
+// queued is written and flushed (bounded by the write deadline Close set)
+// before the writer exits.
+func (t *TCP) drainAndFlush(tc *tcpConn, bw *bufio.Writer) {
+	for {
+		select {
+		case fb := <-tc.frames:
+			_, _ = bw.Write(fb.b)
+			putFrameBuf(fb)
+		default:
+			_ = bw.Flush()
+			return
+		}
+	}
+}
+
+// Close shuts down the fabric: writers drain and flush their queues, then
+// listeners and connections are torn down and the accept/read loops are
+// awaited. Sends racing Close are dropped silently.
 func (t *TCP) Close() error {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
+	if t.closed.Swap(true) {
 		return nil
 	}
-	t.closed = true
-	for _, ln := range t.listeners {
+	t.mu.Lock()
+	conns, listeners := t.conns, t.listeners
+	t.mu.Unlock()
+	// Phase 1: stop the writers gracefully. Readers are still alive, so a
+	// final flush cannot block indefinitely; the write deadline bounds the
+	// pathological case of a reader that already died.
+	for _, tc := range conns {
+		if tc == nil {
+			continue
+		}
+		tc.mu.Lock()
+		if tc.state == connUp {
+			_ = tc.conn.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
+		}
+		close(tc.done)
+		tc.mu.Unlock()
+	}
+	t.wgWriters.Wait()
+	// Phase 2: tear down sockets and wait for the accept/read loops.
+	for _, ln := range listeners {
 		if ln != nil {
 			_ = ln.Close()
 		}
 	}
-	for _, tc := range t.conns {
-		_ = tc.conn.Close()
+	for _, tc := range conns {
+		if tc == nil {
+			continue
+		}
+		tc.mu.Lock()
+		if tc.conn != nil {
+			_ = tc.conn.Close()
+		}
+		tc.state = connDown
+		tc.mu.Unlock()
 	}
-	t.mu.Unlock()
 	t.wg.Wait()
 	return nil
 }

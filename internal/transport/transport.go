@@ -7,13 +7,28 @@
 //   - Local: direct in-memory delivery (a function call into the
 //     destination engine). This is the default and is what the
 //     deterministic paper-scenario tests use.
-//   - TCP: real loopback sockets with gob framing, one listener per rank.
-//     It exercises the same engine code over an actual network stack and
-//     backs the E15 transport-comparison experiment.
+//   - TCP: real loopback sockets, one listener per rank. It exercises the
+//     same engine code over an actual network stack and backs the E15
+//     transport-comparison experiment. Packets travel as length-prefixed
+//     binary frames: a fixed 34-byte little-endian header (magic,
+//     version, kind, src, dst, tag, context, seq, payload length — see
+//     codec.go) followed by the raw payload, encoded with encoding/binary
+//     into sync.Pool-backed buffers so the steady-state send path does
+//     not allocate. The original reflection-based gob stream remains
+//     available via NewTCPCodec(n, CodecGob) as the E15 baseline.
 //
 // Both fabrics preserve FIFO ordering per (source, destination) pair, the
 // ordering MPI guarantees per (source, tag, communicator). A Latency
-// wrapper adds a configurable per-hop delay while preserving that order.
+// wrapper adds a configurable per-hop delay while preserving that order;
+// it models a pipelined link (deadline per packet, not a serial sleep per
+// packet).
+//
+// Buffer ownership: a fabric that implements NonRetaining promises its
+// Send copies everything it needs before returning, so callers (and
+// buffering wrappers like Latency) may reuse or pool-release payloads the
+// moment Send returns. Local deliberately does NOT implement it — it
+// hands the packet pointer straight to the destination engine, which may
+// queue the payload indefinitely.
 package transport
 
 import "fmt"
@@ -76,6 +91,18 @@ func (p *Packet) String() string {
 // It runs on a fabric-owned goroutine (or the sender's goroutine for the
 // Local fabric) and must not block indefinitely.
 type DeliverFunc func(dst int, pkt *Packet)
+
+// NonRetaining marks a Fabric whose Send copies everything it needs
+// (headers and payload) before returning. Callers may immediately reuse
+// the packet and its payload, and buffering wrappers may clone through
+// the payload pool (Packet.ClonePooled) and release the clone as soon as
+// the inner Send returns. TCP implements it: the frame is fully encoded
+// inside Send. Local does not: it delivers the packet pointer into the
+// destination engine, which retains the payload.
+type NonRetaining interface {
+	// NonRetainingSend is a marker method; it performs no action.
+	NonRetainingSend()
+}
 
 // Fabric moves packets between ranks.
 type Fabric interface {

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -74,6 +75,8 @@ func TestLocalFabricFIFO(t *testing.T) { testFabricBasics(t, NewLocal()) }
 
 func TestTCPFabricFIFO(t *testing.T) { testFabricBasics(t, NewTCP(2)) }
 
+func TestTCPFabricFIFOGob(t *testing.T) { testFabricBasics(t, NewTCPCodec(2, CodecGob)) }
+
 func TestLatencyFabricPreservesOrder(t *testing.T) {
 	testFabricBasics(t, NewLatency(NewLocal(), 100*time.Microsecond))
 }
@@ -111,9 +114,11 @@ func TestSendAfterCloseIsDropped(t *testing.T) {
 	}
 }
 
-func TestTCPCrossTraffic(t *testing.T) {
+func TestTCPCrossTraffic(t *testing.T) { runTCPCrossTraffic(t, NewTCP(4)) }
+
+func runTCPCrossTraffic(t *testing.T, f *TCP) {
+	t.Helper()
 	const ranks = 4
-	f := NewTCP(ranks)
 	col := newCollector()
 	if err := f.Start(col.deliver); err != nil {
 		t.Fatal(err)
@@ -194,6 +199,174 @@ func TestLatencyActuallyDelays(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed < delay {
 		t.Fatalf("delivered after %v, want >= %v", elapsed, delay)
+	}
+}
+
+// TestLatencyFIFOMixedDelays is the FIFO property test for size/shape-
+// dependent delay functions: zero-delay packets must not overtake earlier
+// delayed packets from the same (src,dst) pair. Against the old fast path
+// (d <= 0 always bypassed the queue) this fails immediately — the even
+// packets land while the odd ones are still sleeping.
+func TestLatencyFIFOMixedDelays(t *testing.T) {
+	f := NewLatencyFunc(NewLocal(), func(p *Packet) time.Duration {
+		if p.Tag%2 == 1 {
+			return 3 * time.Millisecond
+		}
+		return 0
+	})
+	col := newCollector()
+	if err := f.Start(col.deliver); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := f.Send(&Packet{Src: 0, Dst: 1, Tag: i}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	got := col.waitFor(1, n, 5*time.Second)
+	if len(got) != n {
+		t.Fatalf("delivered %d packets, want %d", len(got), n)
+	}
+	for i, pkt := range got {
+		if pkt.Tag != i {
+			t.Fatalf("FIFO violated: position %d holds tag %d (order %v...)",
+				i, pkt.Tag, tags(got[:i+1]))
+		}
+	}
+}
+
+func tags(pkts []*Packet) []int {
+	out := make([]int, len(pkts))
+	for i, p := range pkts {
+		out[i] = p.Tag
+	}
+	return out
+}
+
+// TestLatencyPipelinesDelay: N queued packets model a pipelined link
+// (each arrives ~delay after its own send), not a serial one (N×delay
+// total). The old forwarder slept the full delay per packet, so 8 packets
+// at 25ms took ~200ms; the deadline-stamped forwarder takes ~25ms.
+func TestLatencyPipelinesDelay(t *testing.T) {
+	const delay = 25 * time.Millisecond
+	const n = 8
+	f := NewLatency(NewLocal(), delay)
+	col := newCollector()
+	if err := f.Start(col.deliver); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := f.Send(&Packet{Src: 0, Dst: 1, Tag: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := col.waitFor(1, n, 5*time.Second)
+	elapsed := time.Since(start)
+	if len(got) != n {
+		t.Fatalf("delivered %d packets, want %d", len(got), n)
+	}
+	if elapsed < delay {
+		t.Fatalf("delivered in %v, faster than one hop delay %v", elapsed, delay)
+	}
+	// Serial forwarding would need n*delay = 200ms; allow generous
+	// scheduling slack while still rejecting the serial model.
+	if limit := time.Duration(n) * delay / 2; elapsed > limit {
+		t.Fatalf("delivered in %v, want pipelined (< %v; serial would be %v)",
+			elapsed, limit, time.Duration(n)*delay)
+	}
+	for i, pkt := range got {
+		if pkt.Tag != i {
+			t.Fatalf("pipelining broke FIFO at %d: %v", i, tags(got))
+		}
+	}
+}
+
+// TestTCPSendCloseRace hammers Send from several goroutines while Close
+// runs: per the Fabric contract every racing send must be silently
+// dropped (nil error), never surface an encode/write error on the closed
+// connection. Run under -race.
+func TestTCPSendCloseRace(t *testing.T) {
+	for _, codec := range []Codec{CodecBinary, CodecGob} {
+		t.Run(codec.String(), func(t *testing.T) {
+			f := NewTCPCodec(4, codec)
+			col := newCollector()
+			if err := f.Start(col.deliver); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						pkt := &Packet{Src: g, Dst: (g + 1) % 4, Tag: i, Payload: []byte{byte(i)}}
+						if err := f.Send(pkt); err != nil {
+							t.Errorf("send racing close must be dropped silently, got: %v", err)
+							return
+						}
+					}
+				}(g)
+			}
+			time.Sleep(5 * time.Millisecond)
+			if err := f.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			close(stop)
+			wg.Wait()
+			// Sends after Close must keep being silent no-ops.
+			if err := f.Send(&Packet{Src: 0, Dst: 1}); err != nil {
+				t.Fatalf("post-close send: %v", err)
+			}
+		})
+	}
+}
+
+// TestTCPCrossTrafficBothCodecs reruns the concurrent cross-traffic test
+// over each codec (the FIFO + delivery property under contention).
+func TestTCPCrossTrafficBothCodecs(t *testing.T) {
+	for _, codec := range []Codec{CodecBinary, CodecGob} {
+		t.Run(codec.String(), func(t *testing.T) {
+			runTCPCrossTraffic(t, NewTCPCodec(4, codec))
+		})
+	}
+}
+
+// BenchmarkTCPFabricThroughput pumps packets through a 2-rank TCP fabric
+// and waits for delivery — the raw wire-path comparison between the gob
+// baseline and the pooled binary codec (E15's transport half, without the
+// ring engine on top).
+func BenchmarkTCPFabricThroughput(b *testing.B) {
+	for _, codec := range []Codec{CodecGob, CodecBinary} {
+		b.Run(codec.String(), func(b *testing.B) {
+			f := NewTCPCodec(2, codec)
+			var delivered atomic.Int64
+			if err := f.Start(func(int, *Packet) { delivered.Add(1) }); err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			payload := make([]byte, 1024)
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.Send(&Packet{Src: 0, Dst: 1, Tag: i, Payload: payload}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for delivered.Load() < int64(b.N) {
+				time.Sleep(50 * time.Microsecond)
+			}
+		})
 	}
 }
 
