@@ -1,4 +1,4 @@
-// Benchmarks, one per experiment of the evaluation (DESIGN.md E1-E16).
+// Benchmarks, one per experiment of the evaluation (DESIGN.md E1-E17).
 // The paper is a tutorial with no quantitative tables, so these benches
 // measure the executable form of each figure: the baseline ring, the
 // fault-tolerant transformations' overhead, recovery cost per failure,
@@ -235,7 +235,7 @@ func BenchmarkE13ValidateAll(b *testing.B) {
 	for _, n := range []int{4, 8, 16, 32} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
-			w, err := mpi.NewWorld(mpi.Config{Size: n, Deadline: 5 * time.Minute})
+			w, err := mpi.NewWorldFromConfig(mpi.Config{Size: n, Deadline: 5 * time.Minute})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -260,7 +260,7 @@ func BenchmarkE14Collectives(b *testing.B) {
 	run := func(b *testing.B, n int, op func(c *mpi.Comm) error) {
 		b.Helper()
 		b.ReportAllocs()
-		w, err := mpi.NewWorld(mpi.Config{Size: n, Deadline: 5 * time.Minute})
+		w, err := mpi.NewWorldFromConfig(mpi.Config{Size: n, Deadline: 5 * time.Minute})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -313,6 +313,48 @@ func BenchmarkE15Transports(b *testing.B) {
 		b.Run(f.name, func(b *testing.B) {
 			benchRing(b, n, core.Config{Iters: 16, Variant: core.VariantFull},
 				func(m *mpi.Config) { m.Fabric = f.make() })
+		})
+	}
+}
+
+// BenchmarkE17LargeN scales the two matching-heavy workloads to world
+// sizes far beyond the paper's examples, over the Local fabric: the full
+// FT ring (per-hop cost) and a world-wide validate_all (agreement over
+// N-1 voters). With the indexed matching engine both stay near-flat per
+// operation as N grows; the pre-index linear-scan engine degraded with
+// queue depth (see internal/mpi BenchmarkPostedMatch* for the isolated
+// head-to-head, and EXPERIMENTS.md E17 for recorded numbers).
+func BenchmarkE17LargeN(b *testing.B) {
+	sizes := []int{256, 1024, 4096}
+	for _, n := range sizes {
+		b.Run(fmt.Sprintf("ring/n=%d", n), func(b *testing.B) {
+			benchRing(b, n, core.Config{Iters: 4, Variant: core.VariantFull}, nil)
+		})
+	}
+	for _, n := range sizes {
+		b.Run(fmt.Sprintf("validate/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w, err := mpi.NewWorld(n, mpi.WithDeadline(60*time.Second))
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, err = w.Run(func(p *mpi.Proc) error {
+					c := p.World()
+					c.SetErrhandler(mpi.ErrorsReturn)
+					cnt, verr := c.ValidateAll()
+					if verr != nil {
+						return verr
+					}
+					if cnt != 0 {
+						return fmt.Errorf("agreed on %d failures, want 0", cnt)
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

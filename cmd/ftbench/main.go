@@ -1,4 +1,4 @@
-// Command ftbench runs the experiment suite (DESIGN.md E1-E16) and prints
+// Command ftbench runs the experiment suite (DESIGN.md E1-E17) and prints
 // the result tables recorded in EXPERIMENTS.md.
 //
 //	ftbench                # full suite
@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "run a single experiment (e1..e16)")
+		exp   = flag.String("exp", "", "run a single experiment (e1..e17)")
 		quick = flag.Bool("quick", false, "shrink sweeps for a fast pass")
 		list  = flag.Bool("list", false, "list experiments and exit")
 		seed  = flag.Int64("seed", 1, "seed for randomized failure schedules")

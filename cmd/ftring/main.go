@@ -22,12 +22,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/ftmpi"
 	"repro/internal/core"
 	"repro/internal/inject"
-	"repro/internal/metrics"
-	"repro/internal/mpi"
-	"repro/internal/trace"
-	"repro/internal/transport"
 )
 
 func main() {
@@ -75,34 +72,34 @@ func main() {
 		fmt.Printf("random failure schedule (seed %d): %v\n", *seed, chosen)
 	}
 
-	rec := trace.New(0)
+	rec := ftmpi.NewTracer(0)
 	if !*doTrace {
 		rec = nil
 	}
-	mets := metrics.NewWorld(*n)
-	mcfg := mpi.Config{
+	mets := ftmpi.NewMetrics(*n)
+	mcfg := ftmpi.Config{
 		Size: *n, Deadline: *deadline, Hook: plan.Hook(),
 		Tracer: rec, Metrics: mets,
 	}
 	switch *fabric {
 	case "local":
 	case "tcp":
-		mcfg.Fabric = transport.NewTCP(*n)
+		mcfg.Fabric = ftmpi.NewTCPFabric(*n)
 	case "tcpgob":
-		mcfg.Fabric = transport.NewTCPCodec(*n, transport.CodecGob)
+		mcfg.Fabric = ftmpi.NewTCPGobFabric(*n)
 	case "latency":
-		mcfg.Fabric = transport.NewLatency(transport.NewLocal(), *latency)
+		mcfg.Fabric = ftmpi.NewLatencyFabric(ftmpi.NewLocalFabric(), *latency)
 	default:
 		fatal(fmt.Errorf("unknown transport %q", *fabric))
 	}
 
 	report, res, err := core.Run(mcfg, cfg)
 	switch {
-	case errors.Is(err, mpi.ErrTimedOut):
+	case errors.Is(err, ftmpi.ErrTimedOut):
 		fmt.Printf("RESULT: DEADLOCK — watchdog expired after %v; stuck ranks %v\n",
 			*deadline, res.Stuck)
 	case err != nil:
-		var ae *mpi.AbortError
+		var ae *ftmpi.AbortError
 		if errors.As(err, &ae) {
 			fmt.Printf("RESULT: ABORTED with code %d\n", ae.Code)
 		} else {
@@ -133,7 +130,7 @@ func main() {
 	}
 }
 
-func printStats(report *core.Report, res *mpi.RunResult) {
+func printStats(report *core.Report, res *ftmpi.RunResult) {
 	fmt.Println("\nper-rank outcome:")
 	for rank := 0; rank < report.Size(); rank++ {
 		s := report.Rank(rank)

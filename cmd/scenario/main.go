@@ -17,10 +17,9 @@ import (
 	"os"
 	"time"
 
+	"repro/ftmpi"
 	"repro/internal/core"
 	"repro/internal/inject"
-	"repro/internal/mpi"
-	"repro/internal/trace"
 )
 
 type scenario struct {
@@ -62,9 +61,9 @@ func main() {
 
 // replay runs a 4-rank ring under the given plan and prints the outcome
 // plus the per-rank event timeline.
-func replay(cfg core.Config, plan *inject.Plan, deadline time.Duration) (*core.Report, *mpi.RunResult, *trace.Recorder, error) {
-	rec := trace.New(0)
-	mcfg := mpi.Config{Size: 4, Deadline: deadline, Hook: plan.Hook(), Tracer: rec}
+func replay(cfg core.Config, plan *inject.Plan, deadline time.Duration) (*core.Report, *ftmpi.RunResult, *ftmpi.Tracer, error) {
+	rec := ftmpi.NewTracer(0)
+	mcfg := ftmpi.Config{Size: 4, Deadline: deadline, Hook: plan.Hook(), Tracer: rec}
 	report, res, err := core.Run(mcfg, cfg)
 	return report, res, rec, err
 }
@@ -72,7 +71,7 @@ func replay(cfg core.Config, plan *inject.Plan, deadline time.Duration) (*core.R
 func fig6() error {
 	plan := inject.NewPlan().Add(inject.AfterNthRecv(2, 2))
 	_, res, rec, err := replay(core.Config{Iters: 6, Variant: core.VariantNaive}, plan, 500*time.Millisecond)
-	if !errors.Is(err, mpi.ErrTimedOut) {
+	if !errors.Is(err, ftmpi.ErrTimedOut) {
 		return fmt.Errorf("expected the deadlock, got %v", err)
 	}
 	fmt.Printf("P2 killed after receiving iteration 1 from P1, before forwarding to P3.\n")
@@ -128,8 +127,8 @@ func fig10() error {
 
 func fig12() error {
 	plan := inject.NewPlan().Add(inject.AfterNthRecv(0, 3))
-	rec := trace.New(0)
-	mcfg := mpi.Config{Size: 5, Deadline: 15 * time.Second, Hook: plan.Hook(), Tracer: rec}
+	rec := ftmpi.NewTracer(0)
+	mcfg := ftmpi.Config{Size: 5, Deadline: 15 * time.Second, Hook: plan.Hook(), Tracer: rec}
 	report, res, err := core.Run(mcfg, core.Config{
 		Iters: 6, Variant: core.VariantFull,
 		Termination: core.TermValidateAll, RootPolicy: core.RootElect,

@@ -12,13 +12,13 @@ import (
 	"sync"
 	"time"
 
+	"repro/ftmpi"
 	"repro/internal/election"
-	"repro/internal/mpi"
 )
 
 func main() {
 	const ranks = 8
-	w, err := mpi.NewWorld(mpi.Config{Size: ranks, Deadline: 15 * time.Second})
+	w, err := ftmpi.NewWorld(ranks, ftmpi.WithDeadline(15*time.Second))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -26,9 +26,9 @@ func main() {
 	var mu sync.Mutex
 	type outcome struct{ scan, ring int }
 	results := map[int]outcome{}
-	res, err := w.Run(func(p *mpi.Proc) error {
+	res, err := w.Run(func(p *ftmpi.Proc) error {
 		c := p.World()
-		c.SetErrhandler(mpi.ErrorsReturn)
+		c.SetErrhandler(ftmpi.ErrorsReturn)
 		if p.Rank() < 3 {
 			p.Die() // ranks 0,1,2 fail-stop immediately
 		}

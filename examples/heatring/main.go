@@ -19,9 +19,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/ftmpi"
 	"repro/internal/heat"
 	"repro/internal/inject"
-	"repro/internal/mpi"
 )
 
 func main() {
@@ -31,9 +31,8 @@ func main() {
 		steps = 60
 	)
 	plan := inject.NewPlan().Add(inject.AfterNthRecv(4, 20))
-	w, err := mpi.NewWorld(mpi.Config{
-		Size: ranks, Deadline: 15 * time.Second, Hook: plan.Hook(),
-	})
+	w, err := ftmpi.NewWorld(ranks,
+		ftmpi.WithDeadline(15*time.Second), ftmpi.WithHook(plan.Hook()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +40,7 @@ func main() {
 	var mu sync.Mutex
 	fields := map[int][]float64{}
 	cfg := heat.Config{CellsPerRank: cells, Steps: steps, Alpha: 0.4, InitialPeak: true}
-	res, err := w.Run(func(p *mpi.Proc) error {
+	res, err := w.Run(func(p *ftmpi.Proc) error {
 		r, err := heat.Run(p, cfg)
 		if err != nil {
 			return err

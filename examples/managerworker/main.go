@@ -14,9 +14,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/ftmpi"
 	"repro/internal/inject"
 	"repro/internal/managerworker"
-	"repro/internal/mpi"
 )
 
 func main() {
@@ -28,7 +28,7 @@ func main() {
 		inject.AtCheckpoint(2, "computed"), // dies holding a finished task
 		inject.AfterNthSend(4, 1),          // dies right after its 1st result
 	)
-	w, err := mpi.NewWorld(mpi.Config{Size: ranks, Deadline: 15 * time.Second, Hook: plan.Hook()})
+	w, err := ftmpi.NewWorld(ranks, ftmpi.WithDeadline(15*time.Second), ftmpi.WithHook(plan.Hook()))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func main() {
 	var mu sync.Mutex
 	var stats *managerworker.Stats
 	workerDone := map[int]int{}
-	res, err := w.Run(func(p *mpi.Proc) error {
+	res, err := w.Run(func(p *ftmpi.Proc) error {
 		if p.Rank() == 0 {
 			s, err := managerworker.RunManager(p, managerworker.MakeTasks(tasks))
 			mu.Lock()
@@ -48,7 +48,7 @@ func main() {
 		mu.Lock()
 		workerDone[p.Rank()] = n
 		mu.Unlock()
-		if mpi.IsRankFailStop(err) {
+		if ftmpi.IsRankFailStop(err) {
 			return nil
 		}
 		return err

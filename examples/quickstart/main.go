@@ -13,16 +13,16 @@ import (
 	"sort"
 	"time"
 
+	"repro/ftmpi"
 	"repro/internal/core"
 	"repro/internal/inject"
-	"repro/internal/mpi"
 )
 
 func main() {
 	plan := inject.NewPlan().Add(inject.AfterNthRecv(3, 5))
 
 	report, res, err := core.Run(
-		mpi.Config{Size: 8, Deadline: 10 * time.Second, Hook: plan.Hook()},
+		ftmpi.Config{Size: 8, Deadline: 10 * time.Second, Hook: plan.Hook()},
 		core.Config{
 			Iters:       16,
 			Variant:     core.VariantFull,     // Fig. 3/4/5/9/10 design

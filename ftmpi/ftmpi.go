@@ -1,0 +1,235 @@
+// Package ftmpi is the public facade of the fault-tolerant MPI runtime
+// built in this repository after Hursey & Graham, "Building a Fault
+// Tolerant MPI Application: A Ring Communication Example" (2011).
+//
+// It re-exports the stable surface of the internal packages as type
+// aliases and thin constructors, so applications depend on one import:
+//
+//	w, _ := ftmpi.NewWorld(4, ftmpi.WithDeadline(10*time.Second))
+//	res, err := w.Run(func(p *ftmpi.Proc) error {
+//	    c := p.World()
+//	    c.SetErrhandler(ftmpi.ErrorsReturn)
+//	    if err := c.Send((p.Rank()+1)%p.Size(), 0, []byte("token")); err != nil {
+//	        if ftmpi.IsRankFailStop(err) { /* route around the failure */ }
+//	    }
+//	    ...
+//	})
+//
+// Everything here is an alias (not a wrapper), so values created through
+// ftmpi interoperate with the internal packages and with code that still
+// imports them directly. The internal packages remain importable inside
+// this module; external consumers should treat ftmpi as the API.
+package ftmpi
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// --- core types --------------------------------------------------------------
+
+type (
+	// World is one MPI universe: a fixed set of ranks, a fabric, and the
+	// ground-truth failure registry. Create with NewWorld, execute with Run.
+	World = mpi.World
+	// Proc is one rank's handle to the world, passed to the rank function.
+	Proc = mpi.Proc
+	// Comm is a communicator: an ordered group of ranks with isolated
+	// communication contexts and per-communicator failure recognition.
+	Comm = mpi.Comm
+	// Request is a non-blocking operation handle (Wait/Test/Cancel/Free).
+	Request = mpi.Request
+	// Status describes a completed operation (source, tag, payload length).
+	Status = mpi.Status
+	// Config is the positional World configuration; prefer NewWorld with
+	// functional options.
+	Config = mpi.Config
+	// Option configures a World under construction (see With*).
+	Option = mpi.Option
+	// RunResult aggregates a world execution; RankResult is one rank's part.
+	RunResult = mpi.RunResult
+	// RankResult reports how one rank's function ended.
+	RankResult = mpi.RankResult
+	// RankInfo pairs a communicator rank with its failure-recognition state.
+	RankInfo = mpi.RankInfo
+	// RankState is the per-rank failure-recognition state (MPI_RANK_*).
+	RankState = mpi.RankState
+	// Errhandler mirrors MPI_ERRORS_ARE_FATAL / MPI_ERRORS_RETURN.
+	Errhandler = mpi.Errhandler
+	// RankError wraps an error with the world rank that raised it.
+	RankError = mpi.RankError
+	// AbortError reports an MPI_Abort with its exit code.
+	AbortError = mpi.AbortError
+)
+
+// --- fault injection hooks ---------------------------------------------------
+
+type (
+	// HookFunc observes operation boundaries and may order the rank killed —
+	// the attachment point for deterministic fault injection.
+	HookFunc = mpi.HookFunc
+	// HookEvent describes one operation boundary.
+	HookEvent = mpi.HookEvent
+	// HookPoint identifies the boundary (before send, after recv, ...).
+	HookPoint = mpi.HookPoint
+	// Action is a hook's verdict (continue or fail-stop the rank).
+	Action = mpi.Action
+)
+
+// --- transport and observability --------------------------------------------
+
+type (
+	// Fabric moves packets between ranks; see the New*Fabric constructors.
+	Fabric = transport.Fabric
+	// Packet is one message on the wire.
+	Packet = transport.Packet
+	// Tracer records communication events for scenario verification.
+	Tracer = trace.Recorder
+	// Metrics counts per-rank operations (sends, receives, agreements, ...).
+	Metrics = metrics.World
+)
+
+// --- constants ---------------------------------------------------------------
+
+// Wildcard and null ranks (MPI_PROC_NULL, MPI_ANY_SOURCE, MPI_ANY_TAG).
+const (
+	ProcNull  = mpi.ProcNull
+	AnySource = mpi.AnySource
+	AnyTag    = mpi.AnyTag
+)
+
+// Error handlers.
+const (
+	ErrorsAreFatal = mpi.ErrorsAreFatal
+	ErrorsReturn   = mpi.ErrorsReturn
+)
+
+// Failure-recognition states (MPI_RANK_OK / MPI_RANK_FAILED / MPI_RANK_NULL).
+const (
+	RankOK         = mpi.RankOK
+	RankFailed     = mpi.RankFailed
+	RankNull       = mpi.RankNull
+	RankRecognized = mpi.RankNull // alias: recognized == MPI_RANK_NULL semantics
+)
+
+// Hook points and actions.
+const (
+	HookBeforeSend = mpi.HookBeforeSend
+	HookAfterSend  = mpi.HookAfterSend
+	HookAfterRecv  = mpi.HookAfterRecv
+	HookCheckpoint = mpi.HookCheckpoint
+
+	ActNone = mpi.ActNone
+	ActKill = mpi.ActKill
+)
+
+// --- error classes -----------------------------------------------------------
+
+var (
+	// ErrRankFailStop is the MPI_ERR_RANK_FAIL_STOP error class: the peer
+	// fail-stopped and its failure is not yet recognized.
+	ErrRankFailStop = mpi.ErrRankFailStop
+	// ErrAborted reports the world was torn down by MPI_Abort.
+	ErrAborted = mpi.ErrAborted
+	// ErrCancelled reports the request was cancelled before completing.
+	ErrCancelled = mpi.ErrCancelled
+	// ErrInvalidRank reports a rank outside the communicator.
+	ErrInvalidRank = mpi.ErrInvalidRank
+	// ErrInvalidArg reports an invalid argument.
+	ErrInvalidArg = mpi.ErrInvalidArg
+	// ErrTimedOut reports the world deadline expired (a detected deadlock).
+	ErrTimedOut = mpi.ErrTimedOut
+	// ErrNoDecision reports agreement shut down before deciding.
+	ErrNoDecision = mpi.ErrNoDecision
+)
+
+// IsRankFailStop reports whether err belongs to the MPI_ERR_RANK_FAIL_STOP
+// class.
+func IsRankFailStop(err error) bool { return mpi.IsRankFailStop(err) }
+
+// FailedRankOf extracts the failed world rank from a fail-stop error, or -1.
+func FailedRankOf(err error) int { return mpi.FailedRankOf(err) }
+
+// --- world construction ------------------------------------------------------
+
+// NewWorld builds a world of size ranks configured by functional options.
+// The world is single-use: one Run per World.
+func NewWorld(size int, opts ...Option) (*World, error) { return mpi.NewWorld(size, opts...) }
+
+// NewWorldFromConfig builds a world from a positional Config literal.
+//
+// Deprecated: use NewWorld with functional options.
+func NewWorldFromConfig(cfg Config) (*World, error) { return mpi.NewWorldFromConfig(cfg) }
+
+// WithFabric selects the transport; the default is the in-memory Local
+// fabric.
+func WithFabric(f Fabric) Option { return mpi.WithFabric(f) }
+
+// WithTracer attaches an event recorder (see NewTracer).
+func WithTracer(t *Tracer) Option { return mpi.WithTracer(t) }
+
+// WithMetrics attaches per-rank operation counters (see NewMetrics).
+func WithMetrics(m *Metrics) Option { return mpi.WithMetrics(m) }
+
+// WithHook installs a fault-injection hook.
+func WithHook(h HookFunc) Option { return mpi.WithHook(h) }
+
+// WithDeadline bounds Run's wall-clock time, turning deadlocks into
+// ErrTimedOut results.
+func WithDeadline(d time.Duration) Option { return mpi.WithDeadline(d) }
+
+// WithNotifyDelay delays failure notifications, modelling detection
+// latency.
+func WithNotifyDelay(d time.Duration) Option { return mpi.WithNotifyDelay(d) }
+
+// --- request combinators -----------------------------------------------------
+
+// Waitany blocks until one of the requests completes and returns its index
+// (the paper's Figure 9/13 combinator).
+func Waitany(reqs ...*Request) (int, Status, error) { return mpi.Waitany(reqs...) }
+
+// Testany polls the requests without blocking.
+func Testany(reqs ...*Request) (ok bool, idx int, st Status, err error) {
+	return mpi.Testany(reqs...)
+}
+
+// Waitsome blocks until at least one request completes and drains every
+// completed one.
+func Waitsome(reqs ...*Request) (indices []int, sts []Status, errs []error, err error) {
+	return mpi.Waitsome(reqs...)
+}
+
+// Waitall blocks until every request completes.
+func Waitall(reqs ...*Request) ([]Status, error) { return mpi.Waitall(reqs...) }
+
+// --- transport constructors --------------------------------------------------
+
+// NewLocalFabric returns the in-memory fabric (direct delivery, the
+// deterministic default).
+func NewLocalFabric() Fabric { return transport.NewLocal() }
+
+// NewTCPFabric returns a real loopback-TCP fabric for n ranks using the
+// pooled binary wire codec.
+func NewTCPFabric(n int) Fabric { return transport.NewTCP(n) }
+
+// NewTCPGobFabric returns the loopback-TCP fabric with the baseline gob
+// wire codec (the E15 comparison point).
+func NewTCPGobFabric(n int) Fabric { return transport.NewTCPCodec(n, transport.CodecGob) }
+
+// NewLatencyFabric wraps inner with a per-hop pipelined delay.
+func NewLatencyFabric(inner Fabric, d time.Duration) Fabric {
+	return transport.NewLatency(inner, d)
+}
+
+// --- observability constructors ----------------------------------------------
+
+// NewTracer returns an event recorder keeping at most limit events
+// (0 = unbounded).
+func NewTracer(limit int) *Tracer { return trace.New(limit) }
+
+// NewMetrics returns a counter table for n ranks.
+func NewMetrics(n int) *Metrics { return metrics.NewWorld(n) }

@@ -1,0 +1,106 @@
+package ftmpi_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/ftmpi"
+)
+
+// TestFacadeRing exercises the README quickstart shape end to end through
+// the facade alone: options-based construction, a send/recv ring, and the
+// run-through stabilization path (fail-stop, ErrRankFailStop, failover,
+// ValidateAll) — proving the re-exported surface is complete enough to
+// write the paper's application against.
+func TestFacadeRing(t *testing.T) {
+	const n = 4
+	w, err := ftmpi.NewWorld(n, ftmpi.WithDeadline(10*time.Second),
+		ftmpi.WithTracer(ftmpi.NewTracer(0)), ftmpi.WithMetrics(ftmpi.NewMetrics(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(p *ftmpi.Proc) error {
+		c := p.World()
+		c.SetErrhandler(ftmpi.ErrorsReturn)
+		right := (p.Rank() + 1) % p.Size()
+		left := (p.Rank() + p.Size() - 1) % p.Size()
+		if err := c.Send(right, 0, []byte("token")); err != nil {
+			return err
+		}
+		payload, st, err := c.Recv(left, 0)
+		if err != nil {
+			return err
+		}
+		if string(payload) != "token" || st.Source != left {
+			t.Errorf("rank %d: got %q from %d", p.Rank(), payload, st.Source)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinishedCount() != n {
+		t.Fatalf("finished %d/%d", res.FinishedCount(), n)
+	}
+}
+
+func TestFacadeFailStopAndValidate(t *testing.T) {
+	const n = 4
+	w, err := ftmpi.NewWorld(n, ftmpi.WithDeadline(10*time.Second),
+		ftmpi.WithHook(func(ev ftmpi.HookEvent) ftmpi.Action {
+			if ev.Rank == 2 && ev.Point == ftmpi.HookBeforeSend {
+				return ftmpi.ActKill
+			}
+			return ftmpi.ActNone
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(p *ftmpi.Proc) error {
+		c := p.World()
+		c.SetErrhandler(ftmpi.ErrorsReturn)
+		if p.Rank() == 2 {
+			_ = c.Send(3, 0, nil) // hook kills rank 2 here
+			t.Error("rank 2 survived its kill hook")
+		}
+		// Irecv-as-failure-detector (paper Fig. 9): the receive completes
+		// with the fail-stop error class once rank 2 dies.
+		r := c.Irecv(2, 7)
+		_, werr := r.Wait()
+		if !ftmpi.IsRankFailStop(werr) {
+			return werr
+		}
+		if got := ftmpi.FailedRankOf(werr); got != 2 {
+			t.Errorf("rank %d: FailedRankOf = %d, want 2", p.Rank(), got)
+		}
+		cnt, verr := c.ValidateAll()
+		if verr != nil {
+			return verr
+		}
+		if cnt != 1 {
+			t.Errorf("rank %d: agreed on %d failures, want 1", p.Rank(), cnt)
+		}
+		st, err := c.RankState(2)
+		if err != nil {
+			return err
+		}
+		if st.State != ftmpi.RankNull {
+			t.Errorf("rank %d: state of rank 2 = %v, want RankNull", p.Rank(), st.State)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, rr := range res.Ranks {
+		if rank == 2 {
+			if !rr.Killed {
+				t.Error("rank 2 not recorded as killed")
+			}
+			continue
+		}
+		if rr.Err != nil {
+			t.Errorf("rank %d: %v", rank, rr.Err)
+		}
+	}
+}

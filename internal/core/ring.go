@@ -73,7 +73,7 @@ func Body(cfg Config, report *Report) func(p *mpi.Proc) error {
 // report automatically. Most callers (tests, benchmarks, cmd/ftring) use
 // this entry point.
 func Run(mcfg mpi.Config, cfg Config) (*Report, *mpi.RunResult, error) {
-	w, err := mpi.NewWorld(mcfg)
+	w, err := mpi.NewWorldFromConfig(mcfg)
 	if err != nil {
 		return nil, nil, err
 	}

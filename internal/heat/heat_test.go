@@ -18,7 +18,7 @@ func runHeat(t *testing.T, n int, cfg Config, mut func(*mpi.Config)) (map[int]*R
 	if mut != nil {
 		mut(&mcfg)
 	}
-	w, err := mpi.NewWorld(mcfg)
+	w, err := mpi.NewWorldFromConfig(mcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestHeatEdgeRankFailure(t *testing.T) {
 }
 
 func TestHeatConfigValidation(t *testing.T) {
-	w, err := mpi.NewWorld(mpi.Config{Size: 1, Deadline: 10 * time.Second})
+	w, err := mpi.NewWorldFromConfig(mpi.Config{Size: 1, Deadline: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,7 +17,7 @@ func runMW(t *testing.T, n, tasks int, mut func(*mpi.Config)) (*Stats, *mpi.RunR
 	if mut != nil {
 		mut(&mcfg)
 	}
-	w, err := mpi.NewWorld(mcfg)
+	w, err := mpi.NewWorldFromConfig(mcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestAllWorkersDie(t *testing.T) {
 		inject.AtCheckpoint(2, "computed"),
 	)
 	mcfg := mpi.Config{Size: 3, Deadline: 30 * time.Second, Hook: plan.Hook()}
-	w, err := mpi.NewWorld(mcfg)
+	w, err := mpi.NewWorldFromConfig(mcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestTaskCodecRoundTrip(t *testing.T) {
 }
 
 func TestManagerMustBeRankZero(t *testing.T) {
-	w, err := mpi.NewWorld(mpi.Config{Size: 2, Deadline: 10 * time.Second})
+	w, err := mpi.NewWorldFromConfig(mpi.Config{Size: 2, Deadline: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}

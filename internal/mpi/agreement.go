@@ -93,7 +93,7 @@ func (e *engine) deliverAgreement(pkt *transport.Packet) {
 
 	var reply *agreeMsg
 	e.mu.Lock()
-	if e.dead || e.closed {
+	if e.dead.Load() || e.closed.Load() {
 		e.mu.Unlock()
 		return
 	}
@@ -119,7 +119,7 @@ func (e *engine) deliverAgreement(pkt *transport.Packet) {
 			e.agree.votes[key] = m
 		}
 		m[msg.From] = msg
-		e.cond.Broadcast()
+		e.agreeBumpLocked()
 	case agreeDecide:
 		if _, ok := e.agree.decisions[key]; !ok {
 			if msg.Failed == nil {
@@ -127,7 +127,7 @@ func (e *engine) deliverAgreement(pkt *transport.Packet) {
 			}
 			e.agree.decisions[key] = msg.Failed
 		}
-		e.cond.Broadcast()
+		e.agreeBumpLocked()
 	}
 	e.mu.Unlock()
 
@@ -167,11 +167,11 @@ func (c *Comm) validateAllDriver(inst int) ([]int, error) {
 			e.mu.Unlock()
 			return d, nil
 		}
-		if e.dead {
+		if e.dead.Load() {
 			e.mu.Unlock()
 			panic(killedPanic{rank: e.rank})
 		}
-		if e.closed {
+		if e.closed.Load() {
 			e.mu.Unlock()
 			return nil, ErrNoDecision
 		}
@@ -186,13 +186,15 @@ func (c *Comm) validateAllDriver(inst int) ([]int, error) {
 		}
 
 		// Passive role: wait for the decision, the coordinator's death, or
-		// shutdown. The engine cond is broadcast on all three.
+		// shutdown. Vote/decide arrivals and failure notifications bump the
+		// agreement generation channel; death/teardown/abort close their
+		// dedicated channels.
 		e.mu.Lock()
 		for {
 			if _, ok := e.agree.decisions[key]; ok {
 				break
 			}
-			if e.dead || e.closed {
+			if e.dead.Load() || e.closed.Load() {
 				break
 			}
 			if e.w.aborted.Load() {
@@ -202,7 +204,14 @@ func (c *Comm) validateAllDriver(inst int) ([]int, error) {
 			if e.knownFailed[coord] {
 				break // coordinator died: re-evaluate
 			}
-			e.cond.Wait()
+			ch := e.agreeCh
+			e.mu.Unlock()
+			select {
+			case <-ch:
+			case <-e.downCh:
+			case <-e.w.abortCh:
+			}
+			e.mu.Lock()
 		}
 		e.mu.Unlock()
 	}
@@ -295,11 +304,11 @@ func (c *Comm) coordinateAgreement(key agreeKey) ([]int, error) {
 		if haveAdopted || len(pending) == 0 {
 			break
 		}
-		if e.dead {
+		if e.dead.Load() {
 			e.mu.Unlock()
 			panic(killedPanic{rank: e.rank})
 		}
-		if e.closed {
+		if e.closed.Load() {
 			e.mu.Unlock()
 			return nil, ErrNoDecision
 		}
@@ -307,7 +316,14 @@ func (c *Comm) coordinateAgreement(key agreeKey) ([]int, error) {
 			e.mu.Unlock()
 			panic(abortPanic{code: e.w.abortCode()})
 		}
-		e.cond.Wait()
+		ch := e.agreeCh
+		e.mu.Unlock()
+		select {
+		case <-ch:
+		case <-e.downCh:
+		case <-e.w.abortCh:
+		}
+		e.mu.Lock()
 	}
 
 	decision := adopted

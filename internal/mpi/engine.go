@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 	"repro/internal/trace"
@@ -9,10 +10,25 @@ import (
 )
 
 // engine is the per-rank message-matching machinery: the posted-receive
-// queue, the unexpected-message queue, and this rank's view of failure
-// notifications. All mutable state is guarded by mu; cond is broadcast on
-// every state change that could unblock a waiter (packet arrival, request
-// completion, failure notification, kill, abort, teardown).
+// index, the unexpected-message index, and this rank's view of failure
+// notifications. All mutable matching state is guarded by mu.
+//
+// Signaling is per-request, not per-engine: a completing request pokes
+// only the waiters registered on it (Request.waiters), so a rank blocked
+// in Wait is not woken by unrelated traffic. Three terminal events can
+// unblock every waiter at once and use closed channels instead:
+//
+//   - downCh closes when the rank fail-stops or the world is torn down
+//     (markDead/markClosed);
+//   - World.abortCh closes on MPI_Abort;
+//   - agreeCh is a generation channel for the agreement service: it is
+//     closed and replaced on every agreement-relevant state change
+//     (vote/decide arrival, failure notification), waking only the
+//     rare waiters inside validate_all.
+//
+// The dead/closed flags are additionally mirrored in atomics so that
+// checkAlive — called at the top of every user-facing operation — never
+// touches the matching lock.
 //
 // Lock discipline: an engine's methods never call another engine or the
 // fabric while holding mu. Cross-rank delivery locks exactly one engine at
@@ -21,14 +37,16 @@ type engine struct {
 	w    *World
 	rank int
 
-	mu   sync.Mutex
-	cond *sync.Cond
+	dead   atomic.Bool // this rank has fail-stopped
+	closed atomic.Bool // world torn down (normal completion path)
 
-	dead   bool // this rank has fail-stopped
-	closed bool // world torn down (normal completion path)
+	mu      sync.Mutex
+	downCh  chan struct{} // closed once dead or closed
+	downOne sync.Once
+	agreeCh chan struct{} // generation channel for agreement waiters
 
-	posted     []*Request
-	unexpected []*transport.Packet
+	posted     postedIndex
+	unexpected unexpectedIndex
 
 	// knownFailed is this engine's failure-notification view: which world
 	// ranks this rank has been told are dead. With zero notification delay
@@ -43,9 +61,12 @@ func newEngine(w *World, rank int) *engine {
 	e := &engine{
 		w:           w,
 		rank:        rank,
+		downCh:      make(chan struct{}),
+		agreeCh:     make(chan struct{}),
+		posted:      newPostedIndex(),
+		unexpected:  newUnexpectedIndex(),
 		knownFailed: make([]bool, w.size),
 	}
-	e.cond = sync.NewCond(&e.mu)
 	e.agree.init()
 	return e
 }
@@ -54,12 +75,10 @@ func newEngine(w *World, rank int) *engine {
 
 // checkAlive panics with the fail-stop sentinel if this rank was killed.
 // Every user-facing operation calls it first, so a killed rank unwinds at
-// its next MPI call.
+// its next MPI call. The flags are atomics, so this check never contends
+// with the matching lock.
 func (e *engine) checkAlive() {
-	e.mu.Lock()
-	dead := e.dead
-	e.mu.Unlock()
-	if dead {
+	if e.dead.Load() {
 		panic(killedPanic{rank: e.rank})
 	}
 	if e.w.aborted.Load() {
@@ -79,17 +98,24 @@ func (e *engine) die() {
 // the registry subscriber (for both self-kills and external kills).
 func (e *engine) markDead() {
 	e.mu.Lock()
-	e.dead = true
-	e.cond.Broadcast()
+	e.dead.Store(true)
 	e.mu.Unlock()
+	e.downOne.Do(func() { close(e.downCh) })
 }
 
 // markClosed wakes any lingering internal waiters at world teardown.
 func (e *engine) markClosed() {
 	e.mu.Lock()
-	e.closed = true
-	e.cond.Broadcast()
+	e.closed.Store(true)
 	e.mu.Unlock()
+	e.downOne.Do(func() { close(e.downCh) })
+}
+
+// agreeBumpLocked wakes agreement waiters by rolling the generation
+// channel. Caller holds mu.
+func (e *engine) agreeBumpLocked() {
+	close(e.agreeCh)
+	e.agreeCh = make(chan struct{})
 }
 
 // --- failure notification --------------------------------------------------
@@ -105,26 +131,33 @@ func (e *engine) onPeerFailure(f int) {
 		return
 	}
 	e.knownFailed[f] = true
-	kept := e.posted[:0]
-	for _, r := range e.posted {
+	// doomed classifies a posted receive that can no longer complete and
+	// picks the Status.Source the old linear sweep reported for it.
+	doomed := func(r *Request) (int, bool) {
 		switch {
 		case r.srcWorld == f && !r.comm.recognizedLocked(f):
-			r.completeLocked(failStop(f), Status{Source: r.comm.rankOf(f), Tag: r.tag}, nil)
+			return r.comm.rankOf(f), true
 		case r.srcWorld == AnySource && r.comm.memberUnrecognizedLocked(f):
-			r.completeLocked(failStop(f), Status{Source: AnySource, Tag: r.tag}, nil)
+			return AnySource, true
 		case r.ctx == r.comm.ctxInternal && r.comm.collMemberLocked(f):
 			// Section II: once any rank fails, ALL collective operations
 			// on the communicator return an error until it is repaired —
 			// including collectives already in flight. Without this, a
 			// rank blocked mid-collective on an ALIVE peer that errored
 			// at the entry gate would wait forever.
-			r.completeLocked(failStop(f), Status{Source: r.comm.rankOf(f), Tag: r.tag}, nil)
-		default:
-			kept = append(kept, r)
+			return r.comm.rankOf(f), true
 		}
+		return 0, false
 	}
-	e.posted = kept
-	e.cond.Broadcast()
+	victims := e.posted.collect(func(r *Request) bool {
+		_, bad := doomed(r)
+		return bad
+	})
+	for _, r := range victims {
+		src, _ := doomed(r)
+		r.completeLocked(failStop(f), Status{Source: src, Tag: r.tag}, nil)
+	}
+	e.agreeBumpLocked() // agreement waiters watch knownFailed
 	e.mu.Unlock()
 }
 
@@ -165,31 +198,16 @@ func (e *engine) deliver(pkt *transport.Packet) {
 		return
 	}
 	e.mu.Lock()
-	if e.dead || e.closed {
+	if e.dead.Load() || e.closed.Load() {
 		e.mu.Unlock()
 		return // packets to a dead rank vanish
 	}
-	if r := e.matchPostedLocked(pkt); r != nil {
+	if r := e.posted.match(pkt.Context, pkt.Src, pkt.Tag); r != nil {
 		e.completeRecvLocked(r, pkt)
 	} else {
-		e.unexpected = append(e.unexpected, pkt)
-		e.cond.Broadcast() // wake Probe waiters
+		e.unexpected.add(pkt)
 	}
 	e.mu.Unlock()
-}
-
-// matchPostedLocked finds and removes the first posted receive matching
-// the packet, honouring post order (MPI non-overtaking).
-func (e *engine) matchPostedLocked(pkt *transport.Packet) *Request {
-	for i, r := range e.posted {
-		if r.ctx == pkt.Context &&
-			(r.tag == AnyTag || r.tag == pkt.Tag) &&
-			(r.srcWorld == AnySource || r.srcWorld == pkt.Src) {
-			e.posted = append(e.posted[:i], e.posted[i+1:]...)
-			return r
-		}
-	}
-	return nil
 }
 
 // completeRecvLocked finishes a receive with the packet's payload.
@@ -200,20 +218,6 @@ func (e *engine) completeRecvLocked(r *Request, pkt *transport.Packet) {
 	e.w.metrics.Add(e.rank, metrics.BytesRecv, int64(len(pkt.Payload)))
 }
 
-// matchUnexpectedLocked finds and removes the earliest queued packet
-// matching the receive criteria.
-func (e *engine) matchUnexpectedLocked(srcWorld, tag, ctx int) *transport.Packet {
-	for i, pkt := range e.unexpected {
-		if pkt.Context == ctx &&
-			(tag == AnyTag || tag == pkt.Tag) &&
-			(srcWorld == AnySource || srcWorld == pkt.Src) {
-			e.unexpected = append(e.unexpected[:i], e.unexpected[i+1:]...)
-			return pkt
-		}
-	}
-	return nil
-}
-
 // postRecv installs a receive request: satisfy it from the unexpected
 // queue if possible; otherwise fail it immediately when the source can
 // never produce a message (failed unrecognized source, or AnySource with
@@ -221,7 +225,7 @@ func (e *engine) matchUnexpectedLocked(srcWorld, tag, ctx int) *transport.Packet
 func (e *engine) postRecv(r *Request) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.dead {
+	if e.dead.Load() {
 		panic(killedPanic{rank: e.rank}) // deferred unlock still runs
 	}
 	// An AnySource receive fails while ANY unrecognized failure exists in
@@ -234,7 +238,7 @@ func (e *engine) postRecv(r *Request) {
 			return
 		}
 	}
-	if pkt := e.matchUnexpectedLocked(r.srcWorld, r.tag, r.ctx); pkt != nil {
+	if pkt := e.unexpected.take(r.srcWorld, r.tag, r.ctx); pkt != nil {
 		e.completeRecvLocked(r, pkt)
 		return
 	}
@@ -253,17 +257,12 @@ func (e *engine) postRecv(r *Request) {
 			return
 		}
 	}
-	e.posted = append(e.posted, r)
+	e.posted.add(r)
 }
 
-// removePostedLocked removes a request from the posted queue if present.
+// removePostedLocked removes a request from the posted index if present.
 func (e *engine) removePostedLocked(r *Request) {
-	for i, q := range e.posted {
-		if q == r {
-			e.posted = append(e.posted[:i], e.posted[i+1:]...)
-			return
-		}
-	}
+	e.posted.remove(r)
 }
 
 // sendPacket hands a fully addressed packet to the fabric, tracing and

@@ -11,7 +11,7 @@ import (
 // runWorldOn executes fn over an explicit fabric.
 func runWorldOn(t *testing.T, n int, fab transport.Fabric, fn func(p *Proc) error) *RunResult {
 	t.Helper()
-	w, err := NewWorld(Config{Size: n, Deadline: 60 * time.Second, Fabric: fab})
+	w, err := NewWorldFromConfig(Config{Size: n, Deadline: 60 * time.Second, Fabric: fab})
 	if err != nil {
 		t.Fatalf("NewWorld: %v", err)
 	}
@@ -125,7 +125,7 @@ func TestValidateAllOverTCP(t *testing.T) {
 // send can still slip through to a dead rank (and vanish) before the
 // notification lands — the weaker, more realistic detector mode.
 func TestNotifyDelayDefersDetection(t *testing.T) {
-	w, err := NewWorld(Config{Size: 2, Deadline: 60 * time.Second, NotifyDelay: 20 * time.Millisecond})
+	w, err := NewWorldFromConfig(Config{Size: 2, Deadline: 60 * time.Second, NotifyDelay: 20 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func BenchmarkPingPongTCP(b *testing.B) {
 func benchPingPong(b *testing.B, fab transport.Fabric) {
 	b.Helper()
 	b.ReportAllocs()
-	w, err := NewWorld(Config{Size: 2, Deadline: 5 * time.Minute, Fabric: fab})
+	w, err := NewWorldFromConfig(Config{Size: 2, Deadline: 5 * time.Minute, Fabric: fab})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func benchPingPong(b *testing.B, fab transport.Fabric) {
 
 func BenchmarkWaitanyTwoRequests(b *testing.B) {
 	b.ReportAllocs()
-	w, err := NewWorld(Config{Size: 2, Deadline: 5 * time.Minute})
+	w, err := NewWorldFromConfig(Config{Size: 2, Deadline: 5 * time.Minute})
 	if err != nil {
 		b.Fatal(err)
 	}

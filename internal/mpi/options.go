@@ -1,0 +1,49 @@
+package mpi
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Option configures a World under construction; pass options to NewWorld.
+// Options compose left to right, so a later option overrides an earlier
+// one for the same field.
+type Option func(*Config)
+
+// WithFabric selects the transport that moves packets between ranks.
+// The default (nil) is the in-memory Local fabric.
+func WithFabric(f transport.Fabric) Option {
+	return func(cfg *Config) { cfg.Fabric = f }
+}
+
+// WithTracer attaches an event recorder to the world.
+func WithTracer(t *trace.Recorder) Option {
+	return func(cfg *Config) { cfg.Tracer = t }
+}
+
+// WithMetrics attaches a per-rank operation counter table to the world.
+func WithMetrics(m *metrics.World) Option {
+	return func(cfg *Config) { cfg.Metrics = m }
+}
+
+// WithHook installs an operation-boundary observer, the attachment point
+// for deterministic fault injection.
+func WithHook(h HookFunc) Option {
+	return func(cfg *Config) { cfg.Hook = h }
+}
+
+// WithDeadline bounds Run's wall-clock time; on expiry the world is torn
+// down and Run reports ErrTimedOut with the still-running ranks. Zero
+// means no limit.
+func WithDeadline(d time.Duration) Option {
+	return func(cfg *Config) { cfg.Deadline = d }
+}
+
+// WithNotifyDelay delays failure notifications to surviving ranks,
+// modelling failure-detection latency. Zero delivers synchronously.
+func WithNotifyDelay(d time.Duration) Option {
+	return func(cfg *Config) { cfg.NotifyDelay = d }
+}

@@ -51,8 +51,15 @@ func (c *Comm) send(dst, tag, ctx int, payload []byte) error {
 	if failed {
 		return failStop(wr)
 	}
-	buf := make([]byte, len(payload))
-	copy(buf, payload)
+	// A NonRetaining fabric copies everything it needs inside Send, so the
+	// caller's payload can be handed over zero-copy. Retaining fabrics
+	// (Local) keep the slice queued at the destination indefinitely, so a
+	// defensive copy is required to honor Send's value semantics.
+	buf := payload
+	if !c.proc.w.nonRetaining {
+		buf = make([]byte, len(payload))
+		copy(buf, payload)
+	}
 	err = c.eng.sendPacket(&transport.Packet{
 		Src: c.proc.rank, Dst: wr, Tag: tag, Context: ctx,
 		Kind: transport.KindData, Payload: buf,
@@ -74,7 +81,8 @@ func (c *Comm) Isend(dst, tag int, payload []byte) *Request {
 	} else {
 		err = c.send(dst, tag, c.ctxP2P, payload)
 	}
-	r := &Request{eng: c.eng, comm: c, kind: reqSend, tag: tag, ctx: c.ctxP2P}
+	r := newRequest(c.eng, c, reqSend)
+	r.tag, r.ctx = tag, c.ctxP2P
 	c.eng.mu.Lock()
 	r.completeLocked(err, Status{Source: c.myRank, Tag: tag, Len: len(payload)}, nil)
 	c.eng.mu.Unlock()
@@ -93,7 +101,8 @@ func (c *Comm) Irecv(src, tag int) *Request {
 }
 
 func (c *Comm) irecv(src, tag, ctx int) *Request {
-	r := &Request{eng: c.eng, comm: c, kind: reqRecv, isRecv: true, tag: tag, ctx: ctx}
+	r := newRequest(c.eng, c, reqRecv)
+	r.isRecv, r.tag, r.ctx = true, tag, ctx
 	if src == ProcNull {
 		r.srcWorld = ProcNull
 		c.eng.mu.Lock()
@@ -136,7 +145,9 @@ func (c *Comm) Recv(src, tag int) ([]byte, Status, error) {
 		return nil, st, c.herr(err)
 	}
 	c.proc.w.tracer.Record(c.proc.rank, trace.RecvCompleted, st.Source, st.Tag, -1, "")
-	return r.Payload(), st, nil
+	payload := r.Payload()
+	r.Free()
+	return payload, st, nil
 }
 
 // Sendrecv posts the receive, performs the send, then waits for the
@@ -151,7 +162,9 @@ func (c *Comm) Sendrecv(dst, sendTag int, payload []byte, src, recvTag int) ([]b
 	if err != nil {
 		return nil, st, c.herr(err)
 	}
-	return r.Payload(), st, nil
+	got := r.Payload()
+	r.Free()
+	return got, st, nil
 }
 
 // Iprobe reports whether a matching message is queued, without receiving
@@ -168,12 +181,8 @@ func (c *Comm) Iprobe(src, tag int) (bool, Status, error) {
 	}
 	c.eng.mu.Lock()
 	defer c.eng.mu.Unlock()
-	for _, pkt := range c.eng.unexpected {
-		if pkt.Context == c.ctxP2P &&
-			(tag == AnyTag || tag == pkt.Tag) &&
-			(srcWorld == AnySource || srcWorld == pkt.Src) {
-			return true, Status{Source: c.rankOf(pkt.Src), Tag: pkt.Tag, Len: len(pkt.Payload)}, nil
-		}
+	if pkt := c.eng.unexpected.probe(srcWorld, tag, c.ctxP2P); pkt != nil {
+		return true, Status{Source: c.rankOf(pkt.Src), Tag: pkt.Tag, Len: len(pkt.Payload)}, nil
 	}
 	return false, Status{}, nil
 }

@@ -1,5 +1,7 @@
 package mpi
 
+import "sync"
+
 // Special rank and tag values, mirroring MPI_PROC_NULL, MPI_ANY_SOURCE
 // and MPI_ANY_TAG.
 const (
@@ -41,6 +43,11 @@ type Request struct {
 	tag      int
 	ctx      int
 
+	// postSeq is the post-order stamp assigned by the posted index; it
+	// arbitrates between an exact-bucket hit and a wildcard hit so the
+	// earliest-posted matching receive wins (MPI non-overtaking).
+	postSeq uint64
+
 	// Completion state, guarded by eng.mu.
 	done         bool
 	consumed     bool   // returned by a Waitany/Waitall already
@@ -51,6 +58,12 @@ type Request struct {
 	payload      []byte
 	result       int // validate_all agreed failure count
 	kind         reqKind
+
+	// waiters are the per-request completion signals: each registered
+	// channel gets a non-blocking token when the request completes, so
+	// only goroutines actually waiting on THIS request wake — there is no
+	// engine-wide broadcast on the completion path.
+	waiters []chan struct{}
 }
 
 type reqKind int
@@ -61,6 +74,70 @@ const (
 	reqValidate
 	reqGeneric // goroutine-backed non-blocking collectives
 )
+
+// requestPool recycles Request objects on the same sync.Pool discipline
+// the transport codec uses for frame and payload buffers: whoever takes
+// an object owns it, and it returns to the pool exactly once, only when
+// nothing else can reference it (see Request.Free).
+var requestPool = sync.Pool{New: func() any { return new(Request) }}
+
+// newRequest takes a zeroed Request from the pool and binds it to an
+// engine. Callers must set the remaining matching/completion fields.
+func newRequest(e *engine, c *Comm, kind reqKind) *Request {
+	r := requestPool.Get().(*Request)
+	r.eng, r.comm, r.kind = e, c, kind
+	return r
+}
+
+// Free returns a COMPLETED request to the internal pool. It is optional —
+// unfreed requests are garbage-collected — but hot paths (Recv, the ring
+// library) use it to keep the steady state allocation-free. The caller
+// must not touch the request after Free; extract Payload/Result first.
+// Freeing a pending or waited-on request is a no-op.
+func (r *Request) Free() {
+	e := r.eng
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	busy := !r.done || len(r.waiters) > 0
+	e.mu.Unlock()
+	if busy {
+		return
+	}
+	*r = Request{}
+	requestPool.Put(r)
+}
+
+// waiterPool recycles the cap-1 signal channels used by Wait/Waitany.
+var waiterPool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
+
+func getWaiter() chan struct{} { return waiterPool.Get().(chan struct{}) }
+
+// putWaiter drains a deregistered signal channel and pools it. Safe only
+// after the channel is off every request's waiter list (caller held
+// eng.mu while removing it), so no further sends can race the drain.
+func putWaiter(ch chan struct{}) {
+	select {
+	case <-ch:
+	default:
+	}
+	waiterPool.Put(ch)
+}
+
+// dropWaiterLocked removes ch from the request's waiter list if the
+// completion path has not already consumed the list. Caller holds eng.mu.
+func (r *Request) dropWaiterLocked(ch chan struct{}) {
+	for i, w := range r.waiters {
+		if w == ch {
+			last := len(r.waiters) - 1
+			r.waiters[i] = r.waiters[last]
+			r.waiters[last] = nil
+			r.waiters = r.waiters[:last]
+			return
+		}
+	}
+}
 
 // Done reports whether the request has completed (without consuming it).
 func (r *Request) Done() bool {
@@ -77,7 +154,8 @@ func (r *Request) Payload() []byte { return r.payload }
 // request (Comm.IvalidateAll).
 func (r *Request) Result() int { return r.result }
 
-// completeLocked finishes the request. Caller holds eng.mu.
+// completeLocked finishes the request and pokes exactly the goroutines
+// registered on it. Caller holds eng.mu.
 func (r *Request) completeLocked(err error, st Status, payload []byte) {
 	if r.done {
 		return
@@ -87,7 +165,13 @@ func (r *Request) completeLocked(err error, st Status, payload []byte) {
 	r.err = err
 	r.status = st
 	r.payload = payload
-	r.eng.cond.Broadcast()
+	for _, ch := range r.waiters {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	r.waiters = nil
 }
 
 // Cancel removes a pending receive from the matching engine and completes
@@ -131,15 +215,18 @@ func (r *Request) CancelOrPayload() ([]byte, bool) {
 
 // Wait blocks until the request completes and returns its status and
 // error. Waiting again on a completed request returns the same result.
+// The wait parks on a per-request channel: completions of OTHER requests
+// on the same rank do not wake it. Fail-stop, teardown and abort are
+// delivered through closed channels (engine.downCh, World.abortCh).
 func (r *Request) Wait() (Status, error) {
 	e := r.eng
 	e.mu.Lock()
 	for !r.done {
-		if e.dead {
+		if e.dead.Load() {
 			e.mu.Unlock()
 			panic(killedPanic{rank: e.rank})
 		}
-		if e.closed {
+		if e.closed.Load() {
 			e.mu.Unlock()
 			panic(closedPanic{})
 		}
@@ -147,9 +234,19 @@ func (r *Request) Wait() (Status, error) {
 			e.mu.Unlock()
 			panic(abortPanic{code: e.w.abortCode()})
 		}
-		e.cond.Wait()
+		ch := getWaiter()
+		r.waiters = append(r.waiters, ch)
+		e.mu.Unlock()
+		select {
+		case <-ch:
+		case <-e.downCh:
+		case <-e.w.abortCh:
+		}
+		e.mu.Lock()
+		r.dropWaiterLocked(ch)
+		putWaiter(ch)
 	}
-	if e.dead {
+	if e.dead.Load() {
 		e.mu.Unlock()
 		panic(killedPanic{rank: e.rank})
 	}
@@ -170,7 +267,7 @@ func (r *Request) Wait() (Status, error) {
 func (r *Request) Test() (bool, Status, error) {
 	e := r.eng
 	e.mu.Lock()
-	if e.dead {
+	if e.dead.Load() {
 		e.mu.Unlock()
 		panic(killedPanic{rank: e.rank})
 	}
@@ -202,6 +299,10 @@ func (r *Request) Test() (bool, Status, error) {
 // the right neighbor and the arrival of the next ring buffer can both be
 // pending, and handling them in completion order keeps recovery
 // (resending the held buffer) ahead of fresh progress deterministically.
+//
+// One signal channel is registered on every still-pending request, so a
+// completion wakes this waiter alone — not every blocked goroutine on
+// the rank, as the old engine-wide broadcast did.
 func Waitany(reqs ...*Request) (int, Status, error) {
 	var e *engine
 	live := 0
@@ -222,11 +323,11 @@ func Waitany(reqs ...*Request) (int, Status, error) {
 
 	e.mu.Lock()
 	for {
-		if e.dead {
+		if e.dead.Load() {
 			e.mu.Unlock()
 			panic(killedPanic{rank: e.rank})
 		}
-		if e.closed {
+		if e.closed.Load() {
 			e.mu.Unlock()
 			panic(closedPanic{})
 		}
@@ -263,7 +364,25 @@ func Waitany(reqs ...*Request) (int, Status, error) {
 			e.mu.Unlock()
 			return -1, Status{}, ErrInvalidArg
 		}
-		e.cond.Wait()
+		ch := getWaiter()
+		for _, r := range reqs {
+			if r != nil && !r.consumed && !r.done {
+				r.waiters = append(r.waiters, ch)
+			}
+		}
+		e.mu.Unlock()
+		select {
+		case <-ch:
+		case <-e.downCh:
+		case <-e.w.abortCh:
+		}
+		e.mu.Lock()
+		for _, r := range reqs {
+			if r != nil {
+				r.dropWaiterLocked(ch)
+			}
+		}
+		putWaiter(ch)
 	}
 }
 
@@ -282,7 +401,7 @@ func Testany(reqs ...*Request) (ok bool, idx int, st Status, err error) {
 		return false, -1, Status{}, ErrInvalidArg
 	}
 	e.mu.Lock()
-	if e.dead {
+	if e.dead.Load() {
 		e.mu.Unlock()
 		panic(killedPanic{rank: e.rank})
 	}
@@ -344,7 +463,8 @@ func Waitsome(reqs ...*Request) (indices []int, sts []Status, errs []error, err 
 // through the usual fail-stop path.
 func (c *Comm) GoRequest(fn func() (Status, error)) *Request {
 	c.eng.checkAlive()
-	r := &Request{eng: c.eng, comm: c, kind: reqGeneric, ctx: c.ctxInternal}
+	r := newRequest(c.eng, c, reqGeneric)
+	r.ctx = c.ctxInternal
 	go func() {
 		defer func() {
 			switch recover().(type) {

@@ -139,7 +139,7 @@ func TestSendValidation(t *testing.T) {
 }
 
 func TestWorldRunTwiceRejected(t *testing.T) {
-	w, err := NewWorld(Config{Size: 1})
+	w, err := NewWorldFromConfig(Config{Size: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,10 +152,10 @@ func TestWorldRunTwiceRejected(t *testing.T) {
 }
 
 func TestNewWorldValidation(t *testing.T) {
-	if _, err := NewWorld(Config{Size: 0}); !errors.Is(err, ErrInvalidArg) {
+	if _, err := NewWorldFromConfig(Config{Size: 0}); !errors.Is(err, ErrInvalidArg) {
 		t.Fatalf("zero-size world accepted: %v", err)
 	}
-	if _, err := NewWorld(Config{Size: -3}); !errors.Is(err, ErrInvalidArg) {
+	if _, err := NewWorldFromConfig(Config{Size: -3}); !errors.Is(err, ErrInvalidArg) {
 		t.Fatalf("negative world accepted: %v", err)
 	}
 }

@@ -40,7 +40,8 @@ func (c *Comm) IvalidateAll() *Request {
 	c.eng.checkAlive()
 	inst := c.validateSeq
 	c.validateSeq++
-	r := &Request{eng: c.eng, comm: c, kind: reqValidate, tag: 0, ctx: c.ctxInternal}
+	r := newRequest(c.eng, c, reqValidate)
+	r.tag, r.ctx = 0, c.ctxInternal
 	go func() {
 		defer func() {
 			switch recover().(type) {

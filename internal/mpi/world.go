@@ -13,6 +13,10 @@ import (
 )
 
 // Config configures a World.
+//
+// Prefer constructing worlds with NewWorld(size, opts...) and the
+// functional options in options.go; the struct-literal form remains
+// supported through NewWorldFromConfig for existing callers.
 type Config struct {
 	// Size is the number of ranks (required, > 0).
 	Size int
@@ -46,16 +50,39 @@ type World struct {
 	hook     HookFunc
 	deadline time.Duration
 
+	// nonRetaining records that the fabric copies everything it needs
+	// inside Send (transport.NonRetaining), so the p2p send path may hand
+	// the caller's payload to Send without a defensive copy.
+	nonRetaining bool
+
 	aborted       atomic.Bool
 	abortVal      atomic.Int64
+	abortCh       chan struct{} // closed on Abort; waiters select on it
+	abortOnce     sync.Once
 	completionSeq atomic.Uint64 // request-completion order for Waitany
 	startOnce     sync.Once
 	started       bool
 }
 
-// NewWorld builds a world of cfg.Size ranks. The world is single-use: one
-// Run per World.
-func NewWorld(cfg Config) (*World, error) {
+// NewWorld builds a world of size ranks, configured by functional
+// options (WithFabric, WithTracer, WithMetrics, WithHook, WithDeadline,
+// WithNotifyDelay). The world is single-use: one Run per World.
+func NewWorld(size int, opts ...Option) (*World, error) {
+	cfg := Config{Size: size}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	return NewWorldFromConfig(cfg)
+}
+
+// NewWorldFromConfig builds a world from a positional Config literal.
+//
+// Deprecated: use NewWorld(size, opts...) with functional options. The
+// Config form remains supported for existing callers and for code that
+// threads a Config through (e.g. core.Run).
+func NewWorldFromConfig(cfg Config) (*World, error) {
 	if cfg.Size <= 0 {
 		return nil, fmt.Errorf("%w: world size %d", ErrInvalidArg, cfg.Size)
 	}
@@ -63,14 +90,17 @@ func NewWorld(cfg Config) (*World, error) {
 	if fabric == nil {
 		fabric = transport.NewLocal()
 	}
+	_, nonRetaining := fabric.(transport.NonRetaining)
 	w := &World{
-		size:     cfg.Size,
-		registry: detector.New(cfg.Size),
-		fabric:   fabric,
-		tracer:   cfg.Tracer,
-		metrics:  cfg.Metrics,
-		hook:     cfg.Hook,
-		deadline: cfg.Deadline,
+		size:         cfg.Size,
+		registry:     detector.New(cfg.Size),
+		fabric:       fabric,
+		tracer:       cfg.Tracer,
+		metrics:      cfg.Metrics,
+		hook:         cfg.Hook,
+		deadline:     cfg.Deadline,
+		nonRetaining: nonRetaining,
+		abortCh:      make(chan struct{}),
 	}
 	if cfg.NotifyDelay > 0 {
 		w.registry.SetNotifyDelay(cfg.NotifyDelay)
@@ -110,16 +140,13 @@ func (w *World) Kill(rank int) {
 func (w *World) abortCode() int { return int(w.abortVal.Load()) }
 
 // abort tears the world down with the given code (MPI_Abort semantics):
-// every rank unwinds at its next (or current) MPI call.
+// every rank unwinds at its next (or current) MPI call. Blocked waiters
+// learn about it through the closed abortCh.
 func (w *World) abort(code int) {
 	if w.aborted.CompareAndSwap(false, true) {
 		w.abortVal.Store(int64(code))
 	}
-	for _, e := range w.engines {
-		e.mu.Lock()
-		e.cond.Broadcast()
-		e.mu.Unlock()
-	}
+	w.abortOnce.Do(func() { close(w.abortCh) })
 	w.registry.BroadcastWaiters()
 }
 

@@ -28,11 +28,11 @@ func ringOnce(size int, cfg core.Config, mut func(*mpi.Config)) (*core.Report, *
 func All() []Experiment {
 	return []Experiment{
 		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(),
-		e9(), e10(), e11(), e12(), e13(), e14(), e15(), e16(),
+		e9(), e10(), e11(), e12(), e13(), e14(), e15(), e16(), e17(),
 	}
 }
 
-// ByID finds an experiment by its identifier ("e1".."e15").
+// ByID finds an experiment by its identifier ("e1".."e17").
 func ByID(id string) (Experiment, bool) {
 	for _, e := range All() {
 		if e.ID == id {
@@ -411,6 +411,15 @@ func e16() Experiment {
 		ID: "e16", Title: "Exhaustive fault-placement sweep", PaperRef: "Section III-E",
 		Run: func(opt Options) ([]*Table, error) {
 			return runPlacementSweep(opt)
+		},
+	}
+}
+
+func e17() Experiment {
+	return Experiment{
+		ID: "e17", Title: "Large-N matching scalability", PaperRef: "engine",
+		Run: func(opt Options) ([]*Table, error) {
+			return runLargeN(opt)
 		},
 	}
 }

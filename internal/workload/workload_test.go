@@ -42,8 +42,8 @@ func TestAllHaveMetadata(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	if len(ids) != 16 {
-		t.Fatalf("have %d experiments, want 16", len(ids))
+	if len(ids) != 17 {
+		t.Fatalf("have %d experiments, want 17", len(ids))
 	}
 }
 
