@@ -1,4 +1,4 @@
-// Benchmarks, one per experiment of the evaluation (DESIGN.md E1-E17).
+// Benchmarks, one per experiment of the evaluation (DESIGN.md E1-E18).
 // The paper is a tutorial with no quantitative tables, so these benches
 // measure the executable form of each figure: the baseline ring, the
 // fault-tolerant transformations' overhead, recovery cost per failure,
@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/collective"
 	"repro/internal/core"
 	"repro/internal/inject"
@@ -235,7 +236,7 @@ func BenchmarkE13ValidateAll(b *testing.B) {
 	for _, n := range []int{4, 8, 16, 32} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
-			w, err := mpi.NewWorldFromConfig(mpi.Config{Size: n, Deadline: 5 * time.Minute})
+			w, err := mpi.NewWorld(n, mpi.WithDeadline(5*time.Minute))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -260,7 +261,7 @@ func BenchmarkE14Collectives(b *testing.B) {
 	run := func(b *testing.B, n int, op func(c *mpi.Comm) error) {
 		b.Helper()
 		b.ReportAllocs()
-		w, err := mpi.NewWorldFromConfig(mpi.Config{Size: n, Deadline: 5 * time.Minute})
+		w, err := mpi.NewWorld(n, mpi.WithDeadline(5*time.Minute))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -357,6 +358,31 @@ func BenchmarkE17LargeN(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkE18ChaosSoak measures the FT ring completing over a fabric
+// injecting the E18 fault mix (10% drop, 5% dup, 1% corrupt per link),
+// against the same ring on a clean fabric — the price of running through
+// a hostile network with the reliability sublayer on.
+func BenchmarkE18ChaosSoak(b *testing.B) {
+	cfg := core.Config{Iters: 8, Variant: core.VariantFull, Termination: core.TermValidateAll}
+	b.Run("clean", func(b *testing.B) {
+		benchRing(b, 4, cfg, nil)
+	})
+	b.Run("chaos", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			plan := chaos.NewPlan(int64(i + 1)).Default(chaos.Rates{Drop: 0.10, Dup: 0.05, Corrupt: 0.01})
+			mcfg := mpi.Config{Size: 4, Deadline: 60 * time.Second, Chaos: plan}
+			_, res, err := core.Run(mcfg, cfg)
+			if err != nil {
+				b.Fatalf("chaotic ring: %v", err)
+			}
+			if res.FinishedCount() == 0 {
+				b.Fatal("nothing finished")
+			}
+		}
+	})
 }
 
 // nonRoots lists ranks 1..n-1.

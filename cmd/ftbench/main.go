@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "run a single experiment (e1..e17)")
+		exp   = flag.String("exp", "", "run a single experiment (e1..e18)")
 		quick = flag.Bool("quick", false, "shrink sweeps for a fast pass")
 		list  = flag.Bool("list", false, "list experiments and exit")
 		seed  = flag.Int64("seed", 1, "seed for randomized failure schedules")

@@ -10,6 +10,8 @@
 //	ftring -n 8 -term validate-all -root elect -kill 0:recv:3
 //	ftring -n 8 -transport tcp -trace             # TCP loopback with a trace dump
 //	ftring -n 16 -random-failures 3 -seed 7       # seeded random schedule
+//	ftring -n 8 -chaos -chaos-drop 0.1            # lossy links, reliability on
+//	ftring -n 4 -chaos-partition 0:1:1:0          # blackhole 0->1 until escalation
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"time"
 
 	"repro/ftmpi"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/inject"
 )
@@ -43,8 +46,19 @@ func main() {
 		padding  = flag.Int("padding", 0, "extra payload bytes per message")
 		doTrace  = flag.Bool("trace", false, "print the event timeline")
 		doStats  = flag.Bool("stats", true, "print per-rank statistics")
+
+		chaosOn      = flag.Bool("chaos", false, "inject network faults (default rates unless overridden)")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the chaos plan")
+		chaosDrop    = flag.Float64("chaos-drop", -1, "per-frame drop probability (implies -chaos)")
+		chaosDup     = flag.Float64("chaos-dup", -1, "per-frame duplication probability (implies -chaos)")
+		chaosCorrupt = flag.Float64("chaos-corrupt", -1, "per-frame payload corruption probability (implies -chaos)")
+		chaosReorder = flag.Float64("chaos-reorder", 0, "per-frame reorder probability (implies -chaos)")
+		chaosDelay   = flag.Float64("chaos-delay", 0, "per-frame delay probability (implies -chaos)")
+		chaosJitter  = flag.Duration("chaos-jitter", time.Millisecond, "max delay added by -chaos-delay")
+		partitions   partitionFlags
 	)
 	flag.Var(&kills, "kill", "failure spec rank:point:ordinal (point: recv|send|before-send); repeatable")
+	flag.Var(&partitions, "chaos-partition", "link partition src:dst:from:to — frame ordinals, 0 = open-ended; repeatable, implies -chaos")
 	flag.Parse()
 
 	cfg := core.Config{Iters: *iters, Padding: *padding}
@@ -72,6 +86,29 @@ func main() {
 		fmt.Printf("random failure schedule (seed %d): %v\n", *seed, chosen)
 	}
 
+	var chaosPlan *ftmpi.ChaosPlan
+	if *chaosOn || *chaosDrop >= 0 || *chaosDup >= 0 || *chaosCorrupt >= 0 ||
+		*chaosReorder > 0 || *chaosDelay > 0 || len(partitions) > 0 {
+		rates := ftmpi.ChaosRates{Drop: 0.05, Dup: 0.02, Corrupt: 0.01}
+		if *chaosDrop >= 0 {
+			rates.Drop = *chaosDrop
+		}
+		if *chaosDup >= 0 {
+			rates.Dup = *chaosDup
+		}
+		if *chaosCorrupt >= 0 {
+			rates.Corrupt = *chaosCorrupt
+		}
+		rates.Reorder = *chaosReorder
+		rates.Delay = *chaosDelay
+		rates.Jitter = *chaosJitter
+		chaosPlan = ftmpi.NewChaosPlan(*chaosSeed).Default(rates)
+		for _, pt := range partitions {
+			chaosPlan.Partition(pt.src, pt.dst, pt.from, pt.to)
+		}
+		fmt.Printf("chaos plan (seed %d): %s\n", *chaosSeed, chaosPlan)
+	}
+
 	rec := ftmpi.NewTracer(0)
 	if !*doTrace {
 		rec = nil
@@ -79,7 +116,7 @@ func main() {
 	mets := ftmpi.NewMetrics(*n)
 	mcfg := ftmpi.Config{
 		Size: *n, Deadline: *deadline, Hook: plan.Hook(),
-		Tracer: rec, Metrics: mets,
+		Tracer: rec, Metrics: mets, Chaos: chaosPlan,
 	}
 	switch *fabric {
 	case "local":
@@ -114,6 +151,13 @@ func main() {
 		for _, l := range fired {
 			fmt.Printf("  %s\n", l)
 		}
+	}
+
+	if chaosPlan != nil {
+		fmt.Printf("injected faults: %d dropped, %d duplicated, %d corrupted, %d reordered, %d delayed, %d partitioned\n",
+			chaosPlan.Count(chaos.EvDrop), chaosPlan.Count(chaos.EvDup),
+			chaosPlan.Count(chaos.EvCorrupt), chaosPlan.Count(chaos.EvReorder),
+			chaosPlan.Count(chaos.EvDelay), chaosPlan.Count(chaos.EvPartition))
 	}
 
 	if *doStats && report != nil {
@@ -169,6 +213,50 @@ func printStats(report *core.Report, res *ftmpi.RunResult) {
 		}
 		fmt.Println(line)
 	}
+}
+
+// partitionSpec is one parsed -chaos-partition window.
+type partitionSpec struct {
+	src, dst int
+	from, to uint64
+}
+
+// partitionFlags parses repeatable -chaos-partition src:dst:from:to specs.
+type partitionFlags []partitionSpec
+
+// String implements flag.Value.
+func (p *partitionFlags) String() string { return fmt.Sprintf("%d partitions", len(*p)) }
+
+// Set implements flag.Value.
+func (p *partitionFlags) Set(s string) error {
+	parts := strings.Split(s, ":")
+	if len(parts) != 4 {
+		return fmt.Errorf("partition spec %q: want src:dst:from:to", s)
+	}
+	src, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("partition spec %q: bad src: %w", s, err)
+	}
+	dst, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return fmt.Errorf("partition spec %q: bad dst: %w", s, err)
+	}
+	from, err := strconv.ParseUint(parts[2], 10, 64)
+	if err != nil {
+		return fmt.Errorf("partition spec %q: bad from: %w", s, err)
+	}
+	to, err := strconv.ParseUint(parts[3], 10, 64)
+	if err != nil {
+		return fmt.Errorf("partition spec %q: bad to: %w", s, err)
+	}
+	if from == 0 {
+		from = 1 // frame ordinals are 1-based; 0 means "from the start"
+	}
+	if to == 0 {
+		to = ^uint64(0) // 0 means "never heals"
+	}
+	*p = append(*p, partitionSpec{src: src, dst: dst, from: from, to: to})
+	return nil
 }
 
 // killFlags parses repeatable -kill rank:point:ordinal specs.

@@ -24,8 +24,10 @@ package ftmpi
 import (
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
+	"repro/internal/reliable"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -186,6 +188,16 @@ func WithDeadline(d time.Duration) Option { return mpi.WithDeadline(d) }
 // latency.
 func WithNotifyDelay(d time.Duration) Option { return mpi.WithNotifyDelay(d) }
 
+// WithChaos injects seeded network faults from the plan between the
+// engines and the fabric; it implies the reliability sublayer, which is
+// what lets the runtime run through the injected faults.
+func WithChaos(plan *ChaosPlan) Option { return mpi.WithChaos(plan) }
+
+// WithReliability enables the reliability sublayer (sequencing, acks,
+// dedup, bounded retransmission, escalation to fail-stop) without a
+// chaos plan. Zero option fields take defaults.
+func WithReliability(opts ReliableOptions) Option { return mpi.WithReliability(opts) }
+
 // --- request combinators -----------------------------------------------------
 
 // Waitany blocks until one of the requests completes and returns its index
@@ -224,6 +236,27 @@ func NewTCPGobFabric(n int) Fabric { return transport.NewTCPCodec(n, transport.C
 func NewLatencyFabric(inner Fabric, d time.Duration) Fabric {
 	return transport.NewLatency(inner, d)
 }
+
+// --- chaos & reliability -----------------------------------------------------
+
+type (
+	// ChaosPlan is a seeded, deterministic schedule of network faults;
+	// build with NewChaosPlan and pass to WithChaos.
+	ChaosPlan = chaos.Plan
+	// ChaosRates sets per-frame fault probabilities for one link or the
+	// plan default.
+	ChaosRates = chaos.Rates
+	// ChaosEvent is one injected fault in the plan's replayable log.
+	ChaosEvent = chaos.Event
+	// ReliableOptions tunes the reliability sublayer's retransmission
+	// budget (see WithReliability).
+	ReliableOptions = reliable.Options
+)
+
+// NewChaosPlan returns an empty fault plan for the seed: configure it
+// with Default, Link, and Partition, then pass it to WithChaos. The same
+// seed and traffic reproduce the same fault log.
+func NewChaosPlan(seed int64) *ChaosPlan { return chaos.NewPlan(seed) }
 
 // --- observability constructors ----------------------------------------------
 

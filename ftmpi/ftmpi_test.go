@@ -44,6 +44,47 @@ func TestFacadeRing(t *testing.T) {
 	}
 }
 
+// TestFacadeChaosRing drives the quickstart ring through a lossy,
+// duplicating, corrupting fabric configured entirely through the facade:
+// WithChaos implies the reliability sublayer, so the ring completes with
+// every token delivered exactly once and intact.
+func TestFacadeChaosRing(t *testing.T) {
+	const n = 4
+	plan := ftmpi.NewChaosPlan(2026).Default(ftmpi.ChaosRates{Drop: 0.1, Dup: 0.05, Corrupt: 0.01})
+	w, err := ftmpi.NewWorld(n, ftmpi.WithDeadline(30*time.Second), ftmpi.WithChaos(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(p *ftmpi.Proc) error {
+		c := p.World()
+		c.SetErrhandler(ftmpi.ErrorsReturn)
+		right := (p.Rank() + 1) % p.Size()
+		left := (p.Rank() + p.Size() - 1) % p.Size()
+		for i := 0; i < 10; i++ {
+			if err := c.Send(right, i, []byte{byte(i)}); err != nil {
+				return err
+			}
+			payload, _, err := c.Recv(left, i)
+			if err != nil {
+				return err
+			}
+			if len(payload) != 1 || payload[0] != byte(i) {
+				t.Errorf("rank %d iter %d: corrupted payload %v", p.Rank(), i, payload)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinishedCount() != n {
+		t.Fatalf("finished %d/%d", res.FinishedCount(), n)
+	}
+	if len(plan.Log()) == 0 {
+		t.Fatal("chaos plan injected nothing")
+	}
+}
+
 func TestFacadeFailStopAndValidate(t *testing.T) {
 	const n = 4
 	w, err := ftmpi.NewWorld(n, ftmpi.WithDeadline(10*time.Second),

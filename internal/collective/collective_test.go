@@ -12,7 +12,7 @@ import (
 
 func runWorld(t *testing.T, n int, fn func(p *mpi.Proc) error) *mpi.RunResult {
 	t.Helper()
-	w, err := mpi.NewWorldFromConfig(mpi.Config{Size: n, Deadline: 30 * time.Second})
+	w, err := mpi.NewWorld(n, mpi.WithDeadline(30*time.Second))
 	if err != nil {
 		t.Fatalf("NewWorld: %v", err)
 	}
@@ -330,7 +330,7 @@ func TestIbcastCompletes(t *testing.T) {
 // an unrecognized failure, collectives fail; after ValidateAll they run
 // over the survivors.
 func TestCollectivesDisabledAfterFailureUntilValidate(t *testing.T) {
-	w, err := mpi.NewWorldFromConfig(mpi.Config{Size: 4, Deadline: 30 * time.Second})
+	w, err := mpi.NewWorld(4, mpi.WithDeadline(30*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,16 +383,15 @@ func TestBcastInconsistentReturnCodes(t *testing.T) {
 	// every rank except 7 leaves the broadcast successfully, while 7 gets
 	// ErrRankFailStop — the paper's "some processes may receive success
 	// and others an error" (Section III-C).
-	w, err := mpi.NewWorldFromConfig(mpi.Config{
-		Size:     8,
-		Deadline: 30 * time.Second,
-		Hook: func(ev mpi.HookEvent) mpi.Action {
+	w, err := mpi.NewWorld(8,
+		mpi.WithDeadline(30*time.Second),
+		mpi.WithHook(func(ev mpi.HookEvent) mpi.Action {
 			if ev.Rank == 6 && ev.Point == mpi.HookAfterRecv {
 				return mpi.ActKill
 			}
 			return mpi.ActNone
-		},
-	})
+		}),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,7 +437,7 @@ func TestBcastInconsistentReturnCodes(t *testing.T) {
 // the barrier (erroring at the gate); rank 0 and 1 may enter it and fail
 // inside. After validate_all, the follow-up allreduce must still line up.
 func TestTagAlignmentAfterErroredCollective(t *testing.T) {
-	w, err := mpi.NewWorldFromConfig(mpi.Config{Size: 4, Deadline: 30 * time.Second})
+	w, err := mpi.NewWorld(4, mpi.WithDeadline(30*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -490,7 +489,7 @@ func TestAllreduceProperty(t *testing.T) {
 		for _, v := range vals {
 			want += v
 		}
-		w, err := mpi.NewWorldFromConfig(mpi.Config{Size: n, Deadline: 30 * time.Second})
+		w, err := mpi.NewWorld(n, mpi.WithDeadline(30*time.Second))
 		if err != nil {
 			return false
 		}

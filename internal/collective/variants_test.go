@@ -102,7 +102,7 @@ func TestBlockFraming(t *testing.T) {
 // because a participant died is repaired (validate_all) and retried over
 // the survivors — the paper's Randell recovery-block pattern.
 func TestRecoveryBlockRetriesThroughFailure(t *testing.T) {
-	w, err := mpi.NewWorldFromConfig(mpi.Config{Size: 5, Deadline: 30 * time.Second})
+	w, err := mpi.NewWorld(5, mpi.WithDeadline(30*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,15 +156,15 @@ func TestRecoveryBlockRetriesThroughFailure(t *testing.T) {
 // at the gate). The ValidateAll repair must re-align the collective
 // sequence or the retry would mismatch tags and deadlock.
 func TestRecoveryBlockHeterogeneousFailurePoints(t *testing.T) {
-	w, err := mpi.NewWorldFromConfig(mpi.Config{
-		Size: 8, Deadline: 30 * time.Second,
-		Hook: func(ev mpi.HookEvent) mpi.Action {
+	w, err := mpi.NewWorld(8,
+		mpi.WithDeadline(30*time.Second),
+		mpi.WithHook(func(ev mpi.HookEvent) mpi.Action {
 			if ev.Rank == 6 && ev.Point == mpi.HookAfterRecv {
 				return mpi.ActKill
 			}
 			return mpi.ActNone
-		},
-	})
+		}),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestRecoveryBlockHeterogeneousFailurePoints(t *testing.T) {
 // TestRecoveryBlockGivesUpAfterMaxRetries: exhausting the retry budget
 // surfaces the failure error.
 func TestRecoveryBlockGivesUpAfterMaxRetries(t *testing.T) {
-	w, err := mpi.NewWorldFromConfig(mpi.Config{Size: 3, Deadline: 30 * time.Second})
+	w, err := mpi.NewWorld(3, mpi.WithDeadline(30*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}

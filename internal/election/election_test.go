@@ -10,7 +10,7 @@ import (
 
 func runWorld(t *testing.T, n int, fn func(p *mpi.Proc) error) *mpi.RunResult {
 	t.Helper()
-	w, err := mpi.NewWorldFromConfig(mpi.Config{Size: n, Deadline: 30 * time.Second})
+	w, err := mpi.NewWorld(n, mpi.WithDeadline(30*time.Second))
 	if err != nil {
 		t.Fatalf("NewWorld: %v", err)
 	}

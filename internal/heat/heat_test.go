@@ -12,13 +12,9 @@ import (
 )
 
 // runHeat executes the solver on n ranks and collects per-rank results.
-func runHeat(t *testing.T, n int, cfg Config, mut func(*mpi.Config)) (map[int]*Result, *mpi.RunResult) {
+func runHeat(t *testing.T, n int, cfg Config, opts ...mpi.Option) (map[int]*Result, *mpi.RunResult) {
 	t.Helper()
-	mcfg := mpi.Config{Size: n, Deadline: 30 * time.Second}
-	if mut != nil {
-		mut(&mcfg)
-	}
-	w, err := mpi.NewWorldFromConfig(mcfg)
+	w, err := mpi.NewWorld(n, append([]mpi.Option{mpi.WithDeadline(30 * time.Second)}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +68,7 @@ func TestMatchesSerialSolutionFailureFree(t *testing.T) {
 	for _, n := range []int{1, 2, 4, 8} {
 		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
 			cfg := Config{CellsPerRank: 8, Steps: 25, Alpha: 0.4, InitialPeak: true}
-			results, res := runHeat(t, n, cfg, nil)
+			results, res := runHeat(t, n, cfg)
 			for rank, rr := range res.Ranks {
 				if rr.Err != nil || !rr.Finished {
 					t.Fatalf("rank %d: %+v", rank, rr)
@@ -94,7 +90,7 @@ func TestMatchesSerialSolutionFailureFree(t *testing.T) {
 
 func TestHeatConservationFailureFree(t *testing.T) {
 	cfg := Config{CellsPerRank: 16, Steps: 40, Alpha: 0.25, InitialPeak: true}
-	results, _ := runHeat(t, 4, cfg, nil)
+	results, _ := runHeat(t, 4, cfg)
 	total := 0.0
 	for _, r := range results {
 		total += r.Sum
@@ -108,7 +104,7 @@ func TestHeatConservationFailureFree(t *testing.T) {
 func TestHeatRunsThroughNeighborFailure(t *testing.T) {
 	cfg := Config{CellsPerRank: 8, Steps: 30, Alpha: 0.4}
 	plan := inject.NewPlan().Add(inject.AfterNthRecv(2, 10))
-	results, res := runHeat(t, 5, cfg, func(m *mpi.Config) { m.Hook = plan.Hook() })
+	results, res := runHeat(t, 5, cfg, mpi.WithHook(plan.Hook()))
 	if !res.Ranks[2].Killed {
 		t.Fatalf("rank 2 should have died: %+v", res.Ranks[2])
 	}
@@ -140,7 +136,7 @@ func TestHeatRunsThroughMultipleFailures(t *testing.T) {
 		inject.AfterNthRecv(1, 6),
 		inject.AfterNthRecv(4, 14),
 	)
-	results, res := runHeat(t, 6, cfg, func(m *mpi.Config) { m.Hook = plan.Hook() })
+	results, res := runHeat(t, 6, cfg, mpi.WithHook(plan.Hook()))
 	for _, rank := range []int{0, 2, 3, 5} {
 		rr := res.Ranks[rank]
 		if rr.Err != nil || !rr.Finished {
@@ -156,7 +152,7 @@ func TestHeatEdgeRankFailure(t *testing.T) {
 	// Killing the leftmost rank turns rank 1 into the new domain edge.
 	cfg := Config{CellsPerRank: 8, Steps: 20, Alpha: 0.4}
 	plan := inject.NewPlan().Add(inject.AfterNthRecv(0, 5))
-	results, res := runHeat(t, 4, cfg, func(m *mpi.Config) { m.Hook = plan.Hook() })
+	results, res := runHeat(t, 4, cfg, mpi.WithHook(plan.Hook()))
 	for _, rank := range []int{1, 2, 3} {
 		if res.Ranks[rank].Err != nil || !res.Ranks[rank].Finished {
 			t.Fatalf("rank %d: %+v", rank, res.Ranks[rank])
@@ -168,7 +164,7 @@ func TestHeatEdgeRankFailure(t *testing.T) {
 }
 
 func TestHeatConfigValidation(t *testing.T) {
-	w, err := mpi.NewWorldFromConfig(mpi.Config{Size: 1, Deadline: 10 * time.Second})
+	w, err := mpi.NewWorld(1, mpi.WithDeadline(10*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}

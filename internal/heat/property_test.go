@@ -24,7 +24,7 @@ func TestSerialEquivalenceProperty(t *testing.T) {
 		peak := seed%2 == 0
 		cfg := Config{CellsPerRank: cells, Steps: steps, Alpha: alpha, InitialPeak: peak}
 
-		w, err := mpi.NewWorldFromConfig(mpi.Config{Size: n, Deadline: 30 * time.Second})
+		w, err := mpi.NewWorld(n, mpi.WithDeadline(30*time.Second))
 		if err != nil {
 			return false
 		}
@@ -77,9 +77,7 @@ func TestHeatBoundednessUnderRandomFailure(t *testing.T) {
 		ordinal := 1 + int(seed>>4)%10
 		cfg := Config{CellsPerRank: 6, Steps: 20, Alpha: 0.35}
 		plan := inject.NewPlan().Add(inject.AfterNthRecv(victim, ordinal))
-		w, err := mpi.NewWorldFromConfig(mpi.Config{
-			Size: n, Deadline: 30 * time.Second, Hook: plan.Hook(),
-		})
+		w, err := mpi.NewWorld(n, mpi.WithDeadline(30*time.Second), mpi.WithHook(plan.Hook()))
 		if err != nil {
 			return false
 		}

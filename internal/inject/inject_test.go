@@ -112,7 +112,7 @@ func TestRandomPlanClampsFailures(t *testing.T) {
 // TestPlanKillsInsideWorld wires a plan into a real world.
 func TestPlanKillsInsideWorld(t *testing.T) {
 	plan := NewPlan().Add(AtCheckpoint(1, "die-here"))
-	w, err := mpi.NewWorldFromConfig(mpi.Config{Size: 2, Deadline: 30 * time.Second, Hook: plan.Hook()})
+	w, err := mpi.NewWorld(2, mpi.WithDeadline(30*time.Second), mpi.WithHook(plan.Hook()))
 	if err != nil {
 		t.Fatal(err)
 	}

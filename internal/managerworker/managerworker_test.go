@@ -11,13 +11,9 @@ import (
 )
 
 // runMW executes a manager/worker world; rank 0 manages.
-func runMW(t *testing.T, n, tasks int, mut func(*mpi.Config)) (*Stats, *mpi.RunResult) {
+func runMW(t *testing.T, n, tasks int, opts ...mpi.Option) (*Stats, *mpi.RunResult) {
 	t.Helper()
-	mcfg := mpi.Config{Size: n, Deadline: 30 * time.Second}
-	if mut != nil {
-		mut(&mcfg)
-	}
-	w, err := mpi.NewWorldFromConfig(mcfg)
+	w, err := mpi.NewWorld(n, append([]mpi.Option{mpi.WithDeadline(30 * time.Second)}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +55,7 @@ func verifyResults(t *testing.T, stats *Stats, tasks int) {
 func TestAllTasksCompleteFailureFree(t *testing.T) {
 	for _, n := range []int{2, 3, 5, 9} {
 		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
-			stats, res := runMW(t, n, 20, nil)
+			stats, res := runMW(t, n, 20)
 			verifyResults(t, stats, 20)
 			if stats.WorkersLost != 0 || stats.Reassigned != 0 {
 				t.Fatalf("unexpected failures: %+v", stats)
@@ -78,7 +74,7 @@ func TestAllTasksCompleteFailureFree(t *testing.T) {
 // the failed AnySource receive and reassign.
 func TestWorkerDiesHoldingTask(t *testing.T) {
 	plan := inject.NewPlan().Add(inject.AtCheckpoint(2, "computed"))
-	stats, res := runMW(t, 4, 12, func(m *mpi.Config) { m.Hook = plan.Hook() })
+	stats, res := runMW(t, 4, 12, mpi.WithHook(plan.Hook()))
 	verifyResults(t, stats, 12)
 	if !res.Ranks[2].Killed {
 		t.Fatalf("rank 2 should have died: %+v", res.Ranks[2])
@@ -96,7 +92,7 @@ func TestWorkerDiesHoldingTask(t *testing.T) {
 // task must not be double-counted.
 func TestWorkerDiesAfterSendingResult(t *testing.T) {
 	plan := inject.NewPlan().Add(inject.AfterNthSend(2, 1))
-	stats, res := runMW(t, 4, 12, func(m *mpi.Config) { m.Hook = plan.Hook() })
+	stats, res := runMW(t, 4, 12, mpi.WithHook(plan.Hook()))
 	verifyResults(t, stats, 12)
 	if !res.Ranks[2].Killed {
 		t.Fatal("rank 2 should have died")
@@ -111,7 +107,7 @@ func TestMultipleWorkerDeaths(t *testing.T) {
 		inject.AtCheckpoint(1, "computed"),
 		inject.AtCheckpoint(3, "computed"),
 	)
-	stats, res := runMW(t, 5, 16, func(m *mpi.Config) { m.Hook = plan.Hook() })
+	stats, res := runMW(t, 5, 16, mpi.WithHook(plan.Hook()))
 	verifyResults(t, stats, 16)
 	if stats.WorkersLost != 2 {
 		t.Fatalf("workers lost %d, want 2", stats.WorkersLost)
@@ -138,8 +134,7 @@ func TestAllWorkersDie(t *testing.T) {
 		inject.AtCheckpoint(1, "computed"),
 		inject.AtCheckpoint(2, "computed"),
 	)
-	mcfg := mpi.Config{Size: 3, Deadline: 30 * time.Second, Hook: plan.Hook()}
-	w, err := mpi.NewWorldFromConfig(mcfg)
+	w, err := mpi.NewWorld(3, mpi.WithDeadline(30*time.Second), mpi.WithHook(plan.Hook()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +175,7 @@ func TestTaskCodecRoundTrip(t *testing.T) {
 }
 
 func TestManagerMustBeRankZero(t *testing.T) {
-	w, err := mpi.NewWorldFromConfig(mpi.Config{Size: 2, Deadline: 10 * time.Second})
+	w, err := mpi.NewWorld(2, mpi.WithDeadline(10*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}

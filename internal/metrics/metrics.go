@@ -42,6 +42,28 @@ const (
 	Elections
 	// NeighborScans counts fault-aware neighbor recomputations (Fig. 4 loops).
 	NeighborScans
+	// FramesDropped counts frames the chaos fabric dropped (including
+	// frames eaten by a scheduled link partition).
+	FramesDropped
+	// FramesDuplicated counts frames the chaos fabric sent twice.
+	FramesDuplicated
+	// FramesCorrupted counts frames whose payload the chaos fabric bit-flipped.
+	FramesCorrupted
+	// FramesDelayed counts frames the chaos fabric held for delay jitter.
+	FramesDelayed
+	// FramesReordered counts frames the chaos fabric delivered out of order.
+	FramesReordered
+	// FramesRetried counts reliability-sublayer retransmissions.
+	FramesRetried
+	// FramesRejected counts frames the reliability sublayer rejected for an
+	// end-to-end payload CRC mismatch (corruption above the wire codec).
+	FramesRejected
+	// FramesDeduped counts duplicate frames suppressed by receiver-side
+	// sequence tracking before they could reach the matching engine.
+	FramesDeduped
+	// LinkEscalations counts links whose retry budget was exhausted,
+	// demoting the peer to fail-stop via the detector.
+	LinkEscalations
 	numCounters
 )
 
@@ -49,6 +71,9 @@ var counterNames = [numCounters]string{
 	"sends", "recvs", "bytes_sent", "bytes_recv", "errors", "resends",
 	"dups_dropped", "dups_forwarded", "iterations", "validates",
 	"agreement_msgs", "elections", "neighbor_scans",
+	"frames_dropped", "frames_duplicated", "frames_corrupted",
+	"frames_delayed", "frames_reordered", "frames_retried",
+	"frames_rejected", "frames_deduped", "link_escalations",
 }
 
 // String returns the counter's table-column name.

@@ -20,7 +20,7 @@ func runWorld(t *testing.T, n int, fn func(p *Proc) error) *RunResult {
 
 func runWorldErr(t *testing.T, n int, fn func(p *Proc) error) (*RunResult, error) {
 	t.Helper()
-	w, err := NewWorldFromConfig(Config{Size: n, Deadline: 30 * time.Second})
+	w, err := NewWorld(n, WithDeadline(30*time.Second))
 	if err != nil {
 		t.Fatalf("NewWorld: %v", err)
 	}
@@ -447,7 +447,7 @@ func TestIprobe(t *testing.T) {
 }
 
 func TestAbortUnwindsEveryone(t *testing.T) {
-	w, err := NewWorldFromConfig(Config{Size: 3, Deadline: 30 * time.Second})
+	w, err := NewWorld(3, WithDeadline(30*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -475,7 +475,7 @@ func TestAbortUnwindsEveryone(t *testing.T) {
 }
 
 func TestDeadlineReportsStuckRanks(t *testing.T) {
-	w, err := NewWorldFromConfig(Config{Size: 2, Deadline: 100 * time.Millisecond})
+	w, err := NewWorld(2, WithDeadline(100*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -497,7 +497,7 @@ func TestDeadlineReportsStuckRanks(t *testing.T) {
 }
 
 func TestErrorsAreFatalAborts(t *testing.T) {
-	w, err := NewWorldFromConfig(Config{Size: 2, Deadline: 30 * time.Second})
+	w, err := NewWorld(2, WithDeadline(30*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -519,10 +519,9 @@ func TestErrorsAreFatalAborts(t *testing.T) {
 
 func TestHookKillAfterNthRecvIsDeterministic(t *testing.T) {
 	var recvs int
-	w, err := NewWorldFromConfig(Config{
-		Size:     2,
-		Deadline: 30 * time.Second,
-		Hook: func(ev HookEvent) Action {
+	w, err := NewWorld(2,
+		WithDeadline(30*time.Second),
+		WithHook(func(ev HookEvent) Action {
 			if ev.Rank == 1 && ev.Point == HookAfterRecv {
 				recvs++
 				if recvs == 3 {
@@ -530,8 +529,8 @@ func TestHookKillAfterNthRecvIsDeterministic(t *testing.T) {
 				}
 			}
 			return ActNone
-		},
-	})
+		}),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -570,7 +569,7 @@ func TestHookKillAfterNthRecvIsDeterministic(t *testing.T) {
 }
 
 func TestKillWakesBlockedRank(t *testing.T) {
-	w, err := NewWorldFromConfig(Config{Size: 2, Deadline: 30 * time.Second})
+	w, err := NewWorld(2, WithDeadline(30*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,7 +3,9 @@ package mpi
 import (
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/metrics"
+	"repro/internal/reliable"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -46,4 +48,23 @@ func WithDeadline(d time.Duration) Option {
 // modelling failure-detection latency. Zero delivers synchronously.
 func WithNotifyDelay(d time.Duration) Option {
 	return func(cfg *Config) { cfg.NotifyDelay = d }
+}
+
+// WithChaos injects seeded network faults from the plan between the
+// engines and the fabric. It implies the reliability sublayer
+// (WithReliability), which is what lets the runtime run through the
+// injected drop/duplication/corruption rather than hang on them.
+func WithChaos(plan *chaos.Plan) Option {
+	return func(cfg *Config) { cfg.Chaos = plan }
+}
+
+// WithReliability enables the reliability sublayer — per-link sequence
+// numbers, acks, receiver-side dedup, bounded retransmission, and
+// escalation of exhausted links to fail-stop — without a chaos plan.
+// Zero option fields take the reliable package defaults.
+func WithReliability(opts reliable.Options) Option {
+	return func(cfg *Config) {
+		cfg.Reliable = true
+		cfg.ReliableOptions = opts
+	}
 }

@@ -139,7 +139,7 @@ func TestSendValidation(t *testing.T) {
 }
 
 func TestWorldRunTwiceRejected(t *testing.T) {
-	w, err := NewWorldFromConfig(Config{Size: 1})
+	w, err := NewWorld(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,6 +151,10 @@ func TestWorldRunTwiceRejected(t *testing.T) {
 	}
 }
 
+// TestNewWorldValidation exercises size validation through the deprecated
+// Config constructor — deliberately the last remaining test of
+// NewWorldFromConfig, kept as its compatibility coverage until the
+// positional path is removed.
 func TestNewWorldValidation(t *testing.T) {
 	if _, err := NewWorldFromConfig(Config{Size: 0}); !errors.Is(err, ErrInvalidArg) {
 		t.Fatalf("zero-size world accepted: %v", err)

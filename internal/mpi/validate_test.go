@@ -105,7 +105,7 @@ func TestValidateAllCoordinatorDies(t *testing.T) {
 func TestValidateAllKillDuringAgreement(t *testing.T) {
 	var mu sync.Mutex
 	counts := map[int]int{}
-	w, err := NewWorldFromConfig(Config{Size: 4, Deadline: 30 * time.Second})
+	w, err := NewWorld(4, WithDeadline(30*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +257,7 @@ func TestValidateAllAgreementProperty(t *testing.T) {
 		}
 		var mu sync.Mutex
 		counts := map[int]int{}
-		w, err := NewWorldFromConfig(Config{Size: n, Deadline: 30 * time.Second})
+		w, err := NewWorld(n, WithDeadline(30*time.Second))
 		if err != nil {
 			return false
 		}

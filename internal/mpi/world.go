@@ -6,8 +6,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/detector"
 	"repro/internal/metrics"
+	"repro/internal/reliable"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -36,6 +38,18 @@ type Config struct {
 	// NotifyDelay delays failure notifications to surviving ranks,
 	// modelling failure-detection latency. Zero delivers synchronously.
 	NotifyDelay time.Duration
+	// Chaos injects seeded network faults (drop, duplication, corruption,
+	// jitter, reordering, partitions) between the engines and the fabric;
+	// nil disables. Setting it implies the reliability sublayer, which is
+	// what lets the runtime survive the injected faults.
+	Chaos *chaos.Plan
+	// Reliable enables the reliability sublayer (sequence numbers, acks,
+	// dedup, bounded retransmission with fail-stop escalation) even
+	// without a chaos plan.
+	Reliable bool
+	// ReliableOptions tunes the reliability sublayer; zero fields take
+	// the package defaults.
+	ReliableOptions reliable.Options
 }
 
 // World is one MPI universe: a fixed set of ranks, a fabric, and the
@@ -49,6 +63,7 @@ type World struct {
 	metrics  *metrics.World
 	hook     HookFunc
 	deadline time.Duration
+	reliable *reliable.Fabric // non-nil when the reliability sublayer is on
 
 	// nonRetaining records that the fabric copies everything it needs
 	// inside Send (transport.NonRetaining), so the p2p send path may hand
@@ -90,6 +105,23 @@ func NewWorldFromConfig(cfg Config) (*World, error) {
 	if fabric == nil {
 		fabric = transport.NewLocal()
 	}
+	// Layer the adversarial network and its antidote over the base fabric:
+	// engine -> reliable -> chaos -> base. Chaos injects faults on the way
+	// down; the reliability sublayer re-sequences, deduplicates, CRC-checks
+	// and retransmits on the way up, escalating dead links to fail-stop.
+	var chaosFab *chaos.Fabric
+	var relFab *reliable.Fabric
+	if cfg.Chaos != nil {
+		chaosFab = chaos.Wrap(fabric, cfg.Chaos)
+		fabric = chaosFab
+	}
+	if cfg.Chaos != nil || cfg.Reliable {
+		relFab = reliable.Wrap(fabric, cfg.ReliableOptions)
+		fabric = relFab
+	}
+	// The reliability fabric retains packets for retransmission, so it is
+	// never NonRetaining: the p2p path's defensive payload copy is exactly
+	// what hands it an ownable buffer.
 	_, nonRetaining := fabric.(transport.NonRetaining)
 	w := &World{
 		size:         cfg.Size,
@@ -99,17 +131,75 @@ func NewWorldFromConfig(cfg Config) (*World, error) {
 		metrics:      cfg.Metrics,
 		hook:         cfg.Hook,
 		deadline:     cfg.Deadline,
+		reliable:     relFab,
 		nonRetaining: nonRetaining,
 		abortCh:      make(chan struct{}),
 	}
 	if cfg.NotifyDelay > 0 {
 		w.registry.SetNotifyDelay(cfg.NotifyDelay)
 	}
+	if chaosFab != nil {
+		chaosFab.Observe(w.onChaosEvent)
+	}
+	if relFab != nil {
+		relFab.Observe(w.onReliableEvent)
+		relFab.Escalate(func(peer int) { w.registry.Kill(peer) })
+	}
 	w.engines = make([]*engine, cfg.Size)
 	for i := range w.engines {
 		w.engines[i] = newEngine(w, i)
 	}
 	return w, nil
+}
+
+// onChaosEvent maps an injected network fault to metrics counters and a
+// trace event, attributed to the sending side of the link.
+func (w *World) onChaosEvent(e chaos.Event) {
+	var counter metrics.Counter
+	var kind trace.Kind
+	switch e.Kind {
+	case chaos.EvDrop:
+		counter, kind = metrics.FramesDropped, trace.ChaosDrop
+	case chaos.EvDup:
+		counter, kind = metrics.FramesDuplicated, trace.ChaosDup
+	case chaos.EvCorrupt:
+		counter, kind = metrics.FramesCorrupted, trace.ChaosCorrupt
+	case chaos.EvDelay:
+		counter, kind = metrics.FramesDelayed, trace.ChaosDelay
+	case chaos.EvReorder:
+		counter, kind = metrics.FramesReordered, trace.ChaosReorder
+	case chaos.EvPartition:
+		counter, kind = metrics.FramesDropped, trace.ChaosPartition
+	default:
+		return
+	}
+	w.metrics.Inc(e.Src, counter)
+	w.tracer.Record(e.Src, kind, e.Dst, -1, -1,
+		fmt.Sprintf("frame=%d seq=%d", e.Frame, e.Seq))
+}
+
+// onReliableEvent maps a reliability-sublayer action to metrics counters
+// and a trace event. Retries and escalations are attributed to the
+// sender; rejects and dedups to the receiver.
+func (w *World) onReliableEvent(e reliable.Event) {
+	switch e.Kind {
+	case reliable.EvRetry:
+		w.metrics.Inc(e.Src, metrics.FramesRetried)
+		w.tracer.Record(e.Src, trace.FrameRetry, e.Dst, -1, -1,
+			fmt.Sprintf("seq=%d attempt=%d", e.Seq, e.Attempt))
+	case reliable.EvReject:
+		w.metrics.Inc(e.Dst, metrics.FramesRejected)
+		w.tracer.Record(e.Dst, trace.FrameReject, e.Src, -1, -1,
+			fmt.Sprintf("seq=%d crc mismatch", e.Seq))
+	case reliable.EvDedup:
+		w.metrics.Inc(e.Dst, metrics.FramesDeduped)
+		w.tracer.Record(e.Dst, trace.FrameDedup, e.Src, -1, -1,
+			fmt.Sprintf("seq=%d", e.Seq))
+	case reliable.EvEscalate:
+		w.metrics.Inc(e.Src, metrics.LinkEscalations)
+		w.tracer.Record(e.Src, trace.LinkEscalated, e.Dst, -1, -1,
+			fmt.Sprintf("seq=%d retries exhausted after %d attempts", e.Seq, e.Attempt-1))
+	}
 }
 
 // Size returns the number of ranks in the world (alive or failed).
@@ -218,6 +308,11 @@ func (w *World) Run(fn func(p *Proc) error) (*RunResult, error) {
 		}
 		w.registry.Subscribe(func(f int) {
 			w.tracer.Record(f, trace.Killed, -1, -1, -1, "fail-stop")
+			if w.reliable != nil {
+				// Stop retransmitting toward the dead rank before the
+				// engines learn of the failure: fail-stop, not lossy.
+				w.reliable.PeerDown(f)
+			}
 			w.engines[f].markDead()
 			for _, e := range w.engines {
 				if e.rank != f {

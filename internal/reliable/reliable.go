@@ -1,0 +1,386 @@
+// Package reliable is the reliability sublayer between the MPI engine and
+// a lossy fabric: per-(src,dst) monotonic sequence numbers, receiver-side
+// deduplication and in-order resequencing, per-frame acknowledgements with
+// bounded exponential-backoff retransmission, and end-to-end payload CRC
+// verification. It turns the chaos fabric's lossy, duplicating, corrupting
+// links back into the reliable FIFO channels the matching engine assumes.
+//
+// Escalation is the deliberate design point: when a link's retry budget is
+// exhausted the peer is reported to the failure detector as failed. A
+// partitioned or hopelessly lossy link thereby degrades into exactly the
+// fail-stop failure model of Hursey & Graham 2011 — the run-through
+// stabilization machinery (validate_all, iteration markers, Fig. 5
+// failover) takes over from there, and the run still terminates with the
+// paper's semantics.
+//
+// Layering: reliable wraps chaos, which wraps the base fabric. The
+// reliable fabric intentionally does NOT implement transport.NonRetaining:
+// the mpi world therefore makes a defensive copy of every user payload
+// before Send, which is precisely what lets this layer retain the packet
+// for retransmission without another copy.
+package reliable
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Options tune the retransmission machinery. Zero fields take defaults.
+type Options struct {
+	// RetryBase is the first retransmission backoff (default 2ms).
+	RetryBase time.Duration
+	// RetryMax caps the exponential backoff (default 50ms).
+	RetryMax time.Duration
+	// MaxRetries is the retransmission budget per frame; exceeding it
+	// escalates the peer to fail-stop (default 12).
+	MaxRetries int
+	// Tick is the retry scan interval (default 1ms).
+	Tick time.Duration
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.RetryBase <= 0 {
+		o.RetryBase = 2 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 50 * time.Millisecond
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 12
+	}
+	if o.Tick <= 0 {
+		o.Tick = time.Millisecond
+	}
+	return o
+}
+
+// EventKind classifies a reliability event.
+type EventKind int
+
+const (
+	// EvRetry is one retransmission of an unacknowledged frame.
+	EvRetry EventKind = iota
+	// EvReject is a frame discarded for an end-to-end payload CRC
+	// mismatch; no ack is sent, so the sender retransmits the original.
+	EvReject
+	// EvDedup is a duplicate frame suppressed by sequence tracking.
+	EvDedup
+	// EvEscalate is a link whose retry budget was exhausted: the peer is
+	// reported to the detector as failed.
+	EvEscalate
+)
+
+var eventNames = map[EventKind]string{
+	EvRetry: "retry", EvReject: "reject", EvDedup: "dedup", EvEscalate: "escalate",
+}
+
+// String returns the event-kind name.
+func (k EventKind) String() string {
+	if s, ok := eventNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one reliability action, reported to the observer (the mpi
+// world maps these to metrics counters and trace events). Src and Dst are
+// the affected frame's link direction; Attempt is the retransmission
+// ordinal for EvRetry/EvEscalate.
+type Event struct {
+	Kind    EventKind
+	Src     int
+	Dst     int
+	Seq     uint64
+	Attempt int
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("%s %d->%d seq=%d attempt=%d", e.Kind, e.Src, e.Dst, e.Seq, e.Attempt)
+}
+
+// pending is one unacknowledged outbound frame.
+type pending struct {
+	pkt       *transport.Packet
+	attempts  int
+	nextRetry time.Time
+}
+
+// txLink is the sender half of one directional link.
+type txLink struct {
+	nextSeq  uint64
+	inflight map[uint64]*pending
+}
+
+// rxLink is the receiver half: frames are deduplicated against next and
+// held, and delivered upstream strictly in sequence order.
+type rxLink struct {
+	next     uint64 // the next sequence number to deliver upstream
+	held     map[uint64]*transport.Packet
+	draining bool // one goroutine at a time drains held, preserving order
+}
+
+// Fabric is the reliability sublayer. Wrap it around a (possibly chaotic)
+// fabric and hand it to the mpi world like any other fabric.
+type Fabric struct {
+	inner   transport.Fabric
+	opts    Options
+	deliver transport.DeliverFunc
+
+	// escalate, if set (before Start), is invoked — without any fabric
+	// lock held — when a link's retry budget is exhausted. The mpi world
+	// wires it to the failure detector's Kill.
+	escalate func(peer int)
+	// onEvent, if set (before Start), observes every reliability action.
+	onEvent func(Event)
+
+	mu   sync.Mutex
+	tx   map[[2]int]*txLink
+	rx   map[[2]int]*rxLink
+	dead map[int]bool // peers purged by PeerDown or escalation
+
+	done    chan struct{}
+	closing sync.Once
+	wg      sync.WaitGroup
+}
+
+// Wrap builds a reliability fabric over inner.
+func Wrap(inner transport.Fabric, opts Options) *Fabric {
+	return &Fabric{
+		inner: inner,
+		opts:  opts.withDefaults(),
+		tx:    make(map[[2]int]*txLink),
+		rx:    make(map[[2]int]*rxLink),
+		dead:  make(map[int]bool),
+		done:  make(chan struct{}),
+	}
+}
+
+// Escalate registers the retry-exhaustion callback. Call before Start.
+func (f *Fabric) Escalate(fn func(peer int)) { f.escalate = fn }
+
+// Observe registers a reliability-event observer. Call before Start; the
+// callback must not re-enter the fabric.
+func (f *Fabric) Observe(fn func(Event)) { f.onEvent = fn }
+
+// Inner returns the wrapped fabric.
+func (f *Fabric) Inner() transport.Fabric { return f.inner }
+
+// Start starts the wrapped fabric with this layer's receive path spliced
+// in, and launches the retransmission loop.
+func (f *Fabric) Start(deliver transport.DeliverFunc) error {
+	if deliver == nil {
+		return fmt.Errorf("reliable: nil delivery callback")
+	}
+	f.deliver = deliver
+	if err := f.inner.Start(f.onDeliver); err != nil {
+		return err
+	}
+	f.wg.Add(1)
+	go f.retryLoop()
+	return nil
+}
+
+// Close stops the retransmission loop (abandoning unacknowledged frames)
+// and closes the wrapped fabric.
+func (f *Fabric) Close() error {
+	f.closing.Do(func() { close(f.done) })
+	f.wg.Wait()
+	return f.inner.Close()
+}
+
+// emit reports a reliability event to the observer.
+func (f *Fabric) emit(e Event) {
+	if f.onEvent != nil {
+		f.onEvent(e)
+	}
+}
+
+// PeerDown purges all state toward and from a failed peer: inflight
+// frames stop retrying (their destination is dead — fail-stop, not lossy)
+// and partially resequenced inbound state is released. The mpi world
+// calls it from its detector subscription.
+func (f *Fabric) PeerDown(rank int) {
+	f.mu.Lock()
+	f.dead[rank] = true
+	for key := range f.tx {
+		if key[1] == rank {
+			delete(f.tx, key)
+		}
+	}
+	for key := range f.rx {
+		if key[0] == rank {
+			delete(f.rx, key)
+		}
+	}
+	f.mu.Unlock()
+}
+
+// Send stamps the packet with the link's next sequence number and its
+// end-to-end payload CRC, records it for retransmission, and forwards it.
+// The packet (header and payload) is retained until acknowledged; callers
+// must not mutate it after Send — the mpi world guarantees this by
+// copying user buffers (the fabric is not NonRetaining).
+func (f *Fabric) Send(pkt *transport.Packet) error {
+	select {
+	case <-f.done:
+		return nil
+	default:
+	}
+	f.mu.Lock()
+	if f.dead[pkt.Dst] {
+		f.mu.Unlock()
+		return nil // fail-stop peer: silent drop per the Fabric contract
+	}
+	key := [2]int{pkt.Src, pkt.Dst}
+	tx := f.tx[key]
+	if tx == nil {
+		tx = &txLink{inflight: make(map[uint64]*pending)}
+		f.tx[key] = tx
+	}
+	tx.nextSeq++
+	pkt.Seq = tx.nextSeq
+	pkt.Crc = transport.PayloadCrc(pkt.Payload)
+	tx.inflight[pkt.Seq] = &pending{pkt: pkt, nextRetry: time.Now().Add(f.opts.RetryBase)}
+	f.mu.Unlock()
+	return f.inner.Send(pkt)
+}
+
+// onDeliver is the receive path: acks retire inflight frames; sequenced
+// frames are CRC-checked, acknowledged, deduplicated, and released
+// upstream strictly in order. No fabric lock is held while calling the
+// inner Send (the ack) or the upstream deliver — over the synchronous
+// Local fabric both re-enter this layer on the same goroutine.
+func (f *Fabric) onDeliver(dst int, pkt *transport.Packet) {
+	if pkt.Kind == transport.KindAck {
+		f.mu.Lock()
+		if tx := f.tx[[2]int{pkt.Dst, pkt.Src}]; tx != nil {
+			delete(tx.inflight, pkt.Seq)
+		}
+		f.mu.Unlock()
+		return
+	}
+	if pkt.Seq == 0 {
+		f.deliver(dst, pkt) // unsequenced traffic passes through
+		return
+	}
+	if transport.PayloadCrc(pkt.Payload) != pkt.Crc {
+		// Corrupted above the wire codec (or a codec-less fabric). No ack:
+		// the sender's retransmission carries the intact original.
+		f.emit(Event{Kind: EvReject, Src: pkt.Src, Dst: dst, Seq: pkt.Seq})
+		return
+	}
+	f.mu.Lock()
+	if f.dead[pkt.Src] {
+		f.mu.Unlock()
+		return // straggler from a fail-stop peer
+	}
+	f.mu.Unlock()
+
+	// Ack first, before dedup: the frame may be a retransmission whose
+	// previous ack was lost, and re-acking is what stops the retries.
+	_ = f.inner.Send(&transport.Packet{
+		Src: dst, Dst: pkt.Src, Kind: transport.KindAck, Seq: pkt.Seq,
+	})
+
+	key := [2]int{pkt.Src, dst}
+	f.mu.Lock()
+	rx := f.rx[key]
+	if rx == nil {
+		rx = &rxLink{next: 1, held: make(map[uint64]*transport.Packet)}
+		f.rx[key] = rx
+	}
+	if pkt.Seq < rx.next || rx.held[pkt.Seq] != nil {
+		f.mu.Unlock()
+		f.emit(Event{Kind: EvDedup, Src: pkt.Src, Dst: dst, Seq: pkt.Seq})
+		return
+	}
+	rx.held[pkt.Seq] = pkt
+	if rx.draining {
+		f.mu.Unlock()
+		return // the draining goroutine will pick it up in order
+	}
+	rx.draining = true
+	for {
+		p := rx.held[rx.next]
+		if p == nil {
+			rx.draining = false
+			f.mu.Unlock()
+			return
+		}
+		delete(rx.held, rx.next)
+		rx.next++
+		f.mu.Unlock()
+		f.deliver(dst, p)
+		f.mu.Lock()
+	}
+}
+
+// retryLoop periodically rescans inflight frames, retransmitting overdue
+// ones with exponential backoff and escalating links whose budget is
+// exhausted. Sends and escalations run outside the fabric lock.
+func (f *Fabric) retryLoop() {
+	defer f.wg.Done()
+	ticker := time.NewTicker(f.opts.Tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.done:
+			return
+		case now := <-ticker.C:
+			var resend []*transport.Packet
+			var retryEvs []Event
+			var escalations []Event
+			f.mu.Lock()
+			for key, tx := range f.tx {
+				exhausted := false
+				for seq, p := range tx.inflight {
+					if now.Before(p.nextRetry) {
+						continue
+					}
+					p.attempts++
+					if p.attempts > f.opts.MaxRetries {
+						exhausted = true
+						escalations = append(escalations, Event{
+							Kind: EvEscalate, Src: key[0], Dst: key[1],
+							Seq: seq, Attempt: p.attempts,
+						})
+						break
+					}
+					backoff := f.opts.RetryBase << (p.attempts - 1)
+					if backoff > f.opts.RetryMax {
+						backoff = f.opts.RetryMax
+					}
+					p.nextRetry = now.Add(backoff)
+					resend = append(resend, p.pkt)
+					retryEvs = append(retryEvs, Event{
+						Kind: EvRetry, Src: key[0], Dst: key[1],
+						Seq: seq, Attempt: p.attempts,
+					})
+				}
+				if exhausted {
+					// The peer is being demoted to fail-stop: every frame
+					// to it is undeliverable, not just the overdue one.
+					f.dead[key[1]] = true
+					delete(f.tx, key)
+				}
+			}
+			f.mu.Unlock()
+			for i, pkt := range resend {
+				_ = f.inner.Send(pkt)
+				f.emit(retryEvs[i])
+			}
+			for _, ev := range escalations {
+				f.PeerDown(ev.Dst) // purge every link touching the demoted peer
+				f.emit(ev)
+				if f.escalate != nil {
+					f.escalate(ev.Dst)
+				}
+			}
+		}
+	}
+}

@@ -46,25 +46,55 @@ const (
 	TermRecv
 	// ValidateDone marks completion of MPI_Comm_validate_all (Fig. 13).
 	ValidateDone
+	// ChaosDrop marks a frame dropped by the chaos fabric.
+	ChaosDrop
+	// ChaosDup marks a frame duplicated by the chaos fabric.
+	ChaosDup
+	// ChaosCorrupt marks a payload bit-flipped by the chaos fabric.
+	ChaosCorrupt
+	// ChaosDelay marks a frame held for delay jitter by the chaos fabric.
+	ChaosDelay
+	// ChaosReorder marks a frame delivered out of order by the chaos fabric.
+	ChaosReorder
+	// ChaosPartition marks a frame eaten by a scheduled link partition.
+	ChaosPartition
+	// FrameRetry marks a reliability-sublayer retransmission.
+	FrameRetry
+	// FrameReject marks a frame rejected for an end-to-end CRC mismatch.
+	FrameReject
+	// FrameDedup marks a duplicate frame suppressed by sequence tracking.
+	FrameDedup
+	// LinkEscalated marks a peer demoted to fail-stop after retry exhaustion.
+	LinkEscalated
 	// Note is a free-form annotation.
 	Note
 )
 
 var kindNames = map[Kind]string{
-	SendPosted:    "send",
-	RecvPosted:    "recv-post",
-	RecvCompleted: "recv",
-	OpFailed:      "op-failed",
-	Killed:        "killed",
-	Resend:        "resend",
-	DupDropped:    "dup-dropped",
-	DupForwarded:  "dup-forwarded",
-	IterDone:      "iter-done",
-	Elected:       "elected",
-	TermSent:      "term-sent",
-	TermRecv:      "term-recv",
-	ValidateDone:  "validate-done",
-	Note:          "note",
+	SendPosted:     "send",
+	RecvPosted:     "recv-post",
+	RecvCompleted:  "recv",
+	OpFailed:       "op-failed",
+	Killed:         "killed",
+	Resend:         "resend",
+	DupDropped:     "dup-dropped",
+	DupForwarded:   "dup-forwarded",
+	IterDone:       "iter-done",
+	Elected:        "elected",
+	TermSent:       "term-sent",
+	TermRecv:       "term-recv",
+	ValidateDone:   "validate-done",
+	ChaosDrop:      "chaos-drop",
+	ChaosDup:       "chaos-dup",
+	ChaosCorrupt:   "chaos-corrupt",
+	ChaosDelay:     "chaos-delay",
+	ChaosReorder:   "chaos-reorder",
+	ChaosPartition: "chaos-partition",
+	FrameRetry:     "frame-retry",
+	FrameReject:    "frame-reject",
+	FrameDedup:     "frame-dedup",
+	LinkEscalated:  "link-escalated",
+	Note:           "note",
 }
 
 // String returns the event-kind name used in rendered timelines.

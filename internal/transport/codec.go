@@ -4,13 +4,14 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sync"
 )
 
 // Binary wire format for the TCP fabric (CodecBinary).
 //
-// Every packet is one frame: a fixed 34-byte little-endian header followed
+// Every packet is one frame: a fixed 42-byte little-endian header followed
 // by the raw payload bytes. The header carries every Packet field plus the
 // payload length, so a frame is self-delimiting and decodable with exactly
 // two reads (header, payload) into caller-provided buffers — no reflection
@@ -19,28 +20,58 @@ import (
 //
 //	offset size field
 //	0      4    magic   (0x46544D50, "FTMP")
-//	4      1    version (1)
+//	4      1    version (2)
 //	5      1    kind
 //	6      4    src     (int32)
 //	10     4    dst     (int32)
 //	14     4    tag     (int32)
 //	18     4    context (int32)
 //	22     8    seq     (uint64)
-//	30     4    payload length (uint32)
-//	34     ...  payload
+//	30     4    payload crc (Packet.Crc, end-to-end; carried verbatim)
+//	34     4    payload length (uint32)
+//	38     4    frame crc (CRC-32C over header[0:38] + payload)
+//	42     ...  payload
+//
+// Two CRCs with different jobs: the frame CRC is wire-level integrity —
+// computed at encode time, verified by ReadFrame, so a frame mangled in
+// flight is rejected (ErrFrameCorrupt) before any of its fields are
+// trusted. The payload CRC is end-to-end — stamped by the reliability
+// sublayer at the sender, carried opaquely through every fabric and codec,
+// and verified just below the engine, so corruption introduced *between*
+// codecs (e.g. by a buffering wrapper, or a fault-injecting fabric) is
+// still caught. CRC-32C (Castagnoli) detects all burst errors up to 32
+// bits, which the corruption fuzz test relies on.
 const (
 	// FrameHeaderSize is the fixed size of the binary frame header.
-	FrameHeaderSize = 34
+	FrameHeaderSize = 42
 	// MaxFramePayload bounds a frame's payload length; decoders reject
 	// larger lengths rather than trusting the wire with the allocation.
 	MaxFramePayload = 1 << 27
 
 	frameMagic   uint32 = 0x46544D50 // "FTMP"
-	frameVersion byte   = 1
+	frameVersion byte   = 2
+
+	// frameCrcOffset is where the frame CRC lives; it covers [0, frameCrcOffset).
+	frameCrcOffset = 38
 )
 
-// ErrFrameCorrupt reports a frame whose header failed validation.
-var ErrFrameCorrupt = errors.New("transport: corrupt frame header")
+// crcTable is the Castagnoli polynomial table shared by both CRCs.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// PayloadCrc returns the end-to-end CRC-32C of a payload, the value the
+// reliability sublayer stamps into Packet.Crc before a data packet enters
+// the fabric chain and verifies on arrival. The empty payload hashes to 0,
+// conveniently matching the zero value of an unchecked packet.
+func PayloadCrc(b []byte) uint32 {
+	if len(b) == 0 {
+		return 0
+	}
+	return crc32.Checksum(b, crcTable)
+}
+
+// ErrFrameCorrupt reports a frame that failed header validation or whose
+// frame CRC did not match its contents.
+var ErrFrameCorrupt = errors.New("transport: corrupt frame")
 
 // fitsInt32 reports whether v survives an int32 round trip.
 func fitsInt32(v int) bool { return int(int32(v)) == v }
@@ -64,7 +95,11 @@ func AppendFrame(dst []byte, pkt *Packet) ([]byte, error) {
 	binary.LittleEndian.PutUint32(hdr[14:18], uint32(int32(pkt.Tag)))
 	binary.LittleEndian.PutUint32(hdr[18:22], uint32(int32(pkt.Context)))
 	binary.LittleEndian.PutUint64(hdr[22:30], pkt.Seq)
-	binary.LittleEndian.PutUint32(hdr[30:34], uint32(len(pkt.Payload)))
+	binary.LittleEndian.PutUint32(hdr[30:34], pkt.Crc)
+	binary.LittleEndian.PutUint32(hdr[34:38], uint32(len(pkt.Payload)))
+	fcrc := crc32.Checksum(hdr[:frameCrcOffset], crcTable)
+	fcrc = crc32.Update(fcrc, crcTable, pkt.Payload)
+	binary.LittleEndian.PutUint32(hdr[frameCrcOffset:FrameHeaderSize], fcrc)
 	dst = append(dst, hdr[:]...)
 	dst = append(dst, pkt.Payload...)
 	return dst, nil
@@ -86,7 +121,7 @@ func ReadFrame(r io.Reader, hdr []byte) (*Packet, error) {
 	if hdr[4] != frameVersion {
 		return nil, fmt.Errorf("%w: unknown version %d", ErrFrameCorrupt, hdr[4])
 	}
-	plen := binary.LittleEndian.Uint32(hdr[30:34])
+	plen := binary.LittleEndian.Uint32(hdr[34:38])
 	if plen > MaxFramePayload {
 		return nil, fmt.Errorf("%w: payload length %d exceeds limit %d", ErrFrameCorrupt, plen, MaxFramePayload)
 	}
@@ -97,12 +132,18 @@ func ReadFrame(r io.Reader, hdr []byte) (*Packet, error) {
 		Tag:     int(int32(binary.LittleEndian.Uint32(hdr[14:18]))),
 		Context: int(int32(binary.LittleEndian.Uint32(hdr[18:22]))),
 		Seq:     binary.LittleEndian.Uint64(hdr[22:30]),
+		Crc:     binary.LittleEndian.Uint32(hdr[30:34]),
 	}
 	if plen > 0 {
 		pkt.Payload = make([]byte, plen)
 		if _, err := io.ReadFull(r, pkt.Payload); err != nil {
 			return nil, err
 		}
+	}
+	fcrc := crc32.Checksum(hdr[:frameCrcOffset], crcTable)
+	fcrc = crc32.Update(fcrc, crcTable, pkt.Payload)
+	if got := binary.LittleEndian.Uint32(hdr[frameCrcOffset:FrameHeaderSize]); got != fcrc {
+		return nil, fmt.Errorf("%w: frame crc mismatch (want %#x, got %#x)", ErrFrameCorrupt, fcrc, got)
 	}
 	return pkt, nil
 }

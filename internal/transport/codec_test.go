@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"io"
 	"math/rand"
@@ -20,6 +21,7 @@ func randomPacket(rng *rand.Rand) *Packet {
 		Context: rng.Intn(1 << 10),
 		Kind:    Kind(rng.Intn(2)),
 		Seq:     rng.Uint64(),
+		Crc:     rng.Uint32(),
 	}
 	if n := rng.Intn(512); n > 0 {
 		p.Payload = make([]byte, n)
@@ -101,8 +103,9 @@ func TestBinaryCodecStream(t *testing.T) {
 	}
 }
 
-// TestReadFrameRejectsCorruption: bad magic, bad version and an absurd
-// payload length must all error, never panic or allocate the claim.
+// TestReadFrameRejectsCorruption: bad magic, bad version, an absurd
+// payload length, and any CRC-detectable mangling must all error, never
+// panic or allocate the claim.
 func TestReadFrameRejectsCorruption(t *testing.T) {
 	good, err := AppendFrame(nil, &Packet{Src: 1, Dst: 2, Tag: 3, Payload: []byte("ok")})
 	if err != nil {
@@ -121,8 +124,23 @@ func TestReadFrameRejectsCorruption(t *testing.T) {
 	if err := corrupt(func(b []byte) { b[4] = 99 }); err == nil {
 		t.Fatal("bad version accepted")
 	}
-	if err := corrupt(func(b []byte) { b[30], b[31], b[32], b[33] = 0xff, 0xff, 0xff, 0xff }); err == nil {
+	if err := corrupt(func(b []byte) { b[34], b[35], b[36], b[37] = 0xff, 0xff, 0xff, 0xff }); err == nil {
 		t.Fatal("oversized payload length accepted")
+	}
+	if err := corrupt(func(b []byte) { b[34] = 1 }); err == nil {
+		t.Fatal("shrunk payload length accepted")
+	}
+	if err := corrupt(func(b []byte) { b[30] ^= 0x01 }); err == nil {
+		t.Fatal("flipped payload-crc field accepted")
+	}
+	if err := corrupt(func(b []byte) { b[22] ^= 0x80 }); err == nil {
+		t.Fatal("flipped seq bit accepted")
+	}
+	if err := corrupt(func(b []byte) { b[FrameHeaderSize] ^= 0x04 }); err == nil {
+		t.Fatal("flipped payload bit accepted")
+	}
+	if err := corrupt(func(b []byte) { b[FrameHeaderSize-1] ^= 0xff }); err == nil {
+		t.Fatal("flipped frame-crc byte accepted")
 	}
 }
 
@@ -154,11 +172,11 @@ func TestClonePooledRelease(t *testing.T) {
 // FuzzFrameRoundTrip fuzzes the encode/decode pair over the header fields
 // and payload.
 func FuzzFrameRoundTrip(f *testing.F) {
-	f.Add(0, 1, 5, 7, uint8(0), uint64(3), []byte("payload"))
-	f.Add(3, 0, -2, 0, uint8(1), uint64(0), []byte(nil))
-	f.Add(1<<19, 1<<19, -(1 << 14), 1<<9, uint8(7), ^uint64(0), []byte{0})
-	f.Fuzz(func(t *testing.T, src, dst, tag, ctx int, kind uint8, seq uint64, payload []byte) {
-		p := &Packet{Src: src, Dst: dst, Tag: tag, Context: ctx, Kind: Kind(kind), Seq: seq}
+	f.Add(0, 1, 5, 7, uint8(0), uint64(3), uint32(0), []byte("payload"))
+	f.Add(3, 0, -2, 0, uint8(1), uint64(0), uint32(1), []byte(nil))
+	f.Add(1<<19, 1<<19, -(1 << 14), 1<<9, uint8(7), ^uint64(0), ^uint32(0), []byte{0})
+	f.Fuzz(func(t *testing.T, src, dst, tag, ctx int, kind uint8, seq uint64, crc uint32, payload []byte) {
+		p := &Packet{Src: src, Dst: dst, Tag: tag, Context: ctx, Kind: Kind(kind), Seq: seq, Crc: crc}
 		if len(payload) > 0 {
 			p.Payload = payload
 		}
@@ -177,6 +195,48 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		}
 		if !reflect.DeepEqual(p, q) {
 			t.Fatalf("round trip changed the packet:\ngot  %+v\nwant %+v", q, p)
+		}
+	})
+}
+
+// FuzzFrameCorruption is the integrity proof behind the chaos layer: any
+// nonzero xor burst of up to 4 bytes applied anywhere in an encoded frame
+// must be rejected by ReadFrame — no corrupted frame ever reaches the
+// matching engine. CRC-32C guarantees detection of every error burst of at
+// most 32 bits, so this holds for ALL inputs, not just the ones the fuzzer
+// happens to try. The one excluded window is a burst overlapping the
+// payload-length field: rewriting the length changes how many bytes the
+// decoder even considers, which is outside the burst theorem (those cases
+// are covered deterministically in TestReadFrameRejectsCorruption and by
+// FuzzReadFrame's never-panic property).
+func FuzzFrameCorruption(f *testing.F) {
+	f.Add([]byte("ring token"), 0, uint32(0xff))
+	f.Add([]byte{}, 5, uint32(1))
+	f.Add([]byte{1, 2, 3}, FrameHeaderSize, uint32(0x80000000))
+	f.Fuzz(func(t *testing.T, payload []byte, off int, mask uint32) {
+		if mask == 0 || len(payload) > 1<<16 {
+			t.Skip()
+		}
+		p := &Packet{Src: 1, Dst: 2, Tag: 3, Context: 4, Seq: 99, Payload: payload, Crc: PayloadCrc(payload)}
+		frame, err := AppendFrame(nil, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off < 0 {
+			off = -off
+		}
+		off %= len(frame) - 3 // keep the 4-byte window inside the frame
+		if off < 38 && off+4 > 34 {
+			t.Skip() // burst overlaps the payload-length field
+		}
+		var m [4]byte
+		binary.LittleEndian.PutUint32(m[:], mask)
+		for i := 0; i < 4; i++ {
+			frame[off+i] ^= m[i]
+		}
+		var hdr [FrameHeaderSize]byte
+		if pkt, err := ReadFrame(bytes.NewReader(frame), hdr[:]); err == nil {
+			t.Fatalf("corrupted frame decoded as %+v (burst at %d, mask %#x)", pkt, off, mask)
 		}
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -16,7 +17,7 @@ type Codec uint8
 
 const (
 	// CodecBinary is the length-prefixed binary frame format of codec.go:
-	// a fixed 34-byte header written with encoding/binary into pooled
+	// a fixed 42-byte header written with encoding/binary into pooled
 	// buffers, followed by the raw payload. This is the default.
 	CodecBinary Codec = iota
 	// CodecGob is the original reflection-based gob stream. It is kept as
@@ -68,6 +69,31 @@ type TCP struct {
 
 	wg        sync.WaitGroup // accept + read loops
 	wgWriters sync.WaitGroup // per-connection write loops
+
+	errMu sync.Mutex
+	errs  []error // enriched dial/accept/read failures, see Errors
+}
+
+// recordErr remembers an enriched network failure for Errors. Failures
+// during or after Close are expected teardown noise and are not recorded.
+func (t *TCP) recordErr(err error) {
+	if t.closed.Load() {
+		return
+	}
+	t.errMu.Lock()
+	t.errs = append(t.errs, err)
+	t.errMu.Unlock()
+}
+
+// Errors returns the dial/accept/read failures observed so far, each
+// wrapped with the rank and address context of the link it occurred on
+// (e.g. "dial rank 3 -> rank 5 (127.0.0.1:44321)"). The Fabric contract
+// still drops such packets silently — fail-stop is the engine's concern —
+// but the enriched errors make post-mortems actionable.
+func (t *TCP) Errors() []error {
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return append([]error(nil), t.errs...)
 }
 
 // connState tracks the lifecycle of one outbound connection.
@@ -80,6 +106,7 @@ const (
 )
 
 type tcpConn struct {
+	rank int // destination rank this connection leads to
 	addr string
 
 	mu    sync.Mutex
@@ -130,30 +157,34 @@ func (t *TCP) Start(deliver DeliverFunc) error {
 		}
 		t.listeners[i] = ln
 		t.conns[i] = &tcpConn{
+			rank:   i,
 			addr:   ln.Addr().String(),
 			frames: make(chan *frameBuf, 256),
 			done:   make(chan struct{}),
 		}
 		t.wg.Add(1)
-		go t.acceptLoop(ln)
+		go t.acceptLoop(i, ln)
 	}
 	t.started.Store(true)
 	return nil
 }
 
-func (t *TCP) acceptLoop(ln net.Listener) {
+func (t *TCP) acceptLoop(rank int, ln net.Listener) {
 	defer t.wg.Done()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				t.recordErr(fmt.Errorf("transport: accept for rank %d (%s): %w", rank, ln.Addr(), err))
+			}
 			return // listener closed
 		}
 		t.wg.Add(1)
-		go t.readLoop(conn)
+		go t.readLoop(rank, conn)
 	}
 }
 
-func (t *TCP) readLoop(conn net.Conn) {
+func (t *TCP) readLoop(rank int, conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
 	if t.codec == CodecGob {
@@ -161,6 +192,10 @@ func (t *TCP) readLoop(conn net.Conn) {
 		for {
 			var pkt Packet
 			if err := dec.Decode(&pkt); err != nil {
+				if err != io.EOF {
+					t.recordErr(fmt.Errorf("transport: read for rank %d (%s <- %s): %w",
+						rank, conn.LocalAddr(), conn.RemoteAddr(), err))
+				}
 				return // peer closed or world shut down
 			}
 			if t.closed.Load() {
@@ -174,6 +209,10 @@ func (t *TCP) readLoop(conn net.Conn) {
 	for {
 		pkt, err := ReadFrame(br, hdr[:])
 		if err != nil {
+			if err != io.EOF {
+				t.recordErr(fmt.Errorf("transport: read for rank %d (%s <- %s): %w",
+					rank, conn.LocalAddr(), conn.RemoteAddr(), err))
+			}
 			return // peer closed, world shut down, or corrupt stream
 		}
 		if t.closed.Load() {
@@ -214,7 +253,7 @@ func (t *TCP) sendBinary(tc *tcpConn, pkt *Packet) error {
 		return err // malformed packet: a caller bug, not a network condition
 	}
 	fb.b = b
-	if !tc.ensureDialed(t) {
+	if !tc.ensureDialed(t, pkt.Src) {
 		putFrameBuf(fb)
 		return nil // torn-down destination or racing Close: silent drop
 	}
@@ -230,7 +269,7 @@ func (t *TCP) sendBinary(tc *tcpConn, pkt *Packet) error {
 func (t *TCP) sendGob(tc *tcpConn, pkt *Packet) error {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
-	if !tc.dialLocked(t) {
+	if !tc.dialLocked(t, pkt.Src) {
 		return nil
 	}
 	if err := tc.enc.Encode(pkt); err != nil {
@@ -244,19 +283,17 @@ func (t *TCP) sendGob(tc *tcpConn, pkt *Packet) error {
 }
 
 // ensureDialed dials the destination on first use and starts its write
-// loop. It reports whether the connection is usable.
-func (tc *tcpConn) ensureDialed(t *TCP) bool {
+// loop. It reports whether the connection is usable. src is the sending
+// rank, used only to contextualize a dial failure.
+func (tc *tcpConn) ensureDialed(t *TCP, src int) bool {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
-	if !tc.dialLocked(t) {
-		return false
-	}
-	return true
+	return tc.dialLocked(t, src)
 }
 
 // dialLocked transitions connIdle to connUp (or connDown on failure).
 // Caller holds tc.mu.
-func (tc *tcpConn) dialLocked(t *TCP) bool {
+func (tc *tcpConn) dialLocked(t *TCP, src int) bool {
 	switch tc.state {
 	case connUp:
 		return true
@@ -266,6 +303,7 @@ func (tc *tcpConn) dialLocked(t *TCP) bool {
 	conn, err := net.Dial("tcp", tc.addr)
 	if err != nil {
 		tc.state = connDown
+		t.recordErr(fmt.Errorf("transport: dial rank %d -> rank %d (%s): %w", src, tc.rank, tc.addr, err))
 		return false
 	}
 	tc.conn = conn

@@ -10,9 +10,10 @@
 //   - TCP: real loopback sockets, one listener per rank. It exercises the
 //     same engine code over an actual network stack and backs the E15
 //     transport-comparison experiment. Packets travel as length-prefixed
-//     binary frames: a fixed 34-byte little-endian header (magic,
-//     version, kind, src, dst, tag, context, seq, payload length — see
-//     codec.go) followed by the raw payload, encoded with encoding/binary
+//     binary frames: a fixed 42-byte little-endian header (magic,
+//     version, kind, src, dst, tag, context, seq, payload crc, payload
+//     length, frame crc — see codec.go) followed by the raw payload,
+//     encoded with encoding/binary
 //     into sync.Pool-backed buffers so the steady-state send path does
 //     not allocate. The original reflection-based gob stream remains
 //     available via NewTCPCodec(n, CodecGob) as the E15 baseline.
@@ -43,6 +44,11 @@ const (
 	// service behind MPI_Comm_validate_all. It bypasses user-level
 	// matching and is routed to the per-rank agreement service.
 	KindAgreement
+	// KindAck is reliability-sublayer control traffic: a receiver
+	// acknowledging Packet.Seq on the (Dst, Src) link. Ack packets carry no
+	// payload, are never acknowledged themselves, and are consumed by the
+	// reliability fabric before packets reach the engine.
+	KindAck
 )
 
 // String returns a short name for the packet kind.
@@ -52,6 +58,8 @@ func (k Kind) String() string {
 		return "data"
 	case KindAgreement:
 		return "agreement"
+	case KindAck:
+		return "ack"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -66,7 +74,8 @@ type Packet struct {
 	Tag     int
 	Context int
 	Kind    Kind
-	Seq     uint64 // per-(src,dst) sequence number, assigned by the fabric user
+	Seq     uint64 // per-(src,dst) sequence number, assigned by the reliability sublayer
+	Crc     uint32 // end-to-end CRC-32C of Payload (0 = unchecked); see PayloadCrc
 	Payload []byte
 }
 

@@ -1,7 +1,11 @@
 package transport
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
+	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -367,6 +371,71 @@ func BenchmarkTCPFabricThroughput(b *testing.B) {
 				time.Sleep(50 * time.Microsecond)
 			}
 		})
+	}
+}
+
+// TestTCPDialErrorEnriched forces a dial failure (the destination's
+// listener is closed before the first send) and asserts the recorded error
+// carries rank and address context, not a bare net error.
+func TestTCPDialErrorEnriched(t *testing.T) {
+	f := NewTCP(2)
+	if err := f.Start(func(int, *Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Tear down rank 1's listener so dialing it is refused.
+	addr := f.conns[1].addr
+	if err := f.listeners[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(&Packet{Src: 0, Dst: 1, Payload: []byte("x")}); err != nil {
+		t.Fatalf("send to torn-down rank must drop silently, got %v", err)
+	}
+	errs := f.Errors()
+	if len(errs) != 1 {
+		t.Fatalf("recorded %d errors, want 1: %v", len(errs), errs)
+	}
+	msg := errs[0].Error()
+	want := fmt.Sprintf("dial rank 0 -> rank 1 (%s)", addr)
+	if !strings.Contains(msg, want) {
+		t.Fatalf("error %q lacks link context %q", msg, want)
+	}
+}
+
+// TestTCPReadErrorEnriched writes garbage into a rank's listener and
+// asserts the resulting decode failure is recorded with the receiving
+// rank's context and wraps ErrFrameCorrupt.
+func TestTCPReadErrorEnriched(t *testing.T) {
+	f := NewTCP(2)
+	if err := f.Start(func(int, *Packet) {}); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	conn, err := net.Dial("tcp", f.conns[1].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := bytes.Repeat([]byte{0xa5}, FrameHeaderSize)
+	if _, err := conn.Write(junk); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if errs := f.Errors(); len(errs) > 0 {
+			msg := errs[0].Error()
+			if !strings.Contains(msg, "read for rank 1 (") {
+				t.Fatalf("error %q lacks rank context", msg)
+			}
+			if !errors.Is(errs[0], ErrFrameCorrupt) {
+				t.Fatalf("error %v does not wrap ErrFrameCorrupt", errs[0])
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("read error never recorded")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -29,10 +29,11 @@ func All() []Experiment {
 	return []Experiment{
 		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(),
 		e9(), e10(), e11(), e12(), e13(), e14(), e15(), e16(), e17(),
+		e18(),
 	}
 }
 
-// ByID finds an experiment by its identifier ("e1".."e17").
+// ByID finds an experiment by its identifier ("e1".."e18").
 func ByID(id string) (Experiment, bool) {
 	for _, e := range All() {
 		if e.ID == id {
@@ -420,6 +421,15 @@ func e17() Experiment {
 		ID: "e17", Title: "Large-N matching scalability", PaperRef: "engine",
 		Run: func(opt Options) ([]*Table, error) {
 			return runLargeN(opt)
+		},
+	}
+}
+
+func e18() Experiment {
+	return Experiment{
+		ID: "e18", Title: "Chaos soak under lossy links", PaperRef: "robustness",
+		Run: func(opt Options) ([]*Table, error) {
+			return runChaosSoak(opt)
 		},
 	}
 }

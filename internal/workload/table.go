@@ -1,6 +1,6 @@
 // Package workload is the experiment harness behind cmd/ftbench and
 // EXPERIMENTS.md: it programmatically re-runs every experiment in the
-// per-experiment index of DESIGN.md (E1-E17) — one per figure or claim of
+// per-experiment index of DESIGN.md (E1-E18) — one per figure or claim of
 // the paper — and renders the result tables.
 package workload
 

@@ -42,8 +42,8 @@ func TestAllHaveMetadata(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	if len(ids) != 17 {
-		t.Fatalf("have %d experiments, want 17", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("have %d experiments, want 18", len(ids))
 	}
 }
 
@@ -70,6 +70,27 @@ func TestEveryExperimentRunsQuick(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestChaosSoakAllSeedsOK is the acceptance gate for the chaos fabric:
+// every seed of every E18 workload must complete with its application
+// invariant intact. Full sweep is 20 seeds x 3 workloads; -short shrinks
+// it to the quick sweep.
+func TestChaosSoakAllSeedsOK(t *testing.T) {
+	opt := Options{Quick: testing.Short(), Seed: 1}
+	tables, err := runChaosSoak(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[1] != row[2] {
+			t.Fatalf("workload %q: only %s of %s seeds ok\n%s",
+				row[0], row[2], row[1], tables[0].Render())
+		}
+		if row[3] == "0" {
+			t.Fatalf("workload %q injected no drops — chaos not wired?", row[0])
+		}
 	}
 }
 
