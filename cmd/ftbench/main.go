@@ -1,10 +1,12 @@
-// Command ftbench runs the experiment suite (DESIGN.md E1-E17) and prints
+// Command ftbench runs the experiment suite (DESIGN.md E1-E18) and prints
 // the result tables recorded in EXPERIMENTS.md.
 //
 //	ftbench                # full suite
 //	ftbench -exp e7        # one experiment
 //	ftbench -quick         # shrunken sweeps
 //	ftbench -list          # show the experiment index
+//	ftbench -json out.json # also write aggregated counters + quantiles
+//	ftbench -obs :9464     # live /metrics while the suite runs
 package main
 
 import (
@@ -13,15 +15,18 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "run a single experiment (e1..e18)")
-		quick = flag.Bool("quick", false, "shrink sweeps for a fast pass")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		seed  = flag.Int64("seed", 1, "seed for randomized failure schedules")
+		exp     = flag.String("exp", "", "run a single experiment (e1..e18)")
+		quick   = flag.Bool("quick", false, "shrink sweeps for a fast pass")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		seed    = flag.Int64("seed", 1, "seed for randomized failure schedules")
+		jsonOut = flag.String("json", "", "write aggregated metrics JSON to this file (\"-\" = stdout)")
+		obsAddr = flag.String("obs", "", "serve live /metrics for the world currently running")
 	)
 	flag.Parse()
 
@@ -45,6 +50,18 @@ func main() {
 	}
 
 	opt := workload.Options{Quick: *quick, Seed: *seed}
+	if *jsonOut != "" || *obsAddr != "" {
+		opt.Collector = workload.NewCollector()
+	}
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, opt.Collector.Source)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: obs endpoint: %v\n", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Printf("observability endpoint: http://%s/metrics\n", srv.Addr())
+	}
 	start := time.Now()
 	failed := 0
 	for _, e := range toRun {
@@ -61,7 +78,29 @@ func main() {
 	}
 	fmt.Printf("suite finished in %v (%d experiments, %d failed)\n",
 		time.Since(start).Round(time.Millisecond), len(toRun), failed)
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, opt.Collector); err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: write json: %v\n", err)
+			failed++
+		}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeJSON emits the collector aggregate to path ("-" = stdout).
+func writeJSON(path string, c *workload.Collector) error {
+	if path == "-" {
+		return c.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

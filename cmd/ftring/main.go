@@ -46,6 +46,9 @@ func main() {
 		padding  = flag.Int("padding", 0, "extra payload bytes per message")
 		doTrace  = flag.Bool("trace", false, "print the event timeline")
 		doStats  = flag.Bool("stats", true, "print per-rank statistics")
+		traceOut = flag.String("trace-out", "", "stream the event timeline as JSONL to this file (see cmd/traceconv)")
+		obsAddr  = flag.String("obs", "", "serve /metrics, /debug/vars, /debug/pprof on this address (e.g. 127.0.0.1:9464)")
+		obsHold  = flag.Duration("obs-linger", 0, "keep the -obs endpoint up this long after the run (for scrapers)")
 
 		chaosOn      = flag.Bool("chaos", false, "inject network faults (default rates unless overridden)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the chaos plan")
@@ -110,13 +113,34 @@ func main() {
 	}
 
 	rec := ftmpi.NewTracer(0)
-	if !*doTrace {
+	if !*doTrace && *traceOut == "" {
 		rec = nil
 	}
+	var jsonl *ftmpi.TraceJSONLWriter
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		jsonl = ftmpi.NewTraceJSONLWriter(f)
+		rec.SetSink(jsonl.Sink())
+	}
 	mets := ftmpi.NewMetrics(*n)
+	reg := ftmpi.NewObsRegistry(*n)
 	mcfg := ftmpi.Config{
 		Size: *n, Deadline: *deadline, Hook: plan.Hook(),
-		Tracer: rec, Metrics: mets, Chaos: chaosPlan,
+		Tracer: rec, Metrics: mets, Obs: reg, Chaos: chaosPlan,
+	}
+	var obsSrv *ftmpi.ObsServer
+	if *obsAddr != "" {
+		srv, err := ftmpi.ServeObs(*obsAddr, func() ftmpi.ObsSource {
+			return ftmpi.ObsSource{Metrics: mets, Obs: reg}
+		})
+		if err != nil {
+			fatal(err)
+		}
+		obsSrv = srv
+		fmt.Printf("observability endpoint: http://%s/metrics\n", srv.Addr())
 	}
 	switch *fabric {
 	case "local":
@@ -164,10 +188,28 @@ func main() {
 		printStats(report, res)
 		fmt.Println("\nruntime counters:")
 		fmt.Print(mets.Render())
+		if lat := reg.Snapshot().Render(); lat != "" {
+			fmt.Println("\nlatency quantiles:")
+			fmt.Print(lat)
+		}
 	}
 	if *doTrace && rec != nil {
 		fmt.Println("\nevent timeline:")
 		fmt.Print(rec.RenderByRank())
+	}
+	if jsonl != nil {
+		if cerr := jsonl.Close(); cerr != nil {
+			fatal(cerr)
+		}
+		fmt.Printf("trace written: %s (%d events, %d truncated)\n",
+			*traceOut, rec.Recorded(), rec.Truncated())
+	}
+	if obsSrv != nil && *obsHold > 0 {
+		fmt.Printf("keeping observability endpoint up for %v\n", *obsHold)
+		time.Sleep(*obsHold)
+	}
+	if obsSrv != nil {
+		_ = obsSrv.Close()
 	}
 	if err != nil {
 		os.Exit(1)

@@ -1,0 +1,109 @@
+// Command traceconv converts a JSONL event stream captured with
+// ftring -trace-out into Chrome trace-event JSON, viewable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing with one lane per rank.
+//
+//	ftring -n 8 -chaos -trace-out ring.jsonl
+//	traceconv -in ring.jsonl -out ring.trace.json
+//	traceconv -check ring.trace.json     # validate a converted file
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/ftmpi"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "input JSONL event stream (from ftring -trace-out)")
+		out   = flag.String("out", "", "output Chrome trace JSON file (\"-\" = stdout)")
+		check = flag.String("check", "", "validate a Chrome trace JSON file and exit")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkTrace(*check); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *in == "" {
+		fatal(fmt.Errorf("missing -in FILE.jsonl (or -check FILE.json)"))
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	events, err := ftmpi.ReadTraceJSONL(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	blob, err := ftmpi.ChromeTrace(events)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" || *out == "-" {
+		os.Stdout.Write(blob)
+		os.Stdout.Write([]byte("\n"))
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("converted %d events -> %s\n", len(events), *out)
+}
+
+// checkTrace validates the Chrome trace-event shape traceconv produces:
+// a traceEvents array whose entries carry the required phase fields, with
+// at least one rank lane (thread_name metadata) and one instant event.
+func checkTrace(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			PID  int    `json:"pid"`
+			TID  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &tf); err != nil {
+		return fmt.Errorf("%s: not valid trace JSON: %w", path, err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("%s: empty traceEvents", path)
+	}
+	lanes, instants := 0, 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" {
+			return fmt.Errorf("%s: event missing name/ph", path)
+		}
+		switch {
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			lanes++
+		case ev.Ph == "i":
+			instants++
+		}
+	}
+	if lanes == 0 {
+		return fmt.Errorf("%s: no rank lanes (thread_name metadata)", path)
+	}
+	if instants == 0 {
+		return fmt.Errorf("%s: no instant events", path)
+	}
+	fmt.Printf("%s: OK (%d events, %d rank lanes, %d instants)\n",
+		path, len(tf.TraceEvents), lanes, instants)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceconv:", err)
+	os.Exit(1)
+}

@@ -22,11 +22,13 @@
 package ftmpi
 
 import (
+	"io"
 	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/reliable"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -91,8 +93,26 @@ type (
 	Packet = transport.Packet
 	// Tracer records communication events for scenario verification.
 	Tracer = trace.Recorder
+	// TraceEvent is one recorded event (JSONL-serializable; see
+	// NewTraceJSONLWriter and ChromeTrace).
+	TraceEvent = trace.Event
 	// Metrics counts per-rank operations (sends, receives, agreements, ...).
 	Metrics = metrics.World
+	// ObsRegistry holds per-rank latency histograms for every runtime
+	// family (send completion, receive wait, agreement rounds, ...).
+	ObsRegistry = obs.Registry
+	// ObsFamily identifies one latency histogram family.
+	ObsFamily = obs.Family
+	// ObsSnapshot is a consistent point-in-time view of a registry.
+	ObsSnapshot = obs.Snapshot
+	// ObsSource bundles the counter table and histogram registry an
+	// exposition server reads from.
+	ObsSource = obs.Source
+	// ObsServer is a running /metrics + expvar + pprof HTTP endpoint.
+	ObsServer = obs.Server
+	// TraceJSONLWriter streams recorded events as line-delimited JSON
+	// (see NewTraceJSONLWriter).
+	TraceJSONLWriter = trace.JSONLWriter
 )
 
 // --- constants ---------------------------------------------------------------
@@ -116,6 +136,18 @@ const (
 	RankFailed     = mpi.RankFailed
 	RankNull       = mpi.RankNull
 	RankRecognized = mpi.RankNull // alias: recognized == MPI_RANK_NULL semantics
+)
+
+// Latency histogram families (see ObsRegistry).
+const (
+	ObsSendComplete   = obs.SendComplete
+	ObsRecvWait       = obs.RecvWait
+	ObsValidateAll    = obs.ValidateAll
+	ObsAgreementRound = obs.AgreementRound
+	ObsElection       = obs.Election
+	ObsRetryBackoff   = obs.RetryBackoff
+	ObsChaosDelay     = obs.ChaosDelay
+	ObsNotifyLatency  = obs.NotifyLatency
 )
 
 // Hook points and actions.
@@ -176,6 +208,11 @@ func WithTracer(t *Tracer) Option { return mpi.WithTracer(t) }
 
 // WithMetrics attaches per-rank operation counters (see NewMetrics).
 func WithMetrics(m *Metrics) Option { return mpi.WithMetrics(m) }
+
+// WithObservability attaches a latency-histogram registry (see
+// NewObsRegistry); the runtime layers record send-completion, receive-wait,
+// agreement, and failure-notification timings into it.
+func WithObservability(r *ObsRegistry) Option { return mpi.WithObservability(r) }
 
 // WithHook installs a fault-injection hook.
 func WithHook(h HookFunc) Option { return mpi.WithHook(h) }
@@ -266,3 +303,27 @@ func NewTracer(limit int) *Tracer { return trace.New(limit) }
 
 // NewMetrics returns a counter table for n ranks.
 func NewMetrics(n int) *Metrics { return metrics.NewWorld(n) }
+
+// NewObsRegistry returns a latency-histogram registry for n ranks; attach
+// it with WithObservability and read it with Snapshot or ServeObs.
+func NewObsRegistry(n int) *ObsRegistry { return obs.NewRegistry(n) }
+
+// ServeObs starts an HTTP endpoint on addr exposing Prometheus text
+// (/metrics), expvar (/debug/vars), and pprof (/debug/pprof/) for whatever
+// the source callback returns at scrape time. Close the returned server to
+// stop it.
+func ServeObs(addr string, src func() ObsSource) (*ObsServer, error) {
+	return obs.Serve(addr, src)
+}
+
+// NewTraceJSONLWriter wraps w in a line-per-event JSON encoder; attach its
+// Sink to a Tracer with SetSink to stream events as they are recorded.
+func NewTraceJSONLWriter(w io.Writer) *trace.JSONLWriter { return trace.NewJSONLWriter(w) }
+
+// ReadTraceJSONL decodes a JSONL event stream written by
+// NewTraceJSONLWriter.
+func ReadTraceJSONL(r io.Reader) ([]TraceEvent, error) { return trace.ReadJSONL(r) }
+
+// ChromeTrace converts recorded events to Chrome trace-event JSON (one
+// lane per rank), viewable at ui.perfetto.dev or chrome://tracing.
+func ChromeTrace(events []TraceEvent) ([]byte, error) { return trace.ChromeTrace(events) }

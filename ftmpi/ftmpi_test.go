@@ -1,6 +1,10 @@
 package ftmpi_test
 
 import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
 	"testing"
 	"time"
 
@@ -143,5 +147,94 @@ func TestFacadeFailStopAndValidate(t *testing.T) {
 		if rr.Err != nil {
 			t.Errorf("rank %d: %v", rank, rr.Err)
 		}
+	}
+}
+
+// TestFacadeObservability exercises the PR-4 surface end to end through
+// the facade alone: a histogram registry attached with WithObservability,
+// a JSONL trace sink, a live /metrics endpoint served from ServeObs, and
+// the Chrome trace conversion — the same pipeline cmd/ftring wires up for
+// -obs and -trace-out.
+func TestFacadeObservability(t *testing.T) {
+	const n = 4
+	reg := ftmpi.NewObsRegistry(n)
+	mets := ftmpi.NewMetrics(n)
+	rec := ftmpi.NewTracer(0)
+	var buf bytes.Buffer
+	jw := ftmpi.NewTraceJSONLWriter(&buf)
+	rec.SetSink(jw.Sink())
+
+	w, err := ftmpi.NewWorld(n, ftmpi.WithDeadline(10*time.Second),
+		ftmpi.WithObservability(reg), ftmpi.WithMetrics(mets), ftmpi.WithTracer(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(p *ftmpi.Proc) error {
+		c := p.World()
+		c.SetErrhandler(ftmpi.ErrorsReturn)
+		right := (p.Rank() + 1) % p.Size()
+		left := (p.Rank() + p.Size() - 1) % p.Size()
+		sreq := c.Isend(right, 0, []byte("obs"))
+		rreq := c.Irecv(left, 0)
+		if _, err := rreq.Wait(); err != nil {
+			return err
+		}
+		_, err := sreq.Wait()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinishedCount() != n {
+		t.Fatalf("finished %d/%d", res.FinishedCount(), n)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Family(ftmpi.ObsSendComplete).Merged.Count == 0 {
+		t.Error("send_complete histogram recorded no samples")
+	}
+
+	srv, err := ftmpi.ServeObs("127.0.0.1:0", func() ftmpi.ObsSource {
+		return ftmpi.ObsSource{Metrics: mets, Obs: reg}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`ftmpi_sends_total{rank="0"} 1`,
+		"ftmpi_send_complete_seconds_count",
+		"ftmpi_recv_wait_seconds_bucket",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ftmpi.ReadTraceJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("JSONL sink captured no events")
+	}
+	blob, err := ftmpi.ChromeTrace(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"rank 3"`) {
+		t.Error("Chrome trace missing the rank 3 lane")
 	}
 }

@@ -131,6 +131,9 @@ type Event struct {
 	Dst   int
 	Seq   uint64 // the packet's reliability sequence number (0 if unsequenced)
 	Frame uint64 // link-local send ordinal, 1-based
+	// Delay is the injected hold time for EvDelay events (zero otherwise),
+	// so observers can histogram the jitter actually applied.
+	Delay time.Duration
 }
 
 // String renders the event in the plan-log form.
@@ -419,6 +422,7 @@ func (f *Fabric) Send(pkt *transport.Packet) error {
 	}
 	if delay > 0 {
 		ev.Kind = EvDelay
+		ev.Delay = delay
 		f.emit(ev)
 		late := cur
 		if late == pkt {

@@ -61,6 +61,7 @@ type Registry struct {
 	aliveCount  int
 	subscribers []Subscriber
 	notifyDelay time.Duration
+	notifyObs   func(rank int, latency time.Duration)
 	epoch       uint64 // incremented on every failure, for change detection
 	cond        *sync.Cond
 }
@@ -98,6 +99,16 @@ func (r *Registry) SetNotifyDelay(d time.Duration) {
 	r.notifyDelay = d
 }
 
+// SetNotifyObserver registers a callback invoked once per failure after
+// all subscriber notifications have been delivered, with the measured
+// Kill-to-delivery latency — the observable detection latency of the
+// (modelled) failure detector. Pass nil to remove.
+func (r *Registry) SetNotifyObserver(fn func(rank int, latency time.Duration)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.notifyObs = fn
+}
+
 // Subscribe registers a callback invoked on every subsequent failure. If
 // ranks have already failed, the callback is immediately invoked for each
 // of them so that late subscribers still satisfy strong completeness.
@@ -130,12 +141,17 @@ func (r *Registry) Kill(rank int) bool {
 	subs := make([]Subscriber, len(r.subscribers))
 	copy(subs, r.subscribers)
 	delay := r.notifyDelay
+	obs := r.notifyObs
 	r.cond.Broadcast()
 	r.mu.Unlock()
 
+	start := time.Now()
 	notify := func() {
 		for _, fn := range subs {
 			fn(rank)
+		}
+		if obs != nil {
+			obs(rank, time.Since(start))
 		}
 	}
 	if delay > 0 {

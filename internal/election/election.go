@@ -19,9 +19,11 @@ package election
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -31,6 +33,7 @@ import (
 // MPI_Abort), which cannot happen while the caller itself is alive and
 // sane — the caller is a member.
 func LowestAlive(p *mpi.Proc, c *mpi.Comm) int {
+	start := time.Now()
 	for r := 0; r < c.Size(); r++ {
 		info, err := c.RankState(r)
 		if err != nil {
@@ -39,6 +42,7 @@ func LowestAlive(p *mpi.Proc, c *mpi.Comm) int {
 		if info.State == mpi.RankOK {
 			p.Tracer().Record(p.Rank(), trace.Elected, r, -1, -1, "lowest-alive")
 			p.Metrics().Inc(p.Rank(), metrics.NeighborScans)
+			p.Obs().Observe(p.Rank(), obs.Election, time.Since(start))
 			return r
 		}
 	}
@@ -65,6 +69,8 @@ func ChangRoberts(p *mpi.Proc, c *mpi.Comm) (int, error) {
 	me := c.Rank()
 	mets := p.Metrics()
 	mets.Inc(p.Rank(), metrics.Elections)
+	start := time.Now()
+	defer func() { p.Obs().Observe(p.Rank(), obs.Election, time.Since(start)) }()
 
 	send := func(kind byte, val int) error {
 		buf := make([]byte, 9)

@@ -2,8 +2,10 @@ package mpi
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -157,6 +159,10 @@ func (e *engine) sendAgreement(dstWorld, ctx int, msg *agreeMsg) {
 // goroutine.
 func (c *Comm) validateAllDriver(inst int) ([]int, error) {
 	e := c.eng
+	if e.w.obs != nil {
+		start := time.Now()
+		defer func() { e.w.obs.Observe(e.rank, obs.ValidateAll, time.Since(start)) }()
+	}
 	key := agreeKey{ctx: c.ctxInternal, inst: inst}
 	reg := c.proc.w.registry
 	e.enterInstance(key, c)
@@ -255,6 +261,10 @@ func (e *engine) enterInstance(key agreeKey, c *Comm) {
 func (c *Comm) coordinateAgreement(key agreeKey) ([]int, error) {
 	e := c.eng
 	me := c.proc.rank
+	if e.w.obs != nil {
+		start := time.Now()
+		defer func() { e.w.obs.Observe(me, obs.AgreementRound, time.Since(start)) }()
+	}
 
 	// Solicit votes from everyone this rank believes alive.
 	union := make(map[int]bool)

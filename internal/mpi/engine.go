@@ -3,8 +3,10 @@ package mpi
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -271,5 +273,11 @@ func (e *engine) sendPacket(pkt *transport.Packet) error {
 	e.w.metrics.Inc(e.rank, metrics.Sends)
 	e.w.metrics.Add(e.rank, metrics.BytesSent, int64(len(pkt.Payload)))
 	e.w.tracer.Record(e.rank, trace.SendPosted, pkt.Dst, pkt.Tag, -1, "")
-	return e.w.fabric.Send(pkt)
+	if e.w.obs == nil {
+		return e.w.fabric.Send(pkt)
+	}
+	start := time.Now()
+	err := e.w.fabric.Send(pkt)
+	e.w.obs.Observe(e.rank, obs.SendComplete, time.Since(start))
+	return err
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/reliable"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -29,6 +30,15 @@ func WithTracer(t *trace.Recorder) Option {
 // WithMetrics attaches a per-rank operation counter table to the world.
 func WithMetrics(m *metrics.World) Option {
 	return func(cfg *Config) { cfg.Metrics = m }
+}
+
+// WithObservability attaches a latency-histogram registry: per-rank
+// send-completion, receive-wait, validate_all, agreement-round, election,
+// retry-backoff, chaos-delay and failure-notification timings, cheap
+// enough to stay on under benchmark load. The registry should be sized to
+// the world (obs.NewRegistry(size)).
+func WithObservability(r *obs.Registry) Option {
+	return func(cfg *Config) { cfg.Obs = r }
 }
 
 // WithHook installs an operation-boundary observer, the attachment point

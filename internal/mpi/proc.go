@@ -3,6 +3,7 @@ package mpi
 import (
 	"repro/internal/detector"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -49,6 +50,10 @@ func (p *Proc) Tracer() *trace.Recorder { return p.w.tracer }
 // Metrics returns the world's counter table (possibly nil; a nil table
 // accepts and drops increments).
 func (p *Proc) Metrics() *metrics.World { return p.w.metrics }
+
+// Obs returns the world's latency-histogram registry (possibly nil; a nil
+// registry accepts and drops observations).
+func (p *Proc) Obs() *obs.Registry { return p.w.obs }
 
 // Checkpoint announces an application-defined point to the fault
 // injector, which may fail-stop the rank exactly here.

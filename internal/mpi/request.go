@@ -1,6 +1,11 @@
 package mpi
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
 
 // Special rank and tag values, mirroring MPI_PROC_NULL, MPI_ANY_SOURCE
 // and MPI_ANY_TAG.
@@ -220,7 +225,11 @@ func (r *Request) CancelOrPayload() ([]byte, bool) {
 // delivered through closed channels (engine.downCh, World.abortCh).
 func (r *Request) Wait() (Status, error) {
 	e := r.eng
+	var waitStart time.Time
 	e.mu.Lock()
+	if r.isRecv && !r.done && e.w.obs != nil {
+		waitStart = time.Now()
+	}
 	for !r.done {
 		if e.dead.Load() {
 			e.mu.Unlock()
@@ -256,6 +265,9 @@ func (r *Request) Wait() (Status, error) {
 		r.observedHook = true
 	}
 	e.mu.Unlock()
+	if !waitStart.IsZero() {
+		e.w.obs.Observe(e.rank, obs.RecvWait, time.Since(waitStart))
+	}
 	if observed && st.Source != ProcNull {
 		e.w.fireHook(e.rank, HookEvent{Rank: e.rank, Point: HookAfterRecv, Peer: r.srcWorld, Tag: st.Tag})
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/detector"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/reliable"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -50,6 +51,10 @@ type Config struct {
 	// ReliableOptions tunes the reliability sublayer; zero fields take
 	// the package defaults.
 	ReliableOptions reliable.Options
+	// Obs records per-rank latency histograms (send completion, receive
+	// wait, validate_all, agreement rounds, elections, retry backoff,
+	// chaos delay, failure-notification latency); nil disables.
+	Obs *obs.Registry
 }
 
 // World is one MPI universe: a fixed set of ranks, a fabric, and the
@@ -61,6 +66,7 @@ type World struct {
 	engines  []*engine
 	tracer   *trace.Recorder
 	metrics  *metrics.World
+	obs      *obs.Registry
 	hook     HookFunc
 	deadline time.Duration
 	reliable *reliable.Fabric // non-nil when the reliability sublayer is on
@@ -129,6 +135,7 @@ func NewWorldFromConfig(cfg Config) (*World, error) {
 		fabric:       fabric,
 		tracer:       cfg.Tracer,
 		metrics:      cfg.Metrics,
+		obs:          cfg.Obs,
 		hook:         cfg.Hook,
 		deadline:     cfg.Deadline,
 		reliable:     relFab,
@@ -137,6 +144,11 @@ func NewWorldFromConfig(cfg Config) (*World, error) {
 	}
 	if cfg.NotifyDelay > 0 {
 		w.registry.SetNotifyDelay(cfg.NotifyDelay)
+	}
+	if cfg.Obs != nil {
+		w.registry.SetNotifyObserver(func(rank int, lat time.Duration) {
+			w.obs.Observe(rank, obs.NotifyLatency, lat)
+		})
 	}
 	if chaosFab != nil {
 		chaosFab.Observe(w.onChaosEvent)
@@ -176,6 +188,9 @@ func (w *World) onChaosEvent(e chaos.Event) {
 	w.metrics.Inc(e.Src, counter)
 	w.tracer.Record(e.Src, kind, e.Dst, -1, -1,
 		fmt.Sprintf("frame=%d seq=%d", e.Frame, e.Seq))
+	if e.Kind == chaos.EvDelay {
+		w.obs.Observe(e.Src, obs.ChaosDelay, e.Delay)
+	}
 }
 
 // onReliableEvent maps a reliability-sublayer action to metrics counters
@@ -187,6 +202,7 @@ func (w *World) onReliableEvent(e reliable.Event) {
 		w.metrics.Inc(e.Src, metrics.FramesRetried)
 		w.tracer.Record(e.Src, trace.FrameRetry, e.Dst, -1, -1,
 			fmt.Sprintf("seq=%d attempt=%d", e.Seq, e.Attempt))
+		w.obs.Observe(e.Src, obs.RetryBackoff, e.Backoff)
 	case reliable.EvReject:
 		w.metrics.Inc(e.Dst, metrics.FramesRejected)
 		w.tracer.Record(e.Dst, trace.FrameReject, e.Src, -1, -1,
@@ -214,6 +230,9 @@ func (w *World) Tracer() *trace.Recorder { return w.tracer }
 
 // Metrics returns the configured counter table (possibly nil).
 func (w *World) Metrics() *metrics.World { return w.metrics }
+
+// Obs returns the configured latency-histogram registry (possibly nil).
+func (w *World) Obs() *obs.Registry { return w.obs }
 
 // Kill fail-stops a rank from outside (e.g. a test driver). If the rank
 // is blocked in an MPI call it unwinds immediately; if it is computing,

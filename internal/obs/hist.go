@@ -1,0 +1,207 @@
+// Package obs is the live observability layer: low-overhead latency
+// histograms, Prometheus/expvar/pprof exposition, and snapshot plumbing
+// for the runtime's recovery paths (send completion, receive wait,
+// validate_all, agreement rounds, elections, retry backoff, chaos delay,
+// failure-notification latency).
+//
+// The paper's methodology is only verifiable because every recovery
+// action is observable as a communication-level event; internal/trace and
+// internal/metrics capture those post-mortem. This package adds the
+// *while-it-happens* view: HDR-style log-bucketed timers cheap enough to
+// stay enabled under benchmark load, mergeable across ranks, and
+// renderable as p50/p95/p99/max rows or Prometheus text exposition.
+//
+// A nil *Hist and a nil *Registry are valid everywhere and record
+// nothing, matching the nil-safety discipline of trace.Recorder and
+// metrics.World.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Bucket layout: values are non-negative int64 nanoseconds. Values below
+// subCount get exact unit buckets; above that, each power-of-two octave is
+// split into subCount log-linear sub-buckets (the HDR histogram scheme
+// with 2 significant bits). The top octave is 62 (bits.Len64 of MaxInt64
+// is 63), so 248 buckets cover the whole non-negative int64 range —
+// recording never clamps, the last bucket's upper bound is exactly
+// MaxInt64, and relative quantile error is bounded at 25%.
+const (
+	subBits    = 2
+	subCount   = 1 << subBits
+	numBuckets = ((62-subBits)<<subBits + subCount + subCount)
+)
+
+// bucketIndex maps a non-negative value to its bucket index.
+func bucketIndex(v int64) int {
+	if v < subCount {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	octave := bits.Len64(uint64(v)) - 1
+	sub := int((v >> uint(octave-subBits)) & (subCount - 1))
+	return ((octave - subBits) << subBits) + subCount + sub
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i — the value
+// reported by Quantile when the target quantile lands in bucket i, and
+// the "le" label of the Prometheus exposition.
+func BucketUpper(i int) int64 {
+	if i < subCount {
+		return int64(i)
+	}
+	b := i - subCount
+	octave := (b >> subBits) + subBits
+	sub := int64(b & (subCount - 1))
+	width := int64(1) << uint(octave-subBits)
+	lower := int64(1)<<uint(octave) + sub*width
+	return lower + width - 1
+}
+
+// Hist is a concurrent log-bucketed latency histogram. All mutating
+// operations are single atomic adds (plus a CAS loop for the max), so a
+// Hist can stay enabled on benchmark hot paths. The zero value is ready
+// to use; a nil *Hist records nothing.
+type Hist struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Hist) Observe(d time.Duration) { h.RecordValue(int64(d)) }
+
+// RecordValue records one raw value (nanoseconds by convention).
+func (h *Hist) RecordValue(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *Hist) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot returns a point-in-time copy of the histogram. Concurrent
+// recording may make the copy internally torn by a few events (count, sum
+// and buckets are read independently); merge and quantile results remain
+// well-defined because Quantile walks the bucket array itself.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	var total int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		total += n
+	}
+	// Derive the count from the buckets so quantile walks always terminate
+	// inside the array even under concurrent recording.
+	s.Count = total
+	return s
+}
+
+// HistSnapshot is an immutable histogram state. Snapshots merge
+// associatively and commutatively: merging per-rank snapshots yields
+// exactly the histogram a single shared recorder would have produced.
+type HistSnapshot struct {
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets [numBuckets]int64
+}
+
+// Merge returns the combination of s and o.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	out := s
+	out.Count += o.Count
+	out.Sum += o.Sum
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	for i := range out.Buckets {
+		out.Buckets[i] += o.Buckets[i]
+	}
+	return out
+}
+
+// Quantile returns the value at quantile q in [0,1] (in the recorded
+// unit, nanoseconds by convention): the upper bound of the bucket holding
+// the q-th recorded value, clamped to the observed maximum. Returns 0 for
+// an empty histogram.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q*float64(s.Count) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if cum >= target {
+			ub := BucketUpper(i)
+			if s.Max > 0 && ub > s.Max {
+				return s.Max
+			}
+			return ub
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean of the recorded values (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// String renders the canonical quantile row used by ftbench tables and
+// EXPERIMENTS.md: p50/p95/p99/max as durations, plus the sample count.
+func (s HistSnapshot) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("p50=%v p95=%v p99=%v max=%v n=%d",
+		time.Duration(s.Quantile(0.50)).Round(time.Microsecond),
+		time.Duration(s.Quantile(0.95)).Round(time.Microsecond),
+		time.Duration(s.Quantile(0.99)).Round(time.Microsecond),
+		time.Duration(s.Max).Round(time.Microsecond),
+		s.Count)
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries sweeps values around every power of two and checks
+// the containment invariant: a value's bucket upper bound is >= the value,
+// and the previous bucket's upper bound is < the value.
+func TestBucketBoundaries(t *testing.T) {
+	vals := []int64{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	for shift := 3; shift < 62; shift++ {
+		p := int64(1) << uint(shift)
+		vals = append(vals, p-1, p, p+1)
+	}
+	vals = append(vals, int64(1)<<62, (int64(1)<<62)+12345, int64(^uint64(0)>>1)) // up to MaxInt64
+	for _, v := range vals {
+		i := bucketIndex(v)
+		if i < 0 || i >= numBuckets {
+			t.Fatalf("value %d: bucket index %d out of range", v, i)
+		}
+		if up := BucketUpper(i); up < v {
+			t.Fatalf("value %d landed in bucket %d with upper bound %d < value", v, i, up)
+		}
+		if i > 0 {
+			if prev := BucketUpper(i - 1); prev >= v {
+				t.Fatalf("value %d: previous bucket %d upper bound %d >= value (not tight)", v, i-1, prev)
+			}
+		}
+	}
+}
+
+// TestBucketUpperMonotonic checks bucket upper bounds strictly increase.
+func TestBucketUpperMonotonic(t *testing.T) {
+	prev := int64(-1)
+	for i := 0; i < numBuckets; i++ {
+		up := BucketUpper(i)
+		if up <= prev {
+			t.Fatalf("bucket %d upper %d <= bucket %d upper %d", i, up, i-1, prev)
+		}
+		prev = up
+	}
+}
+
+// TestRelativeError checks the HDR guarantee: the reported bound
+// overshoots the true value by at most one sub-bucket width (25% with
+// subBits=2).
+func TestRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10000; trial++ {
+		v := rng.Int63n(1 << 40)
+		up := BucketUpper(bucketIndex(v))
+		if v >= subCount {
+			if float64(up-v) > 0.25*float64(v)+1 {
+				t.Fatalf("value %d reported as %d: relative error %.3f", v, up, float64(up-v)/float64(v))
+			}
+		} else if up != v {
+			t.Fatalf("small value %d must be exact, got %d", v, up)
+		}
+	}
+}
+
+func TestMergeAssociativeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	mk := func() HistSnapshot {
+		var h Hist
+		for i := 0; i < 500; i++ {
+			h.RecordValue(rng.Int63n(1 << 30))
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(), mk(), mk()
+	ab_c := a.Merge(b).Merge(c)
+	a_bc := a.Merge(b.Merge(c))
+	ba_c := b.Merge(a).Merge(c)
+	if ab_c != a_bc || ab_c != ba_c {
+		t.Fatal("merge must be associative and commutative")
+	}
+	if ab_c.Count != a.Count+b.Count+c.Count || ab_c.Sum != a.Sum+b.Sum+c.Sum {
+		t.Fatal("merge must sum counts and sums")
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	var h Hist
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		h.RecordValue(rng.Int63n(1 << 35))
+	}
+	s := h.Snapshot()
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile %.2f = %d < quantile %.2f = %d", q, v, q-0.01, prev)
+		}
+		prev = v
+	}
+	if s.Quantile(1.0) != s.Max {
+		t.Fatalf("p100 %d must equal max %d", s.Quantile(1.0), s.Max)
+	}
+	if s.Quantile(0) <= 0 && s.Count > 0 && s.Max > 0 {
+		// p0 is the smallest bucket's bound; it may be 0 only if 0 was recorded.
+		if s.Buckets[0] == 0 {
+			t.Fatal("p0 returned 0 without zero-valued samples")
+		}
+	}
+}
+
+func TestQuantileExactSmallValues(t *testing.T) {
+	var h Hist
+	for i := 0; i < 100; i++ {
+		h.RecordValue(1)
+	}
+	h.RecordValue(3)
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 1 {
+		t.Fatalf("p50 = %d want 1", got)
+	}
+	if got := s.Quantile(1.0); got != 3 {
+		t.Fatalf("p100 = %d want 3", got)
+	}
+}
+
+func TestEmptyAndNilHist(t *testing.T) {
+	var s HistSnapshot
+	if s.Quantile(0.99) != 0 || s.Mean() != 0 || s.String() != "n=0" {
+		t.Fatal("empty snapshot must render zeros")
+	}
+	var h *Hist
+	h.Observe(time.Second) // must not panic
+	if h.Count() != 0 {
+		t.Fatal("nil hist must be inert")
+	}
+	if h.Snapshot().Count != 0 {
+		t.Fatal("nil hist snapshot must be empty")
+	}
+}
+
+func TestNegativeClampsToZero(t *testing.T) {
+	var h Hist
+	h.RecordValue(-5)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Buckets[0] != 1 || s.Sum != 0 {
+		t.Fatalf("negative value must clamp to zero bucket: %+v", s)
+	}
+}
+
+// TestConcurrentRecord exercises the atomic hot path under -race.
+func TestConcurrentRecord(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 2000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < per; i++ {
+				h.RecordValue(rng.Int63n(1 << 25))
+				if i%100 == 0 {
+					_ = h.Snapshot() // concurrent snapshots must stay well-formed
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count %d want %d", s.Count, goroutines*per)
+	}
+	var total int64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+}
+
+// TestMergedPerRankEqualsGlobal is the property test: recording each value
+// into its rank's histogram and merging must equal recording everything
+// into one global histogram.
+func TestMergedPerRankEqualsGlobal(t *testing.T) {
+	const ranks = 4
+	rng := rand.New(rand.NewSource(99))
+	reg := NewRegistry(ranks)
+	var global Hist
+	for i := 0; i < 20000; i++ {
+		rank := rng.Intn(ranks)
+		v := rng.Int63n(1 << 33)
+		reg.Hist(SendComplete, rank).RecordValue(v)
+		global.RecordValue(v)
+	}
+	merged := reg.Merged(SendComplete)
+	want := global.Snapshot()
+	if merged != want {
+		t.Fatalf("merged per-rank snapshot differs from global:\nmerged: count=%d sum=%d max=%d\nglobal: count=%d sum=%d max=%d",
+			merged.Count, merged.Sum, merged.Max, want.Count, want.Sum, want.Max)
+	}
+}
+
+func TestRegistrySnapshotAndRender(t *testing.T) {
+	reg := NewRegistry(2)
+	reg.Observe(0, RecvWait, 100*time.Microsecond)
+	reg.Observe(1, RecvWait, 300*time.Microsecond)
+	reg.Observe(0, ValidateAll, time.Millisecond)
+	s := reg.Snapshot()
+	if s.Ranks != 2 || len(s.Families) != int(numFamilies) {
+		t.Fatalf("snapshot shape wrong: %+v", s)
+	}
+	rw := s.Family(RecvWait)
+	if rw.Merged.Count != 2 || rw.PerRank[0].Count != 1 || rw.PerRank[1].Count != 1 {
+		t.Fatalf("recv_wait counts wrong: %+v", rw)
+	}
+	out := s.Render()
+	for _, want := range []string{"recv_wait", "validate_all", "p95="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "election") {
+		t.Fatalf("render must skip empty families:\n%s", out)
+	}
+
+	// Out-of-range and nil observations must be inert.
+	reg.Observe(-1, RecvWait, time.Second)
+	reg.Observe(5, RecvWait, time.Second)
+	reg.Observe(0, Family(99), time.Second)
+	var nilReg *Registry
+	nilReg.Observe(0, RecvWait, time.Second)
+	if nilReg.Size() != 0 || nilReg.Snapshot().Ranks != 0 {
+		t.Fatal("nil registry must be inert")
+	}
+	if reg.Merged(RecvWait).Count != 2 {
+		t.Fatal("out-of-range observations must not land anywhere")
+	}
+}

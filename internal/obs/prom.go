@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+)
+
+// WriteProm renders the Prometheus text exposition (format version
+// 0.0.4) for a run: every metrics.World counter as a per-rank counter
+// family `ftmpi_<name>_total{rank="r"}`, and every histogram family as a
+// classic Prometheus histogram `ftmpi_<name>_seconds` merged over ranks,
+// with per-rank sample counts alongside. All families are always emitted
+// — an all-zero family is how a scraper learns the run had no such
+// events — so scrapes are schema-stable across runs.
+func WriteProm(w io.Writer, mets *metrics.World, reg *Registry) error {
+	for _, c := range metrics.Counters() {
+		name := "ftmpi_" + c.String() + "_total"
+		if _, err := fmt.Fprintf(w, "# HELP %s per-rank %s counter\n# TYPE %s counter\n",
+			name, c, name); err != nil {
+			return err
+		}
+		for rank := 0; rank < mets.Size(); rank++ {
+			if _, err := fmt.Fprintf(w, "%s{rank=\"%d\"} %d\n", name, rank, mets.Get(rank, c)); err != nil {
+				return err
+			}
+		}
+	}
+	snap := reg.Snapshot()
+	for _, f := range Families() {
+		fs := snap.Family(f) // zero-valued for a nil registry: schema-stable
+		name := "ftmpi_" + fs.Family.String() + "_seconds"
+		if _, err := fmt.Fprintf(w, "# HELP %s %s latency histogram (merged over ranks)\n# TYPE %s histogram\n",
+			name, fs.Family, name); err != nil {
+			return err
+		}
+		if err := writeHist(w, name, fs.Merged); err != nil {
+			return err
+		}
+		for rank, h := range fs.PerRank {
+			if _, err := fmt.Fprintf(w, "%s_rank_count{rank=\"%d\"} %d\n", name, rank, h.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHist emits one histogram's cumulative buckets, sum and count.
+// Empty buckets are skipped (except +Inf) to keep the exposition compact;
+// cumulative semantics are unaffected.
+func writeHist(w io.Writer, name string, s HistSnapshot) error {
+	var cum int64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		le := float64(BucketUpper(i)) / 1e9
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %g\n", name, float64(s.Sum)/1e9); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	return err
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Family identifies one latency histogram family. Every family is
+// recorded per rank and rendered merged; the set mirrors the recovery
+// paths of the runtime layers (engine, reliability, chaos, detector,
+// application protocols).
+type Family int
+
+const (
+	// SendComplete times a send from hand-off to fabric acceptance
+	// (eager-send completion, including reliability stamping and chaos
+	// passage).
+	SendComplete Family = iota
+	// RecvWait times a blocking receive wait from post to completion.
+	RecvWait
+	// ValidateAll times one MPI_Comm_validate_all call end to end.
+	ValidateAll
+	// AgreementRound times one coordinator round of the consensus
+	// protocol (solicit votes -> decision).
+	AgreementRound
+	// Election times one leader-election convergence (LowestAlive scan or
+	// Chang-Roberts token circulation).
+	Election
+	// RetryBackoff records the backoff applied before each reliability
+	//-sublayer retransmission.
+	RetryBackoff
+	// ChaosDelay records the delay jitter the chaos fabric injected.
+	ChaosDelay
+	// NotifyLatency times failure detection: Registry.Kill to subscriber
+	// notification delivery.
+	NotifyLatency
+	numFamilies
+)
+
+var familyNames = [numFamilies]string{
+	"send_complete", "recv_wait", "validate_all", "agreement_round",
+	"election", "retry_backoff", "chaos_delay", "notify_latency",
+}
+
+// String returns the family's exposition name (the Prometheus metric is
+// "ftmpi_<name>_seconds").
+func (f Family) String() string {
+	if f >= 0 && f < numFamilies {
+		return familyNames[f]
+	}
+	return fmt.Sprintf("family(%d)", int(f))
+}
+
+// Families returns all family identifiers in exposition order.
+func Families() []Family {
+	out := make([]Family, numFamilies)
+	for i := range out {
+		out[i] = Family(i)
+	}
+	return out
+}
+
+// Registry holds one histogram per (family, rank) for one run. Create
+// with NewRegistry; a nil *Registry observes nothing, so observability
+// can be disabled without branching at every call site.
+type Registry struct {
+	n     int
+	hists [numFamilies][]Hist
+}
+
+// NewRegistry creates a histogram registry for n ranks.
+func NewRegistry(n int) *Registry {
+	if n <= 0 {
+		panic(fmt.Sprintf("obs: registry size must be positive, got %d", n))
+	}
+	r := &Registry{n: n}
+	for f := range r.hists {
+		r.hists[f] = make([]Hist, n)
+	}
+	return r
+}
+
+// Size returns the number of ranks tracked (0 for a nil registry).
+func (r *Registry) Size() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Observe records one duration for the given family and rank. Nil
+// registries and out-of-range arguments are ignored.
+func (r *Registry) Observe(rank int, f Family, d time.Duration) {
+	if r == nil || rank < 0 || rank >= r.n || f < 0 || f >= numFamilies {
+		return
+	}
+	r.hists[f][rank].Observe(d)
+}
+
+// Hist returns the live histogram for (family, rank), or nil when out of
+// range — which is itself a valid no-op histogram.
+func (r *Registry) Hist(f Family, rank int) *Hist {
+	if r == nil || rank < 0 || rank >= r.n || f < 0 || f >= numFamilies {
+		return nil
+	}
+	return &r.hists[f][rank]
+}
+
+// Merged returns the family's histogram merged over all ranks.
+func (r *Registry) Merged(f Family) HistSnapshot {
+	var out HistSnapshot
+	if r == nil || f < 0 || f >= numFamilies {
+		return out
+	}
+	for rank := 0; rank < r.n; rank++ {
+		out = out.Merge(r.hists[f][rank].Snapshot())
+	}
+	return out
+}
+
+// FamilySnapshot is one family's state: per-rank histograms plus the
+// cross-rank merge.
+type FamilySnapshot struct {
+	Family  Family
+	Merged  HistSnapshot
+	PerRank []HistSnapshot
+}
+
+// Snapshot captures every family of the registry. The result is
+// self-contained (no references into the live registry) and mergeable
+// per family via HistSnapshot.Merge.
+type Snapshot struct {
+	Ranks    int
+	Families []FamilySnapshot
+}
+
+// Snapshot captures all families. A nil registry yields a zero snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{Ranks: r.n, Families: make([]FamilySnapshot, numFamilies)}
+	for f := 0; f < int(numFamilies); f++ {
+		fs := FamilySnapshot{Family: Family(f), PerRank: make([]HistSnapshot, r.n)}
+		for rank := 0; rank < r.n; rank++ {
+			fs.PerRank[rank] = r.hists[f][rank].Snapshot()
+			fs.Merged = fs.Merged.Merge(fs.PerRank[rank])
+		}
+		s.Families[f] = fs
+	}
+	return s
+}
+
+// Family returns the snapshot of one family (zero value when absent).
+func (s Snapshot) Family(f Family) FamilySnapshot {
+	for _, fs := range s.Families {
+		if fs.Family == f {
+			return fs
+		}
+	}
+	return FamilySnapshot{Family: f}
+}
+
+// Render formats the non-empty families as quantile rows, the per-rank
+// latency complement to metrics.World.Render.
+func (s Snapshot) Render() string {
+	var b strings.Builder
+	fams := make([]FamilySnapshot, 0, len(s.Families))
+	for _, fs := range s.Families {
+		if fs.Merged.Count > 0 {
+			fams = append(fams, fs)
+		}
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].Family < fams[j].Family })
+	for _, fs := range fams {
+		fmt.Fprintf(&b, "%-16s %s\n", fs.Family, fs.Merged)
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Source is what a live exposition serves: the counter table and the
+// histogram registry of the run in flight. Either field may be nil.
+type Source struct {
+	Metrics *metrics.World
+	Obs     *Registry
+}
+
+// expvarSource backs the process-global expvar variable "ftmpi". expvar
+// registration is permanent, so the variable always renders the most
+// recently served source.
+var expvarSource atomic.Pointer[func() Source]
+
+var expvarOnce sync.Once
+
+// Server is a live observability endpoint: Prometheus text on /metrics,
+// the expvar JSON dump on /debug/vars, and the pprof suite under
+// /debug/pprof/ so a chaos soak can be profiled mid-run.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the exposition on addr (":0" picks a free port; use
+// Addr to discover it). src is called per scrape, so the caller may swap
+// worlds between runs by closing over mutable state.
+func Serve(addr string, src func() Source) (*Server, error) {
+	if src == nil {
+		src = func() Source { return Source{} }
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("ftmpi", expvar.Func(func() any {
+			get := expvarSource.Load()
+			if get == nil {
+				return nil
+			}
+			s := (*get)()
+			out := map[string]any{}
+			if s.Metrics != nil {
+				counters := map[string]int64{}
+				for _, c := range metrics.Counters() {
+					counters[c.String()] = s.Metrics.Total(c)
+				}
+				out["counters"] = counters
+			}
+			if s.Obs != nil {
+				hists := map[string]map[string]int64{}
+				for _, fs := range s.Obs.Snapshot().Families {
+					m := fs.Merged
+					hists[fs.Family.String()] = map[string]int64{
+						"count": m.Count, "sum_ns": m.Sum, "max_ns": m.Max,
+						"p50_ns": m.Quantile(0.50), "p95_ns": m.Quantile(0.95),
+						"p99_ns": m.Quantile(0.99),
+					}
+				}
+				out["histograms"] = hists
+			}
+			return out
+		}))
+	})
+	fn := src
+	expvarSource.Store(&fn)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s := src()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteProm(w, s.Metrics, s.Obs)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:  ln,
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the server's actual listen address ("127.0.0.1:port").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestServeMetricsExpvarPprof(t *testing.T) {
+	mets := metrics.NewWorld(3)
+	mets.Add(0, metrics.Sends, 7)
+	mets.Add(2, metrics.FramesRetried, 2)
+	reg := NewRegistry(3)
+	reg.Observe(1, RecvWait, 250*time.Microsecond)
+	reg.Observe(1, SendComplete, 10*time.Microsecond)
+
+	srv, err := Serve("127.0.0.1:0", func() Source { return Source{Metrics: mets, Obs: reg} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		`ftmpi_sends_total{rank="0"} 7`,
+		`ftmpi_frames_retried_total{rank="2"} 2`,
+		"# TYPE ftmpi_recv_wait_seconds histogram",
+		"ftmpi_recv_wait_seconds_count 1",
+		`ftmpi_recv_wait_seconds_bucket{le="+Inf"} 1`,
+		"ftmpi_send_complete_seconds_count 1",
+		// schema-stable: empty families still present
+		"# TYPE ftmpi_election_seconds histogram",
+		"ftmpi_election_seconds_count 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	ft, ok := vars["ftmpi"].(map[string]any)
+	if !ok {
+		t.Fatalf("/debug/vars missing ftmpi object:\n%s", body)
+	}
+	if _, ok := ft["counters"]; !ok {
+		t.Fatalf("ftmpi expvar missing counters: %v", ft)
+	}
+	if _, ok := ft["histograms"]; !ok {
+		t.Fatalf("ftmpi expvar missing histograms: %v", ft)
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d body %q", code, body[:min(len(body), 200)])
+	}
+}
+
+func TestServeNilSource(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	code, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	// nil metrics world has size 0, nil registry renders all-empty families;
+	// the exposition must still be valid and schema-stable.
+	if !strings.Contains(body, "ftmpi_send_complete_seconds_count 0") {
+		t.Fatalf("nil source must still expose empty families:\n%s", body)
+	}
+}

@@ -96,6 +96,9 @@ type Event struct {
 	Dst     int
 	Seq     uint64
 	Attempt int
+	// Backoff is the retransmission backoff applied for EvRetry events
+	// (zero otherwise), so observers can histogram the ARQ's pacing.
+	Backoff time.Duration
 }
 
 // String renders the event for logs.
@@ -359,7 +362,7 @@ func (f *Fabric) retryLoop() {
 					resend = append(resend, p.pkt)
 					retryEvs = append(retryEvs, Event{
 						Kind: EvRetry, Src: key[0], Dst: key[1],
-						Seq: seq, Attempt: p.attempts,
+						Seq: seq, Attempt: p.attempts, Backoff: backoff,
 					})
 				}
 				if exhausted {

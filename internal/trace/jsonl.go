@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// jsonEvent is the JSONL wire form of an Event. Kind travels by name so
+// the stream stays readable and stable across kind-enum reordering.
+type jsonEvent struct {
+	Seq  int    `json:"seq"`
+	At   int64  `json:"at_ns"` // UnixNano; 0 when the event carried no timestamp
+	Rank int    `json:"rank"`
+	Kind string `json:"kind"`
+	Peer int    `json:"peer,omitempty"`
+	Tag  int    `json:"tag,omitempty"`
+	Iter int    `json:"iter,omitempty"`
+	Note string `json:"note,omitempty"`
+}
+
+// MarshalJSON encodes the event in its JSONL wire form.
+func (e Event) MarshalJSON() ([]byte, error) {
+	je := jsonEvent{
+		Seq: e.Seq, Rank: e.Rank, Kind: e.Kind.String(),
+		Peer: e.Peer, Tag: e.Tag, Iter: e.Iter, Note: e.Note,
+	}
+	if !e.At.IsZero() {
+		je.At = e.At.UnixNano()
+	}
+	return json.Marshal(je)
+}
+
+// UnmarshalJSON decodes the JSONL wire form.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var je jsonEvent
+	if err := json.Unmarshal(data, &je); err != nil {
+		return err
+	}
+	k, ok := ParseKind(je.Kind)
+	if !ok {
+		return fmt.Errorf("trace: unknown event kind %q", je.Kind)
+	}
+	*e = Event{Seq: je.Seq, Rank: je.Rank, Kind: k, Peer: je.Peer, Tag: je.Tag, Iter: je.Iter, Note: je.Note}
+	if je.At != 0 {
+		e.At = time.Unix(0, je.At)
+	}
+	return nil
+}
+
+// JSONLWriter streams events as one JSON object per line. It is safe for
+// concurrent use as a Recorder sink; writes are buffered, so Close (or
+// Flush) must be called to drain the tail.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewJSONLWriter wraps w. If w is also an io.Closer, Close closes it.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	jw := &JSONLWriter{bw: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		jw.c = c
+	}
+	return jw
+}
+
+// Write emits one event line. The first error is sticky and returned by
+// every subsequent call and by Close.
+func (w *JSONLWriter) Write(e Event) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	b, err := json.Marshal(e)
+	if err == nil {
+		_, err = w.bw.Write(b)
+	}
+	if err == nil {
+		err = w.bw.WriteByte('\n')
+	}
+	w.err = err
+	return err
+}
+
+// Sink adapts the writer to Recorder.SetSink, dropping write errors (the
+// first error is still reported by Close).
+func (w *JSONLWriter) Sink() func(Event) {
+	return func(e Event) { _ = w.Write(e) }
+}
+
+// Flush drains buffered lines.
+func (w *JSONLWriter) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.bw.Flush()
+	return w.err
+}
+
+// Close flushes and closes the underlying writer (when it is a Closer).
+func (w *JSONLWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ferr := w.err
+	if ferr == nil {
+		ferr = w.bw.Flush()
+		w.err = ferr
+	}
+	if w.c != nil {
+		if cerr := w.c.Close(); ferr == nil {
+			ferr = cerr
+		}
+		w.c = nil
+	}
+	return ferr
+}
+
+// ReadJSONL decodes an event stream written by JSONLWriter. Blank lines
+// are skipped; any malformed line aborts with an error naming its number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("trace: jsonl line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: jsonl read: %w", err)
+	}
+	return out, nil
+}

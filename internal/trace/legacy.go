@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// mutexRecorder is the pre-sharding recorder, reproduced verbatim from the
+// old implementation: one world-wide mutex, a single append slice, and
+// accessors that copy the whole event log per query. It is kept
+// (unexported) solely as the baseline for BenchmarkRecorder*, which
+// documents the speedup of the sharded flight recorder once a live
+// exposition endpoint polls counters while ranks record.
+type mutexRecorder struct {
+	mu     sync.Mutex
+	events []Event
+	seq    int
+	limit  int
+}
+
+func newMutexRecorder(limit int) *mutexRecorder {
+	return &mutexRecorder{limit: limit}
+}
+
+func (r *mutexRecorder) Record(rank int, kind Kind, peer, tag, iter int, note string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.limit > 0 && len(r.events) >= r.limit {
+		return
+	}
+	r.events = append(r.events, Event{
+		Seq: r.seq, At: time.Now(), Rank: rank, Kind: kind, Peer: peer, Tag: tag, Iter: iter, Note: note,
+	})
+	r.seq++
+}
+
+// Events copies the whole log under the lock — the old accessor shape.
+func (r *mutexRecorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Count scans a fresh copy of the log, exactly as the old Count did.
+func (r *mutexRecorder) Count(kind Kind) int {
+	n := 0
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *mutexRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}

@@ -5,6 +5,15 @@
 // scenario tests then assert on the recorded sequences (e.g. "rank 1
 // resent the iteration-2 buffer to rank 3 after rank 2 failed", or "rank 3
 // never forwarded a duplicate").
+//
+// The recorder is built to stay enabled under benchmark load: events land
+// in per-shard append buffers (sharded by rank) behind per-shard locks,
+// per-kind and per-(rank,kind) tallies are maintained incrementally so
+// Count/CountBy/First never copy the event log, and bounded recorders run
+// in flight-recorder mode — a ring that keeps the NEWEST events, because
+// when something goes wrong it is the failure tail, not the warm-up, that
+// explains it. Events can additionally be streamed to a sink (SetSink)
+// for JSONL export and Chrome-trace conversion (cmd/traceconv).
 package trace
 
 import (
@@ -12,6 +21,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -70,6 +80,9 @@ const (
 	Note
 )
 
+// numKinds bounds the dense per-kind tally arrays. Note is the last kind.
+const numKinds = int(Note) + 1
+
 var kindNames = map[Kind]string{
 	SendPosted:     "send",
 	RecvPosted:     "recv-post",
@@ -97,12 +110,27 @@ var kindNames = map[Kind]string{
 	Note:           "note",
 }
 
+// kindByName is the reverse of kindNames, for JSONL decoding.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, s := range kindNames {
+		m[s] = k
+	}
+	return m
+}()
+
 // String returns the event-kind name used in rendered timelines.
 func (k Kind) String() string {
 	if s, ok := kindNames[k]; ok {
 		return s
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ParseKind resolves a rendered kind name back to its Kind.
+func ParseKind(s string) (Kind, bool) {
+	k, ok := kindByName[s]
+	return k, ok
 }
 
 // Event is one recorded occurrence. Peer is the other rank involved (-1
@@ -135,19 +163,119 @@ func (e Event) String() string {
 	return b.String()
 }
 
+// Sharding. Events are bucketed by rank: each rank records from its own
+// goroutine (plus the delivery goroutine of its fabric), so rank-sharding
+// turns the old world-wide lock convoy into mostly-uncontended per-shard
+// locks. Bounded recorders use fewer shards so that small limits keep
+// exact ring semantics within a shard.
+const (
+	maxShards         = 8
+	minEventsPerShard = 64
+)
+
+// shard is one append buffer plus its incremental tallies. In bounded
+// mode events is a ring of capacity cap: start is the read head, and the
+// newest capacity events are retained (per-shard recency, like a per-CPU
+// flight-recorder ring).
+type shard struct {
+	mu       sync.Mutex
+	events   []Event
+	start    int
+	capacity int // ring capacity; 0 = unbounded append
+
+	kindCounts [numKinds]int64
+	rankKinds  map[int64]int64 // rank*numKinds + kind -> count (in-range kinds)
+	extra      map[[2]int]int64
+}
+
+// put stores one event, evicting the oldest when the ring is full.
+// Returns true when an event was evicted. Caller holds mu.
+func (s *shard) put(e Event) bool {
+	if s.capacity <= 0 || len(s.events) < s.capacity {
+		s.events = append(s.events, e)
+		return false
+	}
+	s.events[s.start] = e
+	s.start = (s.start + 1) % s.capacity
+	return true
+}
+
+// each iterates the retained events oldest-first. Caller holds mu.
+func (s *shard) each(fn func(Event)) {
+	for i := s.start; i < len(s.events); i++ {
+		fn(s.events[i])
+	}
+	for i := 0; i < s.start; i++ {
+		fn(s.events[i])
+	}
+}
+
+// tally bumps the incremental counters. Caller holds mu.
+func (s *shard) tally(rank int, kind Kind) {
+	if kind >= 0 && int(kind) < numKinds {
+		s.kindCounts[kind]++
+		if s.rankKinds == nil {
+			s.rankKinds = make(map[int64]int64, 8)
+		}
+		s.rankKinds[int64(rank)*int64(numKinds)+int64(kind)]++
+		return
+	}
+	if s.extra == nil {
+		s.extra = make(map[[2]int]int64, 2)
+	}
+	s.extra[[2]int{rank, int(kind)}]++
+}
+
 // Recorder accumulates events. The zero value is unusable; use New. A nil
 // *Recorder is valid everywhere and records nothing, so tracing can be
 // disabled without branching at every call site.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
-	seq    int
 	limit  int
+	shards []shard
+
+	seq       atomic.Int64
+	truncated atomic.Int64
+	firsts    [numKinds]atomic.Pointer[Event]
+	sink      atomic.Pointer[func(Event)]
 }
 
-// New creates a recorder retaining at most limit events (0 = unlimited).
+// New creates a recorder. limit 0 means unbounded; limit > 0 selects
+// flight-recorder mode: the newest events are retained (per shard),
+// evicted events are tallied in Truncated, and the incremental counters
+// (Count, CountBy, First, Len-independent tallies) keep covering ALL
+// recorded events — exactly what a post-mortem needs after a long soak.
 func New(limit int) *Recorder {
-	return &Recorder{limit: limit}
+	nShards := maxShards
+	if limit > 0 {
+		nShards = limit / minEventsPerShard
+		if nShards < 1 {
+			nShards = 1
+		}
+		if nShards > maxShards {
+			nShards = maxShards
+		}
+	}
+	r := &Recorder{limit: limit, shards: make([]shard, nShards)}
+	if limit > 0 {
+		base, rem := limit/nShards, limit%nShards
+		for i := range r.shards {
+			r.shards[i].capacity = base
+			if i < rem {
+				r.shards[i].capacity++
+			}
+		}
+	}
+	return r
+}
+
+// shardFor picks the shard for a rank.
+func (r *Recorder) shardFor(rank int) *shard {
+	n := len(r.shards)
+	idx := rank % n
+	if idx < 0 {
+		idx += n
+	}
+	return &r.shards[idx]
 }
 
 // Record appends an event. Safe for concurrent use; a nil recorder drops
@@ -156,13 +284,8 @@ func (r *Recorder) Record(rank int, kind Kind, peer, tag, iter int, note string)
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.limit > 0 && len(r.events) >= r.limit {
-		return
-	}
-	r.events = append(r.events, Event{
-		Seq:  r.seq,
+	e := Event{
+		Seq:  int(r.seq.Add(1)) - 1,
 		At:   time.Now(),
 		Rank: rank,
 		Kind: kind,
@@ -170,8 +293,53 @@ func (r *Recorder) Record(rank int, kind Kind, peer, tag, iter int, note string)
 		Tag:  tag,
 		Iter: iter,
 		Note: note,
-	})
-	r.seq++
+	}
+	s := r.shardFor(rank)
+	s.mu.Lock()
+	evicted := s.put(e)
+	s.tally(rank, kind)
+	s.mu.Unlock()
+	if evicted {
+		r.truncated.Add(1)
+	}
+	r.noteFirst(e)
+	if fn := r.sink.Load(); fn != nil {
+		(*fn)(e)
+	}
+}
+
+// noteFirst keeps the earliest-recorded event per kind, lock-free. The
+// CAS loop settles on the minimum Seq even when records race.
+func (r *Recorder) noteFirst(e Event) {
+	if e.Kind < 0 || int(e.Kind) >= numKinds {
+		return
+	}
+	slot := &r.firsts[e.Kind]
+	for {
+		cur := slot.Load()
+		if cur != nil && cur.Seq <= e.Seq {
+			return
+		}
+		ec := e
+		if slot.CompareAndSwap(cur, &ec) {
+			return
+		}
+	}
+}
+
+// SetSink registers a streaming observer called once per recorded event,
+// outside the recorder's locks. Events from different shards may arrive
+// out of Seq order; consumers that need total order sort by Seq (as
+// cmd/traceconv does). Pass nil to detach.
+func (r *Recorder) SetSink(fn func(Event)) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&fn)
 }
 
 // Notef records a free-form annotation for rank.
@@ -179,88 +347,186 @@ func (r *Recorder) Notef(rank int, format string, args ...any) {
 	r.Record(rank, Note, -1, -1, -1, fmt.Sprintf(format, args...))
 }
 
-// Events returns a copy of all recorded events in record order.
+// Events returns a copy of the retained events in record (Seq) order. In
+// flight-recorder mode this is the newest window; Truncated reports how
+// many older events were evicted.
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
+	out := make([]Event, 0, r.Len())
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		s.each(func(e Event) { out = append(out, e) })
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
 }
 
-// Len returns the number of recorded events.
+// Len returns the number of retained events.
 func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.events)
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		n += len(s.events)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Filter returns the events matching pred, in record order.
-func (r *Recorder) Filter(pred func(Event) bool) []Event {
-	var out []Event
-	for _, e := range r.Events() {
-		if pred(e) {
-			out = append(out, e)
-		}
+// Recorded returns the total number of events ever recorded, including
+// any evicted by flight-recorder mode.
+func (r *Recorder) Recorded() int64 {
+	if r == nil {
+		return 0
 	}
+	return r.seq.Load()
+}
+
+// Truncated returns how many events flight-recorder mode has evicted.
+func (r *Recorder) Truncated() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.truncated.Load()
+}
+
+// Filter returns the retained events matching pred, in record order. Only
+// the matches are copied.
+func (r *Recorder) Filter(pred func(Event) bool) []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		s.each(func(e Event) {
+			if pred(e) {
+				out = append(out, e)
+			}
+		})
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
 }
 
-// Count returns the number of events of the given kind.
-func (r *Recorder) Count(kind Kind) int {
-	n := 0
-	for _, e := range r.Events() {
-		if e.Kind == kind {
-			n++
+// Count returns the number of recorded events of the given kind
+// (including events evicted by flight-recorder mode), from the
+// incremental tallies — no event copying.
+func (r *Recorder) Count(kind Kind) int64 {
+	if r == nil {
+		return 0
+	}
+	var n int64
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		if kind >= 0 && int(kind) < numKinds {
+			n += s.kindCounts[kind]
+		} else {
+			for key, c := range s.extra {
+				if key[1] == int(kind) {
+					n += c
+				}
+			}
 		}
+		s.mu.Unlock()
 	}
 	return n
 }
 
-// CountBy returns the number of events of the given kind at the given rank.
-func (r *Recorder) CountBy(rank int, kind Kind) int {
-	n := 0
-	for _, e := range r.Events() {
-		if e.Kind == kind && e.Rank == rank {
-			n++
-		}
+// CountBy returns the number of recorded events of the given kind at the
+// given rank, from the incremental tallies.
+func (r *Recorder) CountBy(rank int, kind Kind) int64 {
+	if r == nil {
+		return 0
 	}
+	if kind < 0 || int(kind) >= numKinds {
+		var n int64
+		for i := range r.shards {
+			s := &r.shards[i]
+			s.mu.Lock()
+			n += s.extra[[2]int{rank, int(kind)}]
+			s.mu.Unlock()
+		}
+		return n
+	}
+	s := r.shardFor(rank)
+	key := int64(rank)*int64(numKinds) + int64(kind)
+	s.mu.Lock()
+	n := s.rankKinds[key]
+	s.mu.Unlock()
 	return n
 }
 
-// First returns the earliest event of the given kind, if any.
+// First returns the earliest-recorded event of the given kind, if any.
+// The answer covers all recorded events, even ones later evicted by
+// flight-recorder mode.
 func (r *Recorder) First(kind Kind) (Event, bool) {
-	for _, e := range r.Events() {
-		if e.Kind == kind {
-			return e, true
-		}
+	if r == nil {
+		return Event{}, false
 	}
-	return Event{}, false
+	if kind >= 0 && int(kind) < numKinds {
+		if e := r.firsts[kind].Load(); e != nil {
+			return *e, true
+		}
+		return Event{}, false
+	}
+	best, found := Event{}, false
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		s.each(func(e Event) {
+			if e.Kind == kind && (!found || e.Seq < best.Seq) {
+				best, found = e, true
+			}
+		})
+		s.mu.Unlock()
+	}
+	return best, found
 }
 
-// HappensBefore reports whether some event satisfying a precedes (in
-// record order) some event satisfying b. Scenario tests use it to check
-// causal claims such as "rank 2's death precedes rank 1's resend".
+// HappensBefore reports whether some retained event satisfying a precedes
+// (in record order) some retained event satisfying b. Scenario tests use
+// it to check causal claims such as "rank 2's death precedes rank 1's
+// resend". The scan allocates nothing.
 func (r *Recorder) HappensBefore(a, b func(Event) bool) bool {
-	events := r.Events()
+	if r == nil {
+		return false
+	}
 	firstA := -1
-	for i, e := range events {
-		if a(e) {
-			firstA = i
-			break
-		}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		s.each(func(e Event) {
+			if a(e) && (firstA < 0 || e.Seq < firstA) {
+				firstA = e.Seq
+			}
+		})
+		s.mu.Unlock()
 	}
 	if firstA < 0 {
 		return false
 	}
-	for _, e := range events[firstA+1:] {
-		if b(e) {
+	found := false
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		s.each(func(e Event) {
+			if !found && e.Seq > firstA && b(e) {
+				found = true
+			}
+		})
+		s.mu.Unlock()
+		if found {
 			return true
 		}
 	}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -108,5 +109,157 @@ func TestKindNames(t *testing.T) {
 		if s := k.String(); strings.HasPrefix(s, "kind(") {
 			t.Fatalf("kind %d missing name", int(k))
 		}
+		got, ok := ParseKind(k.String())
+		if !ok || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+}
+
+func TestFlightRecorderKeepsNewest(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10; i++ {
+		r.Record(0, Note, -1, -1, i, "x")
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len %d want 3", len(evs))
+	}
+	for i, e := range evs {
+		if want := 7 + i; e.Iter != want {
+			t.Fatalf("event %d iter %d, want %d (ring must keep newest)", i, e.Iter, want)
+		}
+	}
+	if r.Truncated() != 7 {
+		t.Fatalf("truncated %d want 7", r.Truncated())
+	}
+	if r.Recorded() != 10 {
+		t.Fatalf("recorded %d want 10", r.Recorded())
+	}
+	// Tallies and First cover ALL recorded events, including evicted ones.
+	if r.Count(Note) != 10 || r.CountBy(0, Note) != 10 {
+		t.Fatalf("counts must include evicted events: %d / %d", r.Count(Note), r.CountBy(0, Note))
+	}
+	if first, ok := r.First(Note); !ok || first.Iter != 0 {
+		t.Fatalf("First must report the earliest recorded event, got %+v ok=%v", first, ok)
+	}
+}
+
+func TestFlightRecorderShardCapsSumToLimit(t *testing.T) {
+	const limit = 1000
+	r := New(limit)
+	for i := 0; i < 4*limit; i++ {
+		r.Record(i%8, SendPosted, -1, -1, i, "")
+	}
+	if r.Len() != limit {
+		t.Fatalf("len %d want %d", r.Len(), limit)
+	}
+	if got := r.Truncated(); got != 3*limit {
+		t.Fatalf("truncated %d want %d", got, 3*limit)
+	}
+}
+
+func TestSinkStreamsEvents(t *testing.T) {
+	r := New(2) // tiny ring: the sink must still see every event
+	var mu sync.Mutex
+	var got []Event
+	r.SetSink(func(e Event) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	})
+	for i := 0; i < 5; i++ {
+		r.Record(0, IterDone, -1, -1, i, "")
+	}
+	r.SetSink(nil)
+	r.Record(0, IterDone, -1, -1, 99, "after detach")
+	if len(got) != 5 {
+		t.Fatalf("sink saw %d events, want 5", len(got))
+	}
+	for i, e := range got {
+		if e.Iter != i {
+			t.Fatalf("sink event %d iter %d", i, e.Iter)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	r := New(0)
+	r.Record(0, SendPosted, 1, 7, 3, "")
+	r.Record(1, Killed, -1, -1, -1, "fail-stop")
+	r.Notef(2, "checkpoint %d", 9)
+
+	var buf strings.Builder
+	w := NewJSONLWriter(&noopCloser{&buf})
+	r.SetSink(w.Sink())
+	for _, e := range r.Events() {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := ReadJSONL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := r.Events()
+	if len(back) != len(orig) {
+		t.Fatalf("round-trip %d events, want %d", len(back), len(orig))
+	}
+	for i := range back {
+		if back[i].Seq != orig[i].Seq || back[i].Kind != orig[i].Kind ||
+			back[i].Rank != orig[i].Rank || back[i].Note != orig[i].Note {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, back[i], orig[i])
+		}
+		if !back[i].At.Equal(orig[i].At) {
+			t.Fatalf("event %d timestamp mismatch: %v vs %v", i, back[i].At, orig[i].At)
+		}
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"kind":"no-such-kind"}`)); err == nil {
+		t.Fatal("unknown kind must fail to decode")
+	}
+}
+
+type noopCloser struct{ *strings.Builder }
+
+func (n *noopCloser) Close() error { return nil }
+
+func TestChromeTraceOneLanePerRank(t *testing.T) {
+	r := New(0)
+	r.Record(0, SendPosted, 1, 0, 0, "")
+	r.Record(1, RecvCompleted, 0, 0, 0, "")
+	r.Record(2, Killed, -1, -1, -1, "")
+	b, err := ChromeTrace(r.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("chrome output does not parse: %v", err)
+	}
+	lanes := map[float64]bool{}
+	instants := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			if ev["name"] == "thread_name" {
+				lanes[ev["tid"].(float64)] = true
+			}
+		case "i":
+			instants++
+		}
+	}
+	for _, want := range []float64{0, 1, 2} {
+		if !lanes[want] {
+			t.Fatalf("missing lane metadata for rank %v; lanes=%v", want, lanes)
+		}
+	}
+	if instants != 3 {
+		t.Fatalf("instant events %d want 3", instants)
 	}
 }

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// Collector aggregates observability across every world an experiment
+// sweep creates: counter totals summed over runs, latency histogram
+// families merged over runs, and a live view of the most recent world so
+// an exposition endpoint (ftbench -obs) can be scraped mid-sweep. A nil
+// *Collector is valid and absorbs nothing.
+type Collector struct {
+	mu       sync.Mutex
+	runs     int
+	counters map[string]int64
+	families map[string]obs.HistSnapshot
+
+	liveMets atomic.Pointer[metrics.World]
+	liveObs  atomic.Pointer[obs.Registry]
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		counters: map[string]int64{},
+		families: map[string]obs.HistSnapshot{},
+	}
+}
+
+// Attach points the live view at a world about to run, so scrapes during
+// the run see its counters and histograms.
+func (c *Collector) Attach(mets *metrics.World, reg *obs.Registry) {
+	if c == nil {
+		return
+	}
+	if mets != nil {
+		c.liveMets.Store(mets)
+	}
+	if reg != nil {
+		c.liveObs.Store(reg)
+	}
+}
+
+// Absorb folds one finished world into the aggregate.
+func (c *Collector) Absorb(mets *metrics.World, reg *obs.Registry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.runs++
+	if mets != nil {
+		for _, ctr := range metrics.Counters() {
+			c.counters[ctr.String()] += mets.Total(ctr)
+		}
+	}
+	if reg != nil {
+		for _, fs := range reg.Snapshot().Families {
+			c.families[fs.Family.String()] = c.families[fs.Family.String()].Merge(fs.Merged)
+		}
+	}
+}
+
+// Source returns the live view for obs.Serve: the most recently attached
+// world's counters and histograms.
+func (c *Collector) Source() obs.Source {
+	if c == nil {
+		return obs.Source{}
+	}
+	return obs.Source{Metrics: c.liveMets.Load(), Obs: c.liveObs.Load()}
+}
+
+// Runs returns how many worlds have been absorbed.
+func (c *Collector) Runs() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runs
+}
+
+// histJSON is the JSON shape of one aggregated histogram family.
+type histJSON struct {
+	Count  int64   `json:"count"`
+	MeanNS float64 `json:"mean_ns"`
+	P50NS  int64   `json:"p50_ns"`
+	P95NS  int64   `json:"p95_ns"`
+	P99NS  int64   `json:"p99_ns"`
+	MaxNS  int64   `json:"max_ns"`
+}
+
+// collectorJSON is the machine-readable run summary ftbench -json emits.
+type collectorJSON struct {
+	GeneratedAt string              `json:"generated_at"`
+	Runs        int                 `json:"runs"`
+	Counters    map[string]int64    `json:"counters"`
+	Histograms  map[string]histJSON `json:"histograms"`
+}
+
+// WriteJSON emits the aggregate as indented JSON: every counter total and
+// every histogram family's count/mean/quantiles. Families with no samples
+// are included (count 0) so the schema is stable across runs.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	out := collectorJSON{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Counters:    map[string]int64{},
+		Histograms:  map[string]histJSON{},
+	}
+	if c != nil {
+		c.mu.Lock()
+		out.Runs = c.runs
+		for k, v := range c.counters {
+			out.Counters[k] = v
+		}
+		for _, f := range obs.Families() {
+			s := c.families[f.String()]
+			out.Histograms[f.String()] = histJSON{
+				Count: s.Count, MeanNS: s.Mean(),
+				P50NS: s.Quantile(0.50), P95NS: s.Quantile(0.95), P99NS: s.Quantile(0.99),
+				MaxNS: s.Max,
+			}
+		}
+		c.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -13,14 +13,22 @@ import (
 )
 
 // ringOnce runs one ring configuration over a fresh world and returns the
-// report, run result, elapsed time and metrics.
-func ringOnce(size int, cfg core.Config, mut func(*mpi.Config)) (*core.Report, *mpi.RunResult, *metrics.World, error) {
+// report, run result, elapsed time and metrics. When opt carries a
+// Collector, the world also gets a latency-histogram registry and both
+// are absorbed into the sweep-wide aggregate (and exposed live for
+// ftbench -obs scrapes).
+func ringOnce(opt Options, size int, cfg core.Config, mut func(*mpi.Config)) (*core.Report, *mpi.RunResult, *metrics.World, error) {
 	mets := metrics.NewWorld(size)
 	mcfg := mpi.Config{Size: size, Deadline: 60 * time.Second, Metrics: mets}
+	if reg := opt.newObs(size); reg != nil {
+		mcfg.Obs = reg
+		opt.Collector.Attach(mets, reg)
+	}
 	if mut != nil {
 		mut(&mcfg)
 	}
 	report, res, err := core.Run(mcfg, cfg)
+	opt.Collector.Absorb(mets, mcfg.Obs)
 	return report, res, mets, err
 }
 
@@ -51,7 +59,7 @@ func e1() Experiment {
 				"ranks", "iters", "elapsed", "us/iter", "msgs", "value-ok")
 			for _, n := range opt.sizes([]int{4, 8, 16, 32, 64}) {
 				iters := 128
-				report, res, mets, err := ringOnce(n, core.Config{Iters: iters, Variant: core.VariantUnaware}, nil)
+				report, res, mets, err := ringOnce(opt, n, core.Config{Iters: iters, Variant: core.VariantUnaware}, nil)
 				if err != nil {
 					return nil, err
 				}
@@ -76,11 +84,11 @@ func e2() Experiment {
 				"ranks", "iters", "unaware", "ft", "overhead-x", "ft-msgs/unaware-msgs")
 			for _, n := range opt.sizes([]int{4, 8, 16, 32, 64}) {
 				iters := 128
-				_, resU, metsU, err := ringOnce(n, core.Config{Iters: iters, Variant: core.VariantUnaware}, nil)
+				_, resU, metsU, err := ringOnce(opt, n, core.Config{Iters: iters, Variant: core.VariantUnaware}, nil)
 				if err != nil {
 					return nil, err
 				}
-				_, resF, metsF, err := ringOnce(n, core.Config{Iters: iters, Variant: core.VariantFull}, nil)
+				_, resF, metsF, err := ringOnce(opt, n, core.Config{Iters: iters, Variant: core.VariantFull}, nil)
 				if err != nil {
 					return nil, err
 				}
@@ -101,7 +109,7 @@ func e3() Experiment {
 			t := NewTable("E3: naive receive under mid-ring failure (Fig. 6)",
 				"ranks", "kill", "outcome", "stuck-ranks", "iters-done")
 			plan := inject.NewPlan().Add(inject.AfterNthRecv(2, 2))
-			report, res, _, err := ringOnce(4, core.Config{Iters: 6, Variant: core.VariantNaive},
+			report, res, _, err := ringOnce(opt, 4, core.Config{Iters: 6, Variant: core.VariantNaive},
 				func(m *mpi.Config) { m.Hook = plan.Hook(); m.Deadline = 500 * time.Millisecond })
 			outcome := "completed"
 			if errors.Is(err, mpi.ErrTimedOut) {
@@ -123,7 +131,7 @@ func e4() Experiment {
 			t := NewTable("E4: Fig. 9 receive under the same failure (Fig. 7)",
 				"ranks", "kill", "outcome", "resends", "root-absorbed", "elapsed")
 			plan := inject.NewPlan().Add(inject.AfterNthRecv(2, 2))
-			report, res, _, err := ringOnce(4, core.Config{Iters: 6, Variant: core.VariantFull},
+			report, res, _, err := ringOnce(opt, 4, core.Config{Iters: 6, Variant: core.VariantFull},
 				func(m *mpi.Config) { m.Hook = plan.Hook() })
 			if err != nil {
 				return nil, err
@@ -142,7 +150,7 @@ func e5() Experiment {
 			t := NewTable("E5: resend without marker check (Fig. 8)",
 				"ranks", "kill", "dups-forwarded", "root-absorptions", "distinct-markers", "markers-absorbed")
 			plan := inject.NewPlan().Add(inject.AfterNthSend(2, 2))
-			report, _, _, err := ringOnce(4, core.Config{Iters: 4, Variant: core.VariantNoMarker},
+			report, _, _, err := ringOnce(opt, 4, core.Config{Iters: 4, Variant: core.VariantNoMarker},
 				func(m *mpi.Config) { m.Hook = plan.Hook() })
 			if err != nil {
 				return nil, err
@@ -169,7 +177,7 @@ func e6() Experiment {
 			t := NewTable("E6: same failure schedule with markers (Fig. 10)",
 				"ranks", "kill", "dups-dropped", "dups-forwarded", "root-absorbed")
 			plan := inject.NewPlan().Add(inject.AfterNthSend(2, 2))
-			report, _, _, err := ringOnce(4, core.Config{Iters: 4, Variant: core.VariantFull},
+			report, _, _, err := ringOnce(opt, 4, core.Config{Iters: 4, Variant: core.VariantFull},
 				func(m *mpi.Config) { m.Hook = plan.Hook() })
 			if err != nil {
 				return nil, err
@@ -193,7 +201,7 @@ func e7() Experiment {
 						continue
 					}
 					plan, _ := inject.RandomPlan(opt.Seed+int64(n*10+f), nonRoots(n), f, 4)
-					report, res, _, err := ringOnce(n,
+					report, res, _, err := ringOnce(opt, n,
 						core.Config{Iters: 8, Variant: core.VariantFull, Termination: core.TermRootBcast},
 						func(m *mpi.Config) { m.Hook = plan.Hook() })
 					if err != nil {
@@ -254,7 +262,7 @@ func e9() Experiment {
 					} else {
 						plan.Add(inject.AfterNthRecv(n/2, 2))
 					}
-					report, res, _, err := ringOnce(n,
+					report, res, _, err := ringOnce(opt, n,
 						core.Config{Iters: 8, Variant: core.VariantFull,
 							Termination: core.TermValidateAll, RootPolicy: core.RootElect},
 						func(m *mpi.Config) { m.Hook = plan.Hook() })
@@ -289,7 +297,7 @@ func e10() Experiment {
 			}
 			for f := 0; f <= maxF; f += 2 {
 				plan, _ := inject.RandomPlan(opt.Seed+int64(f), nonRoots(n), f, 8)
-				report, res, _, err := ringOnce(n,
+				report, res, _, err := ringOnce(opt, n,
 					core.Config{Iters: 16, Variant: core.VariantFull, Termination: core.TermValidateAll},
 					func(m *mpi.Config) { m.Hook = plan.Hook() })
 				if err != nil {
@@ -317,7 +325,7 @@ func e11() Experiment {
 				"scheme", "elapsed", "msgs", "bytes", "root-absorbed")
 			for _, v := range []core.Variant{core.VariantFull, core.VariantSeparateTag} {
 				plan := inject.NewPlan().Add(inject.AfterNthSend(2, 2))
-				report, res, mets, err := ringOnce(8, core.Config{Iters: 16, Variant: v},
+				report, res, mets, err := ringOnce(opt, 8, core.Config{Iters: 16, Variant: v},
 					func(m *mpi.Config) { m.Hook = plan.Hook() })
 				if err != nil {
 					return nil, fmt.Errorf("%v: %w", v, err)
@@ -339,7 +347,7 @@ func e12() Experiment {
 				"ranks", "kill", "new-root", "became-root", "absorbed-old", "absorbed-new", "survivors-terminated")
 			for _, n := range opt.sizes([]int{5, 9, 17}) {
 				plan := inject.NewPlan().Add(inject.AfterNthRecv(0, 3))
-				report, res, _, err := ringOnce(n,
+				report, res, _, err := ringOnce(opt, n,
 					core.Config{Iters: 8, Variant: core.VariantFull,
 						Termination: core.TermValidateAll, RootPolicy: core.RootElect},
 					func(m *mpi.Config) { m.Hook = plan.Hook() })

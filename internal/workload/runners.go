@@ -12,6 +12,7 @@ import (
 	"repro/internal/inject"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -221,7 +222,7 @@ func runPlacementSweep(opt Options) ([]*Table, error) {
 				if victim == 0 {
 					cfg.RootPolicy = core.RootElect
 				}
-				report, res, _, err := ringOnce(n, cfg,
+				report, res, _, err := ringOnce(opt, n, cfg,
 					func(m *mpi.Config) { m.Hook = plan.Hook() })
 				if err != nil {
 					continue
@@ -263,7 +264,7 @@ func runLargeN(opt Options) ([]*Table, error) {
 		"ranks", "ring-iters", "ring-elapsed", "us/hop", "validate-elapsed", "agreement-msgs")
 	iters := 4
 	for _, n := range opt.sizes([]int{256, 1024, 4096}) {
-		report, res, _, err := ringOnce(n, core.Config{Iters: iters, Variant: core.VariantFull}, nil)
+		report, res, _, err := ringOnce(opt, n, core.Config{Iters: iters, Variant: core.VariantFull}, nil)
 		if err != nil {
 			return nil, fmt.Errorf("ring n=%d: %w", n, err)
 		}
@@ -288,15 +289,17 @@ func soakRates() chaos.Rates {
 	return chaos.Rates{Drop: 0.10, Dup: 0.05, Corrupt: 0.01}
 }
 
-// soakTally aggregates one workload's results across the seed sweep.
+// soakTally aggregates one workload's results across the seed sweep,
+// including the merged latency histograms of every run.
 type soakTally struct {
 	ok, runs                       int
 	dropped, duplicated, corrupted int
 	retried, deduped, rejected     int64
 	elapsed                        time.Duration
+	lat                            map[obs.Family]obs.HistSnapshot
 }
 
-func (s *soakTally) absorb(ok bool, plan *chaos.Plan, mets *metrics.World, elapsed time.Duration) {
+func (s *soakTally) absorb(ok bool, plan *chaos.Plan, mets *metrics.World, reg *obs.Registry, elapsed time.Duration) {
 	s.runs++
 	if ok {
 		s.ok++
@@ -308,11 +311,33 @@ func (s *soakTally) absorb(ok bool, plan *chaos.Plan, mets *metrics.World, elaps
 	s.deduped += mets.Total(metrics.FramesDeduped)
 	s.rejected += mets.Total(metrics.FramesRejected)
 	s.elapsed += elapsed
+	if reg != nil {
+		if s.lat == nil {
+			s.lat = map[obs.Family]obs.HistSnapshot{}
+		}
+		for _, fs := range reg.Snapshot().Families {
+			s.lat[fs.Family] = s.lat[fs.Family].Merge(fs.Merged)
+		}
+	}
 }
 
 func (s *soakTally) addRow(t *Table, workload string) {
 	t.Add(workload, s.runs, s.ok, s.dropped, s.duplicated, s.corrupted,
 		s.retried, s.deduped, s.rejected, s.elapsed)
+}
+
+// addLatencyRows renders the workload's non-empty histogram families as
+// quantile rows of the E18 latency table.
+func (s *soakTally) addLatencyRows(t *Table, workload string) {
+	for _, f := range obs.Families() {
+		snap := s.lat[f]
+		if snap.Count == 0 {
+			continue
+		}
+		t.Add(workload, f.String(), snap.Count,
+			time.Duration(snap.Quantile(0.50)), time.Duration(snap.Quantile(0.95)),
+			time.Duration(snap.Quantile(0.99)), time.Duration(snap.Max))
+	}
 }
 
 // runChaosSoak sweeps seeds over three workloads — the full FT ring,
@@ -326,6 +351,8 @@ func runChaosSoak(opt Options) ([]*Table, error) {
 	t := NewTable("E18: chaos soak — 10% drop, 5% dup, 1% corrupt on every link",
 		"workload", "seeds", "ok", "dropped", "duplicated", "corrupted",
 		"retried", "deduped", "rejected", "elapsed")
+	tLat := NewTable("E18b: latency quantiles under chaos (merged over seeds)",
+		"workload", "family", "samples", "p50", "p95", "p99", "max")
 	nSeeds := 20
 	if opt.Quick {
 		nSeeds = 4
@@ -340,8 +367,10 @@ func runChaosSoak(opt Options) ([]*Table, error) {
 			const n, iters = 4, 8
 			plan := chaos.NewPlan(seed).Default(soakRates())
 			mets := metrics.NewWorld(n)
+			reg := obs.NewRegistry(n)
+			opt.Collector.Attach(mets, reg)
 			report, res, err := core.Run(mpi.Config{
-				Size: n, Deadline: 60 * time.Second, Metrics: mets, Chaos: plan,
+				Size: n, Deadline: 60 * time.Second, Metrics: mets, Chaos: plan, Obs: reg,
 			}, core.Config{Iters: iters, Variant: core.VariantFull, Termination: core.TermValidateAll})
 			if err != nil {
 				return nil, fmt.Errorf("ring seed %d: %w", seed, err)
@@ -353,7 +382,8 @@ func runChaosSoak(opt Options) ([]*Table, error) {
 			for _, rr := range res.Ranks {
 				ok = ok && rr.Err == nil && rr.Finished
 			}
-			ring.absorb(ok, plan, mets, res.Elapsed)
+			ring.absorb(ok, plan, mets, reg, res.Elapsed)
+			opt.Collector.Absorb(mets, reg)
 		}
 
 		// Workload 2: validate_all consensus with one pre-failed rank.
@@ -361,8 +391,10 @@ func runChaosSoak(opt Options) ([]*Table, error) {
 			const n = 4
 			plan := chaos.NewPlan(seed).Default(soakRates())
 			mets := metrics.NewWorld(n)
+			reg := obs.NewRegistry(n)
+			opt.Collector.Attach(mets, reg)
 			w, err := mpi.NewWorld(n, mpi.WithDeadline(60*time.Second),
-				mpi.WithMetrics(mets), mpi.WithChaos(plan))
+				mpi.WithMetrics(mets), mpi.WithChaos(plan), mpi.WithObservability(reg))
 			if err != nil {
 				return nil, err
 			}
@@ -390,7 +422,8 @@ func runChaosSoak(opt Options) ([]*Table, error) {
 			for rank := 0; rank < n-1; rank++ {
 				ok = ok && res.Ranks[rank].Err == nil && counts[rank] == 1
 			}
-			validate.absorb(ok, plan, mets, res.Elapsed)
+			validate.absorb(ok, plan, mets, reg, res.Elapsed)
+			opt.Collector.Absorb(mets, reg)
 		}
 
 		// Workload 3: Chang-Roberts ring election after the lowest rank
@@ -400,8 +433,10 @@ func runChaosSoak(opt Options) ([]*Table, error) {
 			const n = 4
 			plan := chaos.NewPlan(seed).Default(soakRates())
 			mets := metrics.NewWorld(n)
+			reg := obs.NewRegistry(n)
+			opt.Collector.Attach(mets, reg)
 			w, err := mpi.NewWorld(n, mpi.WithDeadline(60*time.Second),
-				mpi.WithMetrics(mets), mpi.WithChaos(plan))
+				mpi.WithMetrics(mets), mpi.WithChaos(plan), mpi.WithObservability(reg))
 			if err != nil {
 				return nil, err
 			}
@@ -429,7 +464,8 @@ func runChaosSoak(opt Options) ([]*Table, error) {
 			for rank := 1; rank < n; rank++ {
 				ok = ok && res.Ranks[rank].Err == nil && elected[rank] == 1
 			}
-			elect.absorb(ok, plan, mets, res.Elapsed)
+			elect.absorb(ok, plan, mets, reg, res.Elapsed)
+			opt.Collector.Absorb(mets, reg)
 		}
 	}
 
@@ -438,7 +474,11 @@ func runChaosSoak(opt Options) ([]*Table, error) {
 	elect.addRow(t, "election")
 	t.Note("ok must equal seeds: every run completes with exact-once app-level delivery")
 	t.Note("rejected = corrupted frames caught by the end-to-end CRC before reaching matching")
-	return []*Table{t}, nil
+	ring.addLatencyRows(tLat, "ft ring (Fig. 5)")
+	validate.addLatencyRows(tLat, "validate_all")
+	elect.addLatencyRows(tLat, "election")
+	tLat.Note("retry_backoff/chaos_delay sample the reliability sublayer pacing and injected jitter")
+	return []*Table{t, tLat}, nil
 }
 
 // runTransportComparison runs the same FT ring over the in-memory fabric,
@@ -463,7 +503,7 @@ func runTransportComparison(opt Options) ([]*Table, error) {
 		}},
 	}
 	for _, f := range fabrics {
-		_, res, _, err := ringOnce(n, core.Config{Iters: iters, Variant: core.VariantFull},
+		_, res, _, err := ringOnce(opt, n, core.Config{Iters: iters, Variant: core.VariantFull},
 			func(m *mpi.Config) { m.Fabric = f.make() })
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", f.name, err)

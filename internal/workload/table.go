@@ -9,6 +9,8 @@ import (
 	"strings"
 	"text/tabwriter"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Table is an ordered result table for one experiment.
@@ -80,6 +82,24 @@ type Options struct {
 	Quick bool
 	// Seed drives the randomized failure schedules.
 	Seed int64
+	// Collector, when non-nil, aggregates counters and latency histograms
+	// across every world the experiments create, for -json output and the
+	// live -obs exposition.
+	Collector *Collector
+}
+
+// obsMaxRanks caps the world size that gets a histogram registry: each
+// (family, rank) histogram is ~2KB of atomics, so the E17 large-N worlds
+// (4096 ranks) would pay tens of MB for timings nobody reads per rank.
+const obsMaxRanks = 1024
+
+// newObs returns a fresh histogram registry for a world of n ranks, or
+// nil when no collector wants it (or the world is too large).
+func (o Options) newObs(n int) *obs.Registry {
+	if o.Collector == nil || n > obsMaxRanks {
+		return nil
+	}
+	return obs.NewRegistry(n)
 }
 
 // sizes returns the world-size sweep, shrunk in quick mode.
