@@ -1,4 +1,4 @@
-// Command ftbench runs the experiment suite (DESIGN.md E1-E18) and prints
+// Command ftbench runs the experiment suite (DESIGN.md E1-E19) and prints
 // the result tables recorded in EXPERIMENTS.md.
 //
 //	ftbench                # full suite
@@ -7,6 +7,7 @@
 //	ftbench -list          # show the experiment index
 //	ftbench -json out.json # also write aggregated counters + quantiles
 //	ftbench -obs :9464     # live /metrics while the suite runs
+//	ftbench -exp e1 -detector heartbeat   # ring experiments without the oracle
 package main
 
 import (
@@ -15,18 +16,23 @@ import (
 	"os"
 	"time"
 
+	"repro/ftmpi"
 	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "run a single experiment (e1..e18)")
+		exp     = flag.String("exp", "", "run a single experiment (e1..e19)")
 		quick   = flag.Bool("quick", false, "shrink sweeps for a fast pass")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		seed    = flag.Int64("seed", 1, "seed for randomized failure schedules")
 		jsonOut = flag.String("json", "", "write aggregated metrics JSON to this file (\"-\" = stdout)")
 		obsAddr = flag.String("obs", "", "serve live /metrics for the world currently running")
+
+		detMode    = flag.String("detector", "", "failure detection for the generic ring worlds: oracle|heartbeat (\"\" = oracle; E19 always uses heartbeat)")
+		hbInterval = flag.Duration("hb-interval", 0, "heartbeat ping interval (0 = default 2ms; with -detector heartbeat)")
+		hbTimeout  = flag.Duration("hb-timeout", 0, "heartbeat suspicion timeout (0 = 8x interval; with -detector heartbeat)")
 	)
 	flag.Parse()
 
@@ -49,7 +55,11 @@ func main() {
 		toRun = workload.All()
 	}
 
-	opt := workload.Options{Quick: *quick, Seed: *seed}
+	opt := workload.Options{
+		Quick: *quick, Seed: *seed,
+		Detector:  *detMode,
+		Heartbeat: ftmpi.HeartbeatOptions{Interval: *hbInterval, Timeout: *hbTimeout},
+	}
 	if *jsonOut != "" || *obsAddr != "" {
 		opt.Collector = workload.NewCollector()
 	}

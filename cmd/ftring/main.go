@@ -12,6 +12,8 @@
 //	ftring -n 16 -random-failures 3 -seed 7       # seeded random schedule
 //	ftring -n 8 -chaos -chaos-drop 0.1            # lossy links, reliability on
 //	ftring -n 4 -chaos-partition 0:1:1:0          # blackhole 0->1 until escalation
+//	ftring -n 4 -detector heartbeat -kill 2:recv:2  # real detection, no oracle
+//	ftring -n 4 -detector heartbeat -hb-interval 5ms -hb-timeout 40ms -kill 2:recv:2
 package main
 
 import (
@@ -49,6 +51,10 @@ func main() {
 		traceOut = flag.String("trace-out", "", "stream the event timeline as JSONL to this file (see cmd/traceconv)")
 		obsAddr  = flag.String("obs", "", "serve /metrics, /debug/vars, /debug/pprof on this address (e.g. 127.0.0.1:9464)")
 		obsHold  = flag.Duration("obs-linger", 0, "keep the -obs endpoint up this long after the run (for scrapers)")
+
+		detMode    = flag.String("detector", "oracle", "failure detection: oracle|heartbeat")
+		hbInterval = flag.Duration("hb-interval", 0, "heartbeat ping interval (0 = default 2ms; with -detector heartbeat)")
+		hbTimeout  = flag.Duration("hb-timeout", 0, "heartbeat suspicion timeout (0 = 8x interval; with -detector heartbeat)")
 
 		chaosOn      = flag.Bool("chaos", false, "inject network faults (default rates unless overridden)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the chaos plan")
@@ -130,6 +136,10 @@ func main() {
 	mcfg := ftmpi.Config{
 		Size: *n, Deadline: *deadline, Hook: plan.Hook(),
 		Tracer: rec, Metrics: mets, Obs: reg, Chaos: chaosPlan,
+		Detector: *detMode,
+		Heartbeat: ftmpi.HeartbeatOptions{
+			Interval: *hbInterval, Timeout: *hbTimeout,
+		},
 	}
 	var obsSrv *ftmpi.ObsServer
 	if *obsAddr != "" {

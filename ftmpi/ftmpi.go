@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/detector"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/obs"
@@ -148,6 +149,22 @@ const (
 	ObsRetryBackoff   = obs.RetryBackoff
 	ObsChaosDelay     = obs.ChaosDelay
 	ObsNotifyLatency  = obs.NotifyLatency
+	// ObsSuspicionLatency times ground-truth death to the first heartbeat
+	// suspicion raised against the dead rank.
+	ObsSuspicionLatency = obs.SuspicionLatency
+	// ObsFenceRTT times a raised suspicion to its confirmed failure.
+	ObsFenceRTT = obs.FenceRTT
+)
+
+// Failure-detection modes (see WithDetector).
+const (
+	// DetectorOracle is the default: failure notifications come straight
+	// from the in-process ground-truth registry (the paper's assumed
+	// perfect detector).
+	DetectorOracle = mpi.DetectorOracle
+	// DetectorHeartbeat detects failures by missed heartbeats over the
+	// live fabric, with fencing preserving fail-stop accuracy.
+	DetectorHeartbeat = mpi.DetectorHeartbeat
 )
 
 // Hook points and actions.
@@ -235,6 +252,14 @@ func WithChaos(plan *ChaosPlan) Option { return mpi.WithChaos(plan) }
 // chaos plan. Zero option fields take defaults.
 func WithReliability(opts ReliableOptions) Option { return mpi.WithReliability(opts) }
 
+// WithDetector selects the failure-detection mode: DetectorOracle (the
+// default) or DetectorHeartbeat.
+func WithDetector(mode string) Option { return mpi.WithDetector(mode) }
+
+// WithHeartbeat selects the heartbeat detector and tunes its monitors;
+// zero option fields take defaults.
+func WithHeartbeat(opts HeartbeatOptions) Option { return mpi.WithHeartbeat(opts) }
+
 // --- request combinators -----------------------------------------------------
 
 // Waitany blocks until one of the requests completes and returns its index
@@ -288,6 +313,10 @@ type (
 	// ReliableOptions tunes the reliability sublayer's retransmission
 	// budget (see WithReliability).
 	ReliableOptions = reliable.Options
+	// HeartbeatOptions tunes the heartbeat detector's monitors (see
+	// WithHeartbeat): ping interval, suspicion timeout, phi threshold,
+	// and the self-fence horizon.
+	HeartbeatOptions = detector.HeartbeatOptions
 )
 
 // NewChaosPlan returns an empty fault plan for the seed: configure it

@@ -1,0 +1,107 @@
+package detector
+
+import "time"
+
+// Fencing converts the heartbeat monitor's unreliable suspicion into the
+// fail-stop failures the run-through stabilization machinery requires.
+// The rule that restores strong accuracy:
+//
+//  1. A suspicion never reaches the application. It only arms a fence.
+//  2. A fenced rank kills itself FIRST and acks SECOND, so a fence ack
+//     happens-after ground-truth death: Confirm on ack receipt can never
+//     declare a live rank failed.
+//  3. A rank that is ground-truth dead (injected kill, self-fence, or a
+//     fence that got through while the ack path is cut) is confirmed by
+//     the fencer's resend loop directly from the registry.
+//  4. A rank whose own heartbeats go unacknowledged by everyone past the
+//     self-fence deadline kills itself — the escape hatch for total
+//     isolation, where no fence notice can reach it. The sole survivor is
+//     exempt: when every peer is already ground-truth dead, silence is
+//     expected and suicide would end the run for nothing.
+//
+// A falsely suspected rank (chaos delay or a one-way partition) is
+// therefore either cleared — a late heartbeat arrives before the fence
+// lands — or genuinely killed by the fence before anyone is told it
+// failed. Either way, no healthy rank is ever reported Failed to the
+// application: eventual perfection, built from an unreliable detector.
+
+// fenceState tracks one (observer, suspect) fence in flight.
+type fenceState struct {
+	start    time.Time // suspicion raise time, for fence RTT
+	lastSend time.Time // zero until the first fence notice goes out
+}
+
+// fenceConfirm is one suspect resolved by the ground-truth path, with the
+// suspicion-raise to confirmation round-trip.
+type fenceConfirm struct {
+	rank int
+	rtt  time.Duration
+}
+
+// driveFencesLocked advances every pending fence one step: suspects that
+// turn out ground-truth dead are queued for Confirm, the rest get a fence
+// (re)send when their resend deadline lapses. Caller holds mu; the
+// returned packets are sent (and Confirm called) outside it.
+func (h *Heartbeat) driveFencesLocked(now time.Time) (confirms []fenceConfirm, fenceSends []int, outs []ctl) {
+	for p, fs := range h.fences {
+		switch {
+		case h.reg.Confirmed(p):
+			// Another observer finished the job.
+			delete(h.fences, p)
+		case h.reg.Failed(p):
+			// Ground-truth death: confirm directly. This is the path that
+			// completes fencing across a cut ack link — the fence (or the
+			// original failure) already killed the suspect, and the
+			// registry, not the unreachable ack, proves it.
+			confirms = append(confirms, fenceConfirm{rank: p, rtt: now.Sub(fs.start)})
+			delete(h.fences, p)
+		case fs.lastSend.IsZero() || now.Sub(fs.lastSend) >= h.opts.FenceResend:
+			fs.lastSend = now
+			outs = append(outs, ctl{to: p, op: OpFence})
+			fenceSends = append(fenceSends, p)
+		}
+	}
+	return confirms, fenceSends, outs
+}
+
+// selfFenceDueLocked reports whether this rank must fence itself: none of
+// its heartbeats have been acknowledged for SelfFenceAfter while at least
+// one peer is still alive to miss them. Caller holds mu.
+func (h *Heartbeat) selfFenceDueLocked(now time.Time) bool {
+	if h.selfFenced || now.Sub(h.lastAck) < h.opts.SelfFenceAfter {
+		return false
+	}
+	for p := 0; p < h.size; p++ {
+		if p != h.rank && !h.reg.Failed(p) {
+			h.selfFenced = true
+			return true
+		}
+	}
+	return false // sole survivor: everyone else is dead, silence is expected
+}
+
+// onFenced handles an inbound fence notice while this rank is still
+// alive: die first, ack second. The ordering is the accuracy proof — by
+// the time the ack is on the wire, the death is ground truth.
+func (h *Heartbeat) onFenced(from int, seq uint64) {
+	h.reg.Kill(h.rank)
+	h.send(from, OpFenceAck, seq)
+}
+
+// onFenceAck handles a fence acknowledgment: the suspect killed itself
+// before acking, so confirming it failed is safe even though the ack
+// travelled a chaotic network (duplicated or delayed acks re-confirm,
+// which is a no-op).
+func (h *Heartbeat) onFenceAck(from int, now time.Time) {
+	var rtt time.Duration = -1
+	h.mu.Lock()
+	if fs := h.fences[from]; fs != nil {
+		rtt = now.Sub(fs.start)
+		delete(h.fences, from)
+	}
+	h.mu.Unlock()
+	h.reg.Confirm(from, h.rank)
+	if rtt >= 0 && h.Hooks.FenceRTT != nil {
+		h.Hooks.FenceRTT(h.rank, from, rtt)
+	}
+}

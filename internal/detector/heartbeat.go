@@ -1,0 +1,380 @@
+package detector
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// ControlOp enumerates the failure-detection control-plane operations
+// carried in transport.KindControl packets (op in Tag, heartbeat sequence
+// in Seq, empty payload — which also makes control frames immune to the
+// chaos fabric's payload corruption).
+type ControlOp int
+
+const (
+	// OpPing is a heartbeat: "I am alive".
+	OpPing ControlOp = iota + 1
+	// OpPingAck acknowledges a ping; the sender uses the ack stream to
+	// judge whether its own heartbeats are getting through (self-fencing).
+	OpPingAck
+	// OpFence orders a suspected rank to fail-stop.
+	OpFence
+	// OpFenceAck is sent by a fenced rank strictly AFTER it has killed
+	// itself: receipt proves ground-truth death.
+	OpFenceAck
+)
+
+// String returns the control-op name.
+func (op ControlOp) String() string {
+	switch op {
+	case OpPing:
+		return "ping"
+	case OpPingAck:
+		return "ping-ack"
+	case OpFence:
+		return "fence"
+	case OpFenceAck:
+		return "fence-ack"
+	default:
+		return fmt.Sprintf("ControlOp(%d)", int(op))
+	}
+}
+
+// HeartbeatOptions tune one rank's heartbeat monitor. Zero fields take
+// defaults.
+type HeartbeatOptions struct {
+	// Interval is the heartbeat emission period (default 2ms).
+	Interval time.Duration
+	// Timeout is the fixed-deadline upper bound: a peer silent for this
+	// long is suspected regardless of the adaptive estimate (default
+	// 8×Interval).
+	Timeout time.Duration
+	// Phi is the phi-accrual suspicion threshold: phi = -log10 of the
+	// probability that a yet-later heartbeat arrival explains the current
+	// silence, under the learned inter-arrival distribution. On stable
+	// links phi crosses the threshold well before Timeout; under jitter
+	// the learned variance widens and Timeout caps detection latency
+	// (default 8).
+	Phi float64
+	// SelfFenceAfter is how long a rank tolerates having none of its own
+	// heartbeats acknowledged before it fences itself — the escape hatch
+	// for a rank partitioned from everyone, whose peers' fence notices
+	// cannot reach it (default 3×Timeout).
+	SelfFenceAfter time.Duration
+	// FenceResend is the retransmission period for unacknowledged fence
+	// notices (default 2×Interval).
+	FenceResend time.Duration
+}
+
+// withDefaults fills zero fields.
+func (o HeartbeatOptions) withDefaults() HeartbeatOptions {
+	if o.Interval <= 0 {
+		o.Interval = 2 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 8 * o.Interval
+	}
+	if o.Phi <= 0 {
+		o.Phi = 8
+	}
+	if o.SelfFenceAfter <= 0 {
+		o.SelfFenceAfter = 3 * o.Timeout
+	}
+	if o.FenceResend <= 0 {
+		o.FenceResend = 2 * o.Interval
+	}
+	return o
+}
+
+// HeartbeatHooks observe a monitor's control-plane actions; the mpi world
+// maps them to metrics, traces and latency histograms. Nil fields are
+// skipped. Hooks run on the monitor's pump or delivery goroutine and must
+// not block.
+type HeartbeatHooks struct {
+	// Ping fires once per heartbeat sent by this rank.
+	Ping func(rank int)
+	// FenceSent fires for every fence notice (including resends).
+	FenceSent func(by, target int)
+	// FenceRTT fires when this monitor resolves one of its suspicions into
+	// a confirmed failure, with the suspicion-raise to confirmation
+	// round-trip (via fence ack or ground-truth observation).
+	FenceRTT func(by, target int, rtt time.Duration)
+	// SelfFence fires when this rank fences itself.
+	SelfFence func(rank int)
+}
+
+// arrival is a phi-accrual inter-arrival estimator for one peer: an EWMA
+// of the mean and variance of heartbeat gaps, queried for the probability
+// that the current silence is still ordinary.
+type arrival struct {
+	last time.Time
+	mean float64 // seconds
+	varv float64 // seconds^2
+	n    int
+}
+
+// arrivalAlpha is the EWMA weight for new inter-arrival samples.
+const arrivalAlpha = 0.2
+
+// minSamples gates the adaptive estimate: below it only the fixed
+// Timeout applies.
+const minSamples = 3
+
+// observe folds one heartbeat arrival into the estimate.
+func (a *arrival) observe(now time.Time) {
+	if !a.last.IsZero() {
+		dt := now.Sub(a.last).Seconds()
+		if a.n == 0 {
+			a.mean = dt
+		} else {
+			d := dt - a.mean
+			a.mean += arrivalAlpha * d
+			a.varv = (1 - arrivalAlpha) * (a.varv + arrivalAlpha*d*d)
+		}
+		a.n++
+	}
+	a.last = now
+}
+
+// phi returns the phi-accrual suspicion level at time now: -log10 of the
+// tail probability of the current silence under a normal model of the
+// learned inter-arrival distribution. sigmaFloor guards against a
+// degenerate zero-variance estimate on perfectly regular links.
+func (a *arrival) phi(now time.Time, sigmaFloor float64) float64 {
+	elapsed := now.Sub(a.last).Seconds()
+	sigma := math.Sqrt(a.varv)
+	if sigma < sigmaFloor {
+		sigma = sigmaFloor
+	}
+	p := 0.5 * math.Erfc((elapsed-a.mean)/(sigma*math.Sqrt2))
+	if p < 1e-30 {
+		p = 1e-30
+	}
+	return -math.Log10(p)
+}
+
+// Heartbeat is one rank's failure-detection monitor: it emits heartbeats
+// to every peer, tracks per-peer arrival deadlines (fixed timeout plus
+// phi-accrual), raises suspicion on silence, drives the fencing protocol
+// of fence.go, and fences its own rank when its heartbeats go
+// unacknowledged for too long. Construct with NewHeartbeat, wire inbound
+// control packets to OnControl, and bracket the run with Start/Stop.
+type Heartbeat struct {
+	reg  *Registry
+	rank int
+	size int
+	opts HeartbeatOptions
+	send func(to int, op ControlOp, seq uint64)
+
+	// Hooks may be set between NewHeartbeat and Start.
+	Hooks HeartbeatHooks
+
+	mu         sync.Mutex
+	est        []arrival
+	seq        uint64
+	lastAck    time.Time
+	fences     map[int]*fenceState
+	selfFenced bool
+
+	sigmaFloor float64
+	done       chan struct{}
+	stopOnce   sync.Once
+	wg         sync.WaitGroup
+}
+
+// NewHeartbeat builds the monitor for rank in a world of size ranks.
+// send transmits one control packet; it is called without the monitor's
+// lock held and may be invoked concurrently.
+func NewHeartbeat(reg *Registry, rank, size int, opts HeartbeatOptions, send func(to int, op ControlOp, seq uint64)) *Heartbeat {
+	if rank < 0 || rank >= size {
+		panic(fmt.Sprintf("detector: heartbeat rank %d out of range [0,%d)", rank, size))
+	}
+	o := opts.withDefaults()
+	return &Heartbeat{
+		reg:        reg,
+		rank:       rank,
+		size:       size,
+		opts:       o,
+		send:       send,
+		est:        make([]arrival, size),
+		fences:     make(map[int]*fenceState),
+		sigmaFloor: o.Interval.Seconds() / 10,
+		done:       make(chan struct{}),
+	}
+}
+
+// Options returns the monitor's resolved (defaulted) options.
+func (h *Heartbeat) Options() HeartbeatOptions { return h.opts }
+
+// Start launches the heartbeat pump. Call after the fabric is started.
+func (h *Heartbeat) Start() {
+	now := time.Now()
+	h.mu.Lock()
+	h.lastAck = now
+	for i := range h.est {
+		h.est[i].last = now
+	}
+	h.mu.Unlock()
+	h.wg.Add(1)
+	go h.pump()
+}
+
+// Stop terminates the pump and waits for it. Safe to call more than once.
+func (h *Heartbeat) Stop() {
+	h.stopOnce.Do(func() { close(h.done) })
+	h.wg.Wait()
+}
+
+// pump is the per-rank monitor loop: one tick per Interval.
+func (h *Heartbeat) pump() {
+	defer h.wg.Done()
+	ticker := time.NewTicker(h.opts.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-h.done:
+			return
+		case now := <-ticker.C:
+			if !h.tick(now) {
+				return
+			}
+		}
+	}
+}
+
+// ctl is one outbound control packet decided under the monitor lock and
+// sent outside it (sending under the lock could deadlock two monitors
+// delivering into each other over a synchronous fabric).
+type ctl struct {
+	to  int
+	op  ControlOp
+	seq uint64
+}
+
+// tick runs one monitor round: ping live peers, raise suspicions on
+// missed deadlines, drive pending fences, and check the self-fence
+// deadline. It returns false when this rank is (or just became) dead.
+func (h *Heartbeat) tick(now time.Time) bool {
+	if h.reg.Failed(h.rank) {
+		return false // dead ranks fall silent; OnControl still acks fences
+	}
+
+	var outs []ctl
+	var raised, fenceSends []int
+	var confirms []fenceConfirm
+
+	h.mu.Lock()
+	h.seq++
+	seq := h.seq
+	for p := 0; p < h.size; p++ {
+		if p == h.rank || h.reg.Confirmed(p) {
+			continue
+		}
+		outs = append(outs, ctl{to: p, op: OpPing, seq: seq})
+	}
+	raised = h.checkDeadlinesLocked(now)
+	confirms, fenceSends, fenceOuts := h.driveFencesLocked(now)
+	outs = append(outs, fenceOuts...)
+	selfFence := h.selfFenceDueLocked(now)
+	h.mu.Unlock()
+
+	for _, p := range raised {
+		h.reg.Suspect(p, h.rank)
+	}
+	for _, cf := range confirms {
+		if h.reg.Confirm(cf.rank, h.rank) && h.Hooks.FenceRTT != nil {
+			// Suspicion-to-confirmation round-trip, same histogram the ack
+			// path feeds: with a shared ground-truth registry this path
+			// usually wins the race against the (possibly cut) ack.
+			h.Hooks.FenceRTT(h.rank, cf.rank, cf.rtt)
+		}
+	}
+	for _, c := range outs {
+		h.send(c.to, c.op, c.seq)
+		if c.op == OpPing && h.Hooks.Ping != nil {
+			h.Hooks.Ping(h.rank)
+		}
+	}
+	for _, p := range fenceSends {
+		if h.Hooks.FenceSent != nil {
+			h.Hooks.FenceSent(h.rank, p)
+		}
+	}
+	if selfFence {
+		if h.Hooks.SelfFence != nil {
+			h.Hooks.SelfFence(h.rank)
+		}
+		h.reg.Kill(h.rank)
+		return false
+	}
+	return true
+}
+
+// checkDeadlinesLocked scans peer arrival estimates and returns the peers
+// to newly suspect: silent past the fixed Timeout, or past the adaptive
+// phi threshold (once enough samples exist). Caller holds mu.
+func (h *Heartbeat) checkDeadlinesLocked(now time.Time) []int {
+	var raised []int
+	for p := 0; p < h.size; p++ {
+		if p == h.rank || h.reg.Confirmed(p) || h.fences[p] != nil {
+			continue
+		}
+		a := &h.est[p]
+		elapsed := now.Sub(a.last)
+		over := elapsed >= h.opts.Timeout
+		if !over && a.n >= minSamples && elapsed >= 2*h.opts.Interval {
+			over = a.phi(now, h.sigmaFloor) >= h.opts.Phi
+		}
+		if over {
+			h.fences[p] = &fenceState{start: now}
+			raised = append(raised, p)
+		}
+	}
+	return raised
+}
+
+// OnControl handles one inbound control packet for this rank. It is
+// called from the fabric delivery path — the "NIC" — and keeps answering
+// fence notices even after the rank itself is dead, which is what lets a
+// fencer confirm a death across a half-open link.
+func (h *Heartbeat) OnControl(from int, op ControlOp, seq uint64) {
+	if from < 0 || from >= h.size || from == h.rank {
+		return
+	}
+	now := time.Now()
+	if h.reg.Failed(h.rank) {
+		if op == OpFence {
+			h.send(from, OpFenceAck, seq)
+		}
+		return
+	}
+	switch op {
+	case OpPing:
+		h.markAlive(from, now)
+		h.send(from, OpPingAck, seq)
+	case OpPingAck:
+		h.mu.Lock()
+		h.lastAck = now
+		h.mu.Unlock()
+		h.markAlive(from, now)
+	case OpFence:
+		h.onFenced(from, seq)
+	case OpFenceAck:
+		h.onFenceAck(from, now)
+	}
+}
+
+// markAlive folds fresh evidence of `from`'s liveness into its estimator
+// and withdraws any suspicion this monitor held against it.
+func (h *Heartbeat) markAlive(from int, now time.Time) {
+	h.mu.Lock()
+	h.est[from].observe(now)
+	cleared := h.fences[from] != nil
+	delete(h.fences, from)
+	h.mu.Unlock()
+	if cleared {
+		h.reg.ClearSuspect(from, h.rank)
+	}
+}

@@ -13,7 +13,9 @@
 // ring application uses, electing the minimum alive rank by circulating
 // candidate tokens. It demonstrates that an election can also be done
 // with the paper's own neighbor-failover machinery when one does not
-// want to rely on detector convergence.
+// want to rely on detector convergence. A failure notification that lands
+// mid-election re-initiates the caller's candidacy, so the ring drains
+// even when the dead rank swallowed the decisive token.
 package election
 
 import (
@@ -58,10 +60,12 @@ const electionTag = 1<<20 + 7
 // around the fault-aware ring: each rank forwards tokens smaller than
 // itself, swallows larger ones, and a rank that receives its own token
 // has been elected; it then circulates an ELECTED announcement. Right
-// neighbors are recomputed on send failure, so the election survives
-// failures that occur before the election (failures *during* the election
-// are outside this helper's scope; the paper's application only needs
-// pre-converged elections).
+// neighbors are recomputed on send failure (Fig. 5 failover), and a
+// failure notification that interrupts a receive re-injects the caller's
+// own token: the dead rank may have swallowed the only token still
+// circulating, and Chang-Roberts tolerates duplicate initiations — a
+// smaller token swallows a larger one, so re-initiation can delay but
+// never corrupt the outcome.
 //
 // Every alive member of c must call ChangRoberts concurrently. It returns
 // the elected comm rank.
@@ -109,9 +113,18 @@ func ChangRoberts(p *mpi.Proc, c *mpi.Comm) (int, error) {
 		pl, _, err := c.Recv(mpi.AnySource, electionTag)
 		if err != nil {
 			if mpi.IsRankFailStop(err) {
-				// A failure occurred mid-election; recognize and retry the
-				// receive so the ring can drain.
+				// A failure occurred mid-election. Recognizing it and
+				// retrying the receive is not enough: any token the dead
+				// rank held vanished with it, and with no token in flight
+				// the ring would never drain. Re-initiate our candidacy —
+				// duplicates are harmless, a lost minimum is not.
 				recognizeAllKnown(c)
+				if err := send(kindToken, me); err != nil {
+					if err == errAlone {
+						return me, nil
+					}
+					return -1, err
+				}
 				continue
 			}
 			return -1, err

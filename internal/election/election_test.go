@@ -5,6 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chaos"
+	"repro/internal/detector"
 	"repro/internal/mpi"
 )
 
@@ -115,6 +117,114 @@ func TestChangRobertsWithPreFailedRanks(t *testing.T) {
 		}
 		if elected[rank] != 1 {
 			t.Fatalf("rank %d elected %d, want 1", rank, elected[rank])
+		}
+	}
+}
+
+// TestChangRobertsSurvivesMidElectionDeath: rank 2 dies as the election
+// starts, but the failure notification is delayed — so survivors route
+// tokens through the dead rank and lose them. The re-initiation on the
+// eventual notification must drain the ring to the lowest alive rank
+// instead of wedging.
+func TestChangRobertsSurvivesMidElectionDeath(t *testing.T) {
+	const n, victim = 5, 2
+	w, err := mpi.NewWorld(n, mpi.WithDeadline(60*time.Second),
+		mpi.WithNotifyDelay(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	elected := map[int]int{}
+	res, err := w.Run(func(p *mpi.Proc) error {
+		c := p.World()
+		c.SetErrhandler(mpi.ErrorsReturn)
+		if p.Rank() == victim {
+			p.Die()
+		}
+		leader, err := ChangRoberts(p, c)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		elected[p.Rank()] = leader
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatalf("election wedged; stuck ranks %v", res.Stuck)
+	}
+	if !res.Ranks[victim].Killed {
+		t.Fatal("victim did not die")
+	}
+	for _, rank := range []int{0, 1, 3, 4} {
+		if res.Ranks[rank].Err != nil {
+			t.Fatalf("rank %d: %v", rank, res.Ranks[rank].Err)
+		}
+		if elected[rank] != 0 {
+			t.Fatalf("rank %d elected %d, want 0", rank, elected[rank])
+		}
+	}
+}
+
+// TestChangRobertsSurvivesSuspectFenceGapDeath is the heartbeat-detector
+// variant: the victim is partitioned (so its peers falsely suspect it,
+// and their fences can never arrive), then dies inside the gap between
+// suspicion and fence-ack. Survivors' tokens routed through the victim
+// are lost to the partition; the ground-truth confirmation must unblock
+// the election and converge it on the lowest alive rank.
+func TestChangRobertsSurvivesSuspectFenceGapDeath(t *testing.T) {
+	const n, victim = 5, 2
+	plan := chaos.NewPlan(23).
+		Partition(victim, -1, 1, ^uint64(0)).
+		Partition(-1, victim, 1, ^uint64(0))
+	hb := detector.HeartbeatOptions{
+		Interval:       2 * time.Millisecond,
+		Timeout:        25 * time.Millisecond,
+		SelfFenceAfter: 2 * time.Second, // the scripted death must win
+	}
+	w, err := mpi.NewWorld(n, mpi.WithChaos(plan), mpi.WithHeartbeat(hb),
+		mpi.WithDeadline(60*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	elected := map[int]int{}
+	res, err := w.Run(func(p *mpi.Proc) error {
+		c := p.World()
+		c.SetErrhandler(mpi.ErrorsReturn)
+		if p.Rank() == victim {
+			// Stay alive past the suspicion deadline, then die before any
+			// fence (or fence ack) can cross the partition.
+			time.Sleep(60 * time.Millisecond)
+			p.Die()
+		}
+		leader, err := ChangRoberts(p, c)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		elected[p.Rank()] = leader
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatalf("election wedged; stuck ranks %v", res.Stuck)
+	}
+	if !res.Ranks[victim].Killed {
+		t.Fatal("victim did not die")
+	}
+	for _, rank := range []int{0, 1, 3, 4} {
+		if res.Ranks[rank].Err != nil {
+			t.Fatalf("rank %d: %v", rank, res.Ranks[rank].Err)
+		}
+		if elected[rank] != 0 {
+			t.Fatalf("rank %d elected %d, want 0", rank, elected[rank])
 		}
 	}
 }

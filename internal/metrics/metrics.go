@@ -64,6 +64,22 @@ const (
 	// LinkEscalations counts links whose retry budget was exhausted,
 	// demoting the peer to fail-stop via the detector.
 	LinkEscalations
+	// Heartbeats counts heartbeat pings sent by each rank's monitor.
+	Heartbeats
+	// Suspicions counts suspicions raised by each rank's monitor.
+	Suspicions
+	// FalseSuspicions counts suspicions raised against ranks that were
+	// still alive at the time (chaos delay or partition induced).
+	FalseSuspicions
+	// SuspicionsCleared counts suspicions withdrawn when a late heartbeat
+	// arrived before the fence completed.
+	SuspicionsCleared
+	// Fences counts fence notices sent (including resends).
+	Fences
+	// SelfFences counts ranks that fenced themselves on stale acks.
+	SelfFences
+	// Confirms counts suspected ranks confirmed dead by each observer.
+	Confirms
 	numCounters
 )
 
@@ -74,6 +90,8 @@ var counterNames = [numCounters]string{
 	"frames_dropped", "frames_duplicated", "frames_corrupted",
 	"frames_delayed", "frames_reordered", "frames_retried",
 	"frames_rejected", "frames_deduped", "link_escalations",
+	"heartbeats", "suspicions", "false_suspicions", "suspicions_cleared",
+	"fences", "self_fences", "confirms",
 }
 
 // String returns the counter's table-column name.

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/detector"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -195,6 +196,17 @@ func (e *engine) knownFailedSnapshotLocked(group []int) []int {
 // (Local fabric) or a fabric reader goroutine (TCP), never on this rank's
 // own goroutine while it holds mu.
 func (e *engine) deliver(pkt *transport.Packet) {
+	if pkt.Kind == transport.KindControl {
+		// Failure-detection control traffic goes to the rank's heartbeat
+		// monitor, not the matching engine — and deliberately without a
+		// dead-rank guard: the monitor is the "NIC", which keeps answering
+		// fence notices after the process died so a fencer across a
+		// half-open link can still learn of the death.
+		if hb := e.w.hb; hb != nil {
+			hb[e.rank].OnControl(pkt.Src, detector.ControlOp(pkt.Tag), pkt.Seq)
+		}
+		return
+	}
 	if pkt.Kind == transport.KindAgreement {
 		e.deliverAgreement(pkt)
 		return

@@ -1,0 +1,114 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/detector"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Detector mode names for Config.Detector / WithDetector.
+const (
+	// DetectorOracle is the default: the registry is the ground truth and
+	// failure notifications fire directly from the injector's Kill (after
+	// the optional NotifyDelay) — the paper's assumed perfect detector.
+	DetectorOracle = "oracle"
+	// DetectorHeartbeat builds the perfect detector out of an unreliable
+	// one: ranks exchange heartbeats over the live fabric, silence raises
+	// Suspected (never surfaced to the application), and a fencing
+	// protocol forces the suspect to fail-stop before the failure is
+	// confirmed and notified. See internal/detector/heartbeat.go.
+	DetectorHeartbeat = "heartbeat"
+)
+
+// ctxControl is the reserved context for failure-detection control
+// traffic. Engine routing keys off transport.KindControl, not the
+// context; the negative value exists so control frames are unmistakable
+// in traces and can never collide with a communicator context.
+const ctxControl = -2
+
+// initHeartbeats switches the registry into confirm-gated (heartbeat)
+// mode and builds one monitor per rank over the world's fabric stack.
+// Called from NewWorldFromConfig; the monitors start inside Run, after
+// the fabric is up.
+func (w *World) initHeartbeats(opts detector.HeartbeatOptions) {
+	w.registry.SetConfirmGate(true)
+	w.registry.SubscribeSuspicion(w.onSuspicion)
+	w.hb = make([]*detector.Heartbeat, w.size)
+	for i := range w.hb {
+		rank := i
+		hb := detector.NewHeartbeat(w.registry, rank, w.size, opts,
+			func(to int, op detector.ControlOp, seq uint64) {
+				w.sendControl(rank, to, op, seq)
+			})
+		hb.Hooks = detector.HeartbeatHooks{
+			Ping: func(r int) { w.metrics.Inc(r, metrics.Heartbeats) },
+			FenceSent: func(by, target int) {
+				w.metrics.Inc(by, metrics.Fences)
+				w.tracer.Record(by, trace.FenceSent, target, -1, -1, "")
+			},
+			FenceRTT: func(by, target int, rtt time.Duration) {
+				w.obs.Observe(by, obs.FenceRTT, rtt)
+			},
+			SelfFence: func(r int) {
+				w.metrics.Inc(r, metrics.SelfFences)
+				w.tracer.Record(r, trace.SelfFenced, -1, -1, -1, "heartbeat acks stale")
+			},
+		}
+		w.hb[rank] = hb
+	}
+}
+
+// sendControl puts one failure-detection control packet on the wire. It
+// enters at the top of the fabric stack: the reliability sublayer passes
+// control frames through un-sequenced, and the chaos fabric subjects them
+// to drops, delays and partitions — heartbeats must take the same weather
+// as the traffic whose liveness they vouch for.
+func (w *World) sendControl(from, to int, op detector.ControlOp, seq uint64) {
+	_ = w.fabric.Send(&transport.Packet{
+		Src: from, Dst: to, Tag: int(op), Context: ctxControl,
+		Kind: transport.KindControl, Seq: seq,
+	})
+}
+
+// onSuspicion maps suspicion-lifecycle events to metrics, traces and
+// latency histograms. SinceDeath < 0 flags a false suspicion: the rank
+// was still alive when the monitor gave up on it.
+func (w *World) onSuspicion(ev detector.SuspicionEvent) {
+	switch ev.Kind {
+	case detector.SuspectRaised:
+		w.metrics.Inc(ev.By, metrics.Suspicions)
+		detail := "rank still alive (false suspicion)"
+		if ev.SinceDeath >= 0 {
+			detail = fmt.Sprintf("dead for %v", ev.SinceDeath.Round(time.Microsecond))
+			w.obs.Observe(ev.By, obs.SuspicionLatency, ev.SinceDeath)
+		} else {
+			w.metrics.Inc(ev.By, metrics.FalseSuspicions)
+		}
+		w.tracer.Record(ev.By, trace.Suspected, ev.Rank, -1, -1, detail)
+	case detector.SuspectCleared:
+		w.metrics.Inc(ev.By, metrics.SuspicionsCleared)
+		w.tracer.Record(ev.By, trace.SuspectCleared, ev.Rank, -1, -1, "")
+	case detector.SuspectConfirmed:
+		w.metrics.Inc(ev.By, metrics.Confirms)
+		w.tracer.Record(ev.By, trace.Confirmed, ev.Rank, -1, -1, "")
+	}
+}
+
+// startHeartbeats launches every rank's monitor (no-op in oracle mode).
+func (w *World) startHeartbeats() {
+	for _, hb := range w.hb {
+		hb.Start()
+	}
+}
+
+// stopHeartbeats terminates the monitors before the fabric closes.
+func (w *World) stopHeartbeats() {
+	for _, hb := range w.hb {
+		hb.Stop()
+	}
+}

@@ -1,0 +1,266 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/detector"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// hbFast is the heartbeat tuning used across these tests: tight enough to
+// detect within milliseconds, with a self-fence horizon far enough out
+// that tests controlling the death themselves stay deterministic under
+// -race scheduling noise.
+func hbFast() detector.HeartbeatOptions {
+	return detector.HeartbeatOptions{
+		Interval:       2 * time.Millisecond,
+		Timeout:        25 * time.Millisecond,
+		SelfFenceAfter: 2 * time.Second,
+	}
+}
+
+// awaitRankFailed polls RankState until the failure notification lands.
+func awaitRankFailed(c *Comm, rank int) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		info, err := c.RankState(rank)
+		if err != nil {
+			return err
+		}
+		if info.State == RankFailed {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("rank %d failure never surfaced", rank)
+}
+
+// TestHeartbeatDetectsInjectedKill is the heartbeat-mode smoke test: no
+// oracle shortcut — survivors learn of an injected kill only through
+// missed heartbeats, fencing, and confirmation, and the detection latency
+// lands in the suspicion_latency histogram.
+func TestHeartbeatDetectsInjectedKill(t *testing.T) {
+	const n = 3
+	m := metrics.NewWorld(n)
+	o := obs.NewRegistry(n)
+	w, err := NewWorld(n, WithHeartbeat(hbFast()), WithMetrics(m),
+		WithObservability(o), WithDeadline(60*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(p *Proc) error {
+		c := p.World()
+		c.SetErrhandler(ErrorsReturn)
+		if p.Rank() == 2 {
+			p.Die()
+		}
+		return awaitRankFailed(c, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ranks[2].Killed {
+		t.Fatal("rank 2 did not die")
+	}
+	for _, rank := range []int{0, 1} {
+		if res.Ranks[rank].Err != nil {
+			t.Fatalf("rank %d: %v", rank, res.Ranks[rank].Err)
+		}
+	}
+	if m.Total(metrics.Heartbeats) == 0 {
+		t.Fatal("no heartbeats counted")
+	}
+	// No fence needs to go out here: the suspect is already ground-truth
+	// dead when the fence loop first looks, so the resend loop confirms
+	// directly (fences may legitimately stay 0).
+	if m.Total(metrics.Suspicions) == 0 || m.Total(metrics.Confirms) == 0 {
+		t.Fatalf("detection pipeline incomplete: suspicions=%d confirms=%d",
+			m.Total(metrics.Suspicions), m.Total(metrics.Confirms))
+	}
+	if m.Total(metrics.FalseSuspicions) != 0 {
+		t.Fatalf("%d false suspicions on a quiet fabric", m.Total(metrics.FalseSuspicions))
+	}
+	if o.Merged(obs.SuspicionLatency).Count == 0 {
+		t.Fatal("suspicion latency never observed")
+	}
+	if o.Merged(obs.FenceRTT).Count == 0 {
+		t.Fatal("fence RTT (suspicion-to-confirmation) never observed")
+	}
+}
+
+// isolate cuts every link into and out of rank from frame 1 onward.
+func isolate(plan *chaos.Plan, rank int) *chaos.Plan {
+	return plan.Partition(rank, -1, 1, ^uint64(0)).Partition(-1, rank, 1, ^uint64(0))
+}
+
+// TestHeartbeatValidateAllSurvivesSuspectFenceGapDeath is the satellite
+// regression: rank 2 enters validate_all fully partitioned, is suspected
+// (a FALSE suspicion — it is alive), and then dies in the window between
+// suspicion and fence-ack (the fence can never reach it). The fencers must
+// converge via ground truth, the collective must complete, and no healthy
+// rank may be reported failed.
+func TestHeartbeatValidateAllSurvivesSuspectFenceGapDeath(t *testing.T) {
+	const n = 4
+	plan := isolate(chaos.NewPlan(42), 2)
+	m := metrics.NewWorld(n)
+	w, err := NewWorld(n, WithChaos(plan), WithHeartbeat(hbFast()),
+		WithMetrics(m), WithDeadline(60*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	res, err := w.Run(func(p *Proc) error {
+		c := p.World()
+		c.SetErrhandler(ErrorsReturn)
+		if p.Rank() == 2 {
+			// Enter the collective, outlive the suspicion deadline, then
+			// die before any fence (or ack) can cross the partition.
+			req := c.IvalidateAll()
+			time.Sleep(60 * time.Millisecond)
+			p.Die()
+			_ = req
+		}
+		cnt, err := c.ValidateAll()
+		if err != nil {
+			return err
+		}
+		counts[p.Rank()] = cnt
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatalf("validate_all wedged; stuck ranks %v", res.Stuck)
+	}
+	if !res.Ranks[2].Killed {
+		t.Fatal("rank 2 did not die")
+	}
+	for _, rank := range []int{0, 1, 3} {
+		if res.Ranks[rank].Err != nil {
+			t.Fatalf("rank %d: %v", rank, res.Ranks[rank].Err)
+		}
+		if counts[rank] != 1 {
+			t.Fatalf("rank %d agreed on %d failed, want 1 (rank 2): %v", rank, counts[rank], counts)
+		}
+	}
+	// Exactly the partitioned rank died: nobody fenced a healthy survivor.
+	if failed := w.registry.Snapshot(); len(failed) != 1 || failed[0] != 2 {
+		t.Fatalf("failed set %v, want [2]", failed)
+	}
+}
+
+// TestHeartbeatFencesHealthyRankAcrossOneWayPartition: a one-way partition
+// silences rank 2 toward rank 0 only. Rank 0's suspicion is false — rank 2
+// is healthy — so the detector must fence (kill) rank 2 BEFORE reporting
+// it failed, keeping the fail-stop contract intact.
+func TestHeartbeatFencesHealthyRankAcrossOneWayPartition(t *testing.T) {
+	const n = 3
+	plan := chaos.NewPlan(11).Partition(2, 0, 1, ^uint64(0))
+	m := metrics.NewWorld(n)
+	w, err := NewWorld(n, WithChaos(plan), WithHeartbeat(hbFast()),
+		WithMetrics(m), WithDeadline(60*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(p *Proc) error {
+		c := p.World()
+		c.SetErrhandler(ErrorsReturn)
+		if p.Rank() == 2 {
+			// Healthy by its own lights: loop until the fence kills us
+			// (RankState's liveness check unwinds the goroutine).
+			for {
+				if _, err := c.RankState(0); err != nil {
+					return err
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		return awaitRankFailed(c, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ranks[2].Killed {
+		t.Fatal("rank 2 was reported failed without being fenced")
+	}
+	for _, rank := range []int{0, 1} {
+		if res.Ranks[rank].Err != nil {
+			t.Fatalf("rank %d: %v", rank, res.Ranks[rank].Err)
+		}
+	}
+	if failed := w.registry.Snapshot(); len(failed) != 1 || failed[0] != 2 {
+		t.Fatalf("failed set %v, want [2]", failed)
+	}
+	if m.Total(metrics.FalseSuspicions) == 0 {
+		t.Fatal("suspecting a healthy rank must count as a false suspicion")
+	}
+	if m.Total(metrics.Fences) == 0 || m.Total(metrics.Confirms) == 0 {
+		t.Fatalf("fence pipeline incomplete: fences=%d confirms=%d",
+			m.Total(metrics.Fences), m.Total(metrics.Confirms))
+	}
+}
+
+// TestHeartbeatSelfFenceOnTotalIsolation: rank 2 is partitioned in both
+// directions, so no fence notice can ever reach it. Its own ack stream
+// going stale must make it fence itself, after which the survivors confirm
+// from ground truth.
+func TestHeartbeatSelfFenceOnTotalIsolation(t *testing.T) {
+	const n = 3
+	plan := isolate(chaos.NewPlan(7), 2)
+	hb := hbFast()
+	hb.SelfFenceAfter = 120 * time.Millisecond
+	m := metrics.NewWorld(n)
+	w, err := NewWorld(n, WithChaos(plan), WithHeartbeat(hb),
+		WithMetrics(m), WithDeadline(60*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(p *Proc) error {
+		c := p.World()
+		c.SetErrhandler(ErrorsReturn)
+		if p.Rank() == 2 {
+			for {
+				if _, err := c.RankState(0); err != nil {
+					return err
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+		return awaitRankFailed(c, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ranks[2].Killed {
+		t.Fatal("isolated rank did not fail-stop")
+	}
+	for _, rank := range []int{0, 1} {
+		if res.Ranks[rank].Err != nil {
+			t.Fatalf("rank %d: %v", rank, res.Ranks[rank].Err)
+		}
+	}
+	if m.Total(metrics.SelfFences) != 1 {
+		t.Fatalf("self-fences %d, want 1", m.Total(metrics.SelfFences))
+	}
+	if failed := w.registry.Snapshot(); len(failed) != 1 || failed[0] != 2 {
+		t.Fatalf("failed set %v, want [2]", failed)
+	}
+}
+
+// TestDetectorModeValidation: unknown detector names must be rejected at
+// construction.
+func TestDetectorModeValidation(t *testing.T) {
+	if _, err := NewWorld(2, WithDetector("telepathy")); err == nil {
+		t.Fatal("bogus detector mode accepted")
+	}
+	for _, mode := range []string{"", DetectorOracle, DetectorHeartbeat} {
+		if _, err := NewWorld(2, WithDetector(mode)); err != nil {
+			t.Fatalf("mode %q rejected: %v", mode, err)
+		}
+	}
+}

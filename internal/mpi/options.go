@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/detector"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/reliable"
@@ -58,6 +59,23 @@ func WithDeadline(d time.Duration) Option {
 // modelling failure-detection latency. Zero delivers synchronously.
 func WithNotifyDelay(d time.Duration) Option {
 	return func(cfg *Config) { cfg.NotifyDelay = d }
+}
+
+// WithDetector selects the failure-detection mode: DetectorOracle (the
+// default — failures are known the instant they are injected) or
+// DetectorHeartbeat (failures are detected by missed heartbeats and
+// converted to fail-stop by fencing before being reported).
+func WithDetector(mode string) Option {
+	return func(cfg *Config) { cfg.Detector = mode }
+}
+
+// WithHeartbeat selects the heartbeat detector and tunes its monitors;
+// zero option fields take the detector package defaults.
+func WithHeartbeat(opts detector.HeartbeatOptions) Option {
+	return func(cfg *Config) {
+		cfg.Detector = DetectorHeartbeat
+		cfg.Heartbeat = opts
+	}
 }
 
 // WithChaos injects seeded network faults from the plan between the

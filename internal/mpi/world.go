@@ -38,7 +38,17 @@ type Config struct {
 	Deadline time.Duration
 	// NotifyDelay delays failure notifications to surviving ranks,
 	// modelling failure-detection latency. Zero delivers synchronously.
+	// Oracle mode only: with the heartbeat detector, detection latency is
+	// real (heartbeat timeout plus fencing), not modelled, and this field
+	// is ignored.
 	NotifyDelay time.Duration
+	// Detector selects the failure-detection mode: DetectorOracle (the
+	// default, also selected by "") or DetectorHeartbeat. See the mode
+	// constants in heartbeat.go.
+	Detector string
+	// Heartbeat tunes the heartbeat monitors when Detector is
+	// DetectorHeartbeat; zero fields take the detector package defaults.
+	Heartbeat detector.HeartbeatOptions
 	// Chaos injects seeded network faults (drop, duplication, corruption,
 	// jitter, reordering, partitions) between the engines and the fabric;
 	// nil disables. Setting it implies the reliability sublayer, which is
@@ -69,7 +79,8 @@ type World struct {
 	obs      *obs.Registry
 	hook     HookFunc
 	deadline time.Duration
-	reliable *reliable.Fabric // non-nil when the reliability sublayer is on
+	reliable *reliable.Fabric      // non-nil when the reliability sublayer is on
+	hb       []*detector.Heartbeat // per-rank monitors; nil in oracle mode
 
 	// nonRetaining records that the fabric copies everything it needs
 	// inside Send (transport.NonRetaining), so the p2p send path may hand
@@ -106,6 +117,12 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 func NewWorldFromConfig(cfg Config) (*World, error) {
 	if cfg.Size <= 0 {
 		return nil, fmt.Errorf("%w: world size %d", ErrInvalidArg, cfg.Size)
+	}
+	switch cfg.Detector {
+	case "", DetectorOracle, DetectorHeartbeat:
+	default:
+		return nil, fmt.Errorf("%w: unknown detector mode %q (want %q or %q)",
+			ErrInvalidArg, cfg.Detector, DetectorOracle, DetectorHeartbeat)
 	}
 	fabric := cfg.Fabric
 	if fabric == nil {
@@ -144,6 +161,9 @@ func NewWorldFromConfig(cfg Config) (*World, error) {
 	}
 	if cfg.NotifyDelay > 0 {
 		w.registry.SetNotifyDelay(cfg.NotifyDelay)
+	}
+	if cfg.Detector == DetectorHeartbeat {
+		w.initHeartbeats(cfg.Heartbeat)
 	}
 	if cfg.Obs != nil {
 		w.registry.SetNotifyObserver(func(rank int, lat time.Duration) {
@@ -325,20 +345,42 @@ func (w *World) Run(fn func(p *Proc) error) (*RunResult, error) {
 		if startErr != nil {
 			return
 		}
-		w.registry.Subscribe(func(f int) {
-			w.tracer.Record(f, trace.Killed, -1, -1, -1, "fail-stop")
-			if w.reliable != nil {
-				// Stop retransmitting toward the dead rank before the
-				// engines learn of the failure: fail-stop, not lossy.
-				w.reliable.PeerDown(f)
-			}
-			w.engines[f].markDead()
-			for _, e := range w.engines {
-				if e.rank != f {
-					e.onPeerFailure(f)
+		if w.hb != nil {
+			// Heartbeat mode: ground-truth death unwinds the victim
+			// immediately — it IS dead, whatever its peers believe — while
+			// the survivors' notifications wait for the heartbeat/fencing
+			// pipeline to Confirm the failure.
+			w.registry.OnDeath(func(f int) {
+				w.tracer.Record(f, trace.Killed, -1, -1, -1, "fail-stop")
+				w.engines[f].markDead()
+			})
+			w.registry.Subscribe(func(f int) {
+				if w.reliable != nil {
+					w.reliable.PeerDown(f)
 				}
-			}
-		})
+				for _, e := range w.engines {
+					if e.rank != f {
+						e.onPeerFailure(f)
+					}
+				}
+			})
+			w.startHeartbeats()
+		} else {
+			w.registry.Subscribe(func(f int) {
+				w.tracer.Record(f, trace.Killed, -1, -1, -1, "fail-stop")
+				if w.reliable != nil {
+					// Stop retransmitting toward the dead rank before the
+					// engines learn of the failure: fail-stop, not lossy.
+					w.reliable.PeerDown(f)
+				}
+				w.engines[f].markDead()
+				for _, e := range w.engines {
+					if e.rank != f {
+						e.onPeerFailure(f)
+					}
+				}
+			})
+		}
 		w.started = true
 	})
 	if startErr != nil {
@@ -398,11 +440,14 @@ func (w *World) Run(fn func(p *Proc) error) (*RunResult, error) {
 		<-done
 	}
 
-	// Teardown: wake any internal service goroutines, close the fabric.
+	// Teardown: wake any internal service goroutines, stop the heartbeat
+	// monitors while the fabric can still carry their last acks, then
+	// close the fabric.
 	for _, e := range w.engines {
 		e.markClosed()
 	}
 	w.registry.BroadcastWaiters()
+	w.stopHeartbeats()
 	_ = w.fabric.Close()
 
 	res.Elapsed = time.Since(begin)

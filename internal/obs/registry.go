@@ -36,12 +36,20 @@ const (
 	// NotifyLatency times failure detection: Registry.Kill to subscriber
 	// notification delivery.
 	NotifyLatency
+	// SuspicionLatency times heartbeat detection: ground-truth death to
+	// the first suspicion raised against the dead rank.
+	SuspicionLatency
+	// FenceRTT times the fencing protocol: suspicion raised to the
+	// observer confirming the failure (fence ack received, or ground-truth
+	// death observed by the fence resend loop — whichever wins).
+	FenceRTT
 	numFamilies
 )
 
 var familyNames = [numFamilies]string{
 	"send_complete", "recv_wait", "validate_all", "agreement_round",
 	"election", "retry_backoff", "chaos_delay", "notify_latency",
+	"suspicion_latency", "fence_rtt",
 }
 
 // String returns the family's exposition name (the Prometheus metric is

@@ -204,14 +204,17 @@ func (f *Fabric) emit(e Event) {
 }
 
 // PeerDown purges all state toward and from a failed peer: inflight
-// frames stop retrying (their destination is dead — fail-stop, not lossy)
-// and partially resequenced inbound state is released. The mpi world
-// calls it from its detector subscription.
+// frames stop retrying in both directions (frames TO the peer have a dead
+// destination — fail-stop, not lossy — and frames FROM it die with the
+// sender: a dead process retransmits nothing, and letting its orphaned
+// ARQ state exhaust its budget would escalate — kill — the innocent
+// receiver). Partially resequenced inbound state is released. The mpi
+// world calls it from its detector subscription.
 func (f *Fabric) PeerDown(rank int) {
 	f.mu.Lock()
 	f.dead[rank] = true
 	for key := range f.tx {
-		if key[1] == rank {
+		if key[1] == rank || key[0] == rank {
 			delete(f.tx, key)
 		}
 	}
@@ -233,6 +236,13 @@ func (f *Fabric) Send(pkt *transport.Packet) error {
 	case <-f.done:
 		return nil
 	default:
+	}
+	if pkt.Kind == transport.KindControl {
+		// Failure-detection control traffic is the liveness signal: it
+		// bypasses ARQ (no sequencing, no retransmission — a lost ping is
+		// itself information) and ignores this layer's dead-peer bookkeeping,
+		// because the detector, not the ARQ, owns liveness verdicts.
+		return f.inner.Send(pkt)
 	}
 	f.mu.Lock()
 	if f.dead[pkt.Dst] {
@@ -259,6 +269,14 @@ func (f *Fabric) Send(pkt *transport.Packet) error {
 // inner Send (the ack) or the upstream deliver — over the synchronous
 // Local fabric both re-enter this layer on the same goroutine.
 func (f *Fabric) onDeliver(dst int, pkt *transport.Packet) {
+	if pkt.Kind == transport.KindControl {
+		// Control frames carry the heartbeat sequence in Seq, not an ARQ
+		// sequence: pass them up before any sequencing or dead-peer check
+		// (a "dead" verdict here may be exactly what the detector is busy
+		// disproving or confirming).
+		f.deliver(dst, pkt)
+		return
+	}
 	if pkt.Kind == transport.KindAck {
 		f.mu.Lock()
 		if tx := f.tx[[2]int{pkt.Dst, pkt.Src}]; tx != nil {

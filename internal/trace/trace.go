@@ -76,6 +76,17 @@ const (
 	FrameDedup
 	// LinkEscalated marks a peer demoted to fail-stop after retry exhaustion.
 	LinkEscalated
+	// Suspected marks a heartbeat monitor raising suspicion of a peer.
+	Suspected
+	// SuspectCleared marks a suspicion withdrawn (a heartbeat arrived).
+	SuspectCleared
+	// FenceSent marks a fence notice ordered at a suspected peer.
+	FenceSent
+	// SelfFenced marks a rank fencing itself (heartbeat acks stale).
+	SelfFenced
+	// Confirmed marks a suspected peer confirmed dead (fence ack or
+	// ground truth), releasing the failure notification.
+	Confirmed
 	// Note is a free-form annotation.
 	Note
 )
@@ -107,6 +118,11 @@ var kindNames = map[Kind]string{
 	FrameReject:    "frame-reject",
 	FrameDedup:     "frame-dedup",
 	LinkEscalated:  "link-escalated",
+	Suspected:      "suspect",
+	SuspectCleared: "suspect-clear",
+	FenceSent:      "fence",
+	SelfFenced:     "self-fence",
+	Confirmed:      "confirm",
 	Note:           "note",
 }
 

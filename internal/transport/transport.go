@@ -49,6 +49,13 @@ const (
 	// payload, are never acknowledged themselves, and are consumed by the
 	// reliability fabric before packets reach the engine.
 	KindAck
+	// KindControl is failure-detection control traffic (heartbeat pings
+	// and acks, fence notices and acks). The operation travels in Tag and
+	// the heartbeat sequence in Seq; the payload is empty. Control frames
+	// bypass the reliability sublayer entirely — they ARE the liveness
+	// signal, so retransmitting them would defeat their purpose — and are
+	// routed to the per-rank heartbeat monitor, not the matching engine.
+	KindControl
 )
 
 // String returns a short name for the packet kind.
@@ -60,6 +67,8 @@ func (k Kind) String() string {
 		return "agreement"
 	case KindAck:
 		return "ack"
+	case KindControl:
+		return "control"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

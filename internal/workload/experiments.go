@@ -19,7 +19,8 @@ import (
 // ftbench -obs scrapes).
 func ringOnce(opt Options, size int, cfg core.Config, mut func(*mpi.Config)) (*core.Report, *mpi.RunResult, *metrics.World, error) {
 	mets := metrics.NewWorld(size)
-	mcfg := mpi.Config{Size: size, Deadline: 60 * time.Second, Metrics: mets}
+	mcfg := mpi.Config{Size: size, Deadline: 60 * time.Second, Metrics: mets,
+		Detector: opt.Detector, Heartbeat: opt.Heartbeat}
 	if reg := opt.newObs(size); reg != nil {
 		mcfg.Obs = reg
 		opt.Collector.Attach(mets, reg)
@@ -37,11 +38,11 @@ func All() []Experiment {
 	return []Experiment{
 		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(),
 		e9(), e10(), e11(), e12(), e13(), e14(), e15(), e16(), e17(),
-		e18(),
+		e18(), e19(),
 	}
 }
 
-// ByID finds an experiment by its identifier ("e1".."e18").
+// ByID finds an experiment by its identifier ("e1".."e19").
 func ByID(id string) (Experiment, bool) {
 	for _, e := range All() {
 		if e.ID == id {
@@ -438,6 +439,15 @@ func e18() Experiment {
 		ID: "e18", Title: "Chaos soak under lossy links", PaperRef: "robustness",
 		Run: func(opt Options) ([]*Table, error) {
 			return runChaosSoak(opt)
+		},
+	}
+}
+
+func e19() Experiment {
+	return Experiment{
+		ID: "e19", Title: "Heartbeat detector soak", PaperRef: "Sec. III detector, made real",
+		Run: func(opt Options) ([]*Table, error) {
+			return runHeartbeatSoak(opt)
 		},
 	}
 }

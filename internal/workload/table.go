@@ -1,6 +1,6 @@
 // Package workload is the experiment harness behind cmd/ftbench and
 // EXPERIMENTS.md: it programmatically re-runs every experiment in the
-// per-experiment index of DESIGN.md (E1-E18) — one per figure or claim of
+// per-experiment index of DESIGN.md (E1-E19) — one per figure or claim of
 // the paper — and renders the result tables.
 package workload
 
@@ -10,6 +10,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/detector"
 	"repro/internal/obs"
 )
 
@@ -86,6 +87,12 @@ type Options struct {
 	// across every world the experiments create, for -json output and the
 	// live -obs exposition.
 	Collector *Collector
+	// Detector overrides the failure-detection mode of the generic ring
+	// worlds ("" keeps the oracle default). E19 always runs heartbeat
+	// monitors regardless.
+	Detector string
+	// Heartbeat tunes the monitors when Detector is "heartbeat".
+	Heartbeat detector.HeartbeatOptions
 }
 
 // obsMaxRanks caps the world size that gets a histogram registry: each

@@ -42,8 +42,8 @@ func TestAllHaveMetadata(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	if len(ids) != 18 {
-		t.Fatalf("have %d experiments, want 18", len(ids))
+	if len(ids) != 19 {
+		t.Fatalf("have %d experiments, want 19", len(ids))
 	}
 }
 
@@ -90,6 +90,44 @@ func TestChaosSoakAllSeedsOK(t *testing.T) {
 		}
 		if row[3] == "0" {
 			t.Fatalf("workload %q injected no drops — chaos not wired?", row[0])
+		}
+	}
+}
+
+// TestHeartbeatSoakAllSeedsOK is the acceptance gate for the heartbeat
+// detector: every seed of every E19 workload must terminate with the
+// application invariant intact, with failures detected only through
+// heartbeats, fencing, and confirmation (no oracle). Full sweep is 20
+// seeds x 3 workloads; -short shrinks it to the quick sweep.
+func TestHeartbeatSoakAllSeedsOK(t *testing.T) {
+	opt := Options{Quick: testing.Short(), Seed: 1}
+	tables, err := runHeartbeatSoak(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[1] != row[2] {
+			t.Fatalf("workload %q: only %s of %s seeds ok\n%s",
+				row[0], row[2], row[1], tables[0].Render())
+		}
+		if row[3] == "0" {
+			t.Fatalf("workload %q sent no heartbeats — detector not wired?", row[0])
+		}
+		if row[4] == "0" {
+			t.Fatalf("workload %q raised no suspicions — nothing was detected?", row[0])
+		}
+		if row[9] == "0" {
+			t.Fatalf("workload %q confirmed no failures\n%s", row[0], tables[0].Render())
+		}
+	}
+	// The detection latency families must reach the quantile table.
+	families := map[string]bool{}
+	for _, row := range tables[1].Rows {
+		families[row[1]] = true
+	}
+	for _, want := range []string{"suspicion_latency", "fence_rtt"} {
+		if !families[want] {
+			t.Fatalf("family %q missing from latency table\n%s", want, tables[1].Render())
 		}
 	}
 }
