@@ -1,4 +1,4 @@
-// Command ftbench runs the experiment suite (DESIGN.md E1-E19) and prints
+// Command ftbench runs the experiment suite (DESIGN.md E1-E20) and prints
 // the result tables recorded in EXPERIMENTS.md.
 //
 //	ftbench                # full suite
@@ -8,6 +8,8 @@
 //	ftbench -json out.json # also write aggregated counters + quantiles
 //	ftbench -obs :9464     # live /metrics while the suite runs
 //	ftbench -exp e1 -detector heartbeat   # ring experiments without the oracle
+//	ftbench -exp e20 -quick               # SWIM scaling soak, CI sizes
+//	ftbench -exp e1 -detector swim -agreement tree   # gossip detection + tree votes
 package main
 
 import (
@@ -23,16 +25,19 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "run a single experiment (e1..e19)")
+		exp     = flag.String("exp", "", "run a single experiment (e1..e20)")
 		quick   = flag.Bool("quick", false, "shrink sweeps for a fast pass")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		seed    = flag.Int64("seed", 1, "seed for randomized failure schedules")
 		jsonOut = flag.String("json", "", "write aggregated metrics JSON to this file (\"-\" = stdout)")
 		obsAddr = flag.String("obs", "", "serve live /metrics for the world currently running")
 
-		detMode    = flag.String("detector", "", "failure detection for the generic ring worlds: oracle|heartbeat (\"\" = oracle; E19 always uses heartbeat)")
+		detMode    = flag.String("detector", "", "failure detection for the generic ring worlds: oracle|heartbeat|swim (\"\" = oracle; E19 always uses heartbeat, E20 swim)")
 		hbInterval = flag.Duration("hb-interval", 0, "heartbeat ping interval (0 = default 2ms; with -detector heartbeat)")
 		hbTimeout  = flag.Duration("hb-timeout", 0, "heartbeat suspicion timeout (0 = 8x interval; with -detector heartbeat)")
+		swPeriod   = flag.Duration("swim-period", 0, "SWIM protocol period (0 = default; with -detector swim)")
+		swIndirect = flag.Int("swim-indirect", 0, "SWIM indirect-probe fanout k (0 = default; with -detector swim)")
+		agreeMode  = flag.String("agreement", "", "validate_all topology for the generic ring worlds: coordinator|tree (\"\" = coordinator)")
 	)
 	flag.Parse()
 
@@ -59,6 +64,8 @@ func main() {
 		Quick: *quick, Seed: *seed,
 		Detector:  *detMode,
 		Heartbeat: ftmpi.HeartbeatOptions{Interval: *hbInterval, Timeout: *hbTimeout},
+		Swim:      ftmpi.SwimOptions{Period: *swPeriod, IndirectK: *swIndirect},
+		Agreement: *agreeMode,
 	}
 	if *jsonOut != "" || *obsAddr != "" {
 		opt.Collector = workload.NewCollector()

@@ -14,6 +14,8 @@
 //	ftring -n 4 -chaos-partition 0:1:1:0          # blackhole 0->1 until escalation
 //	ftring -n 4 -detector heartbeat -kill 2:recv:2  # real detection, no oracle
 //	ftring -n 4 -detector heartbeat -hb-interval 5ms -hb-timeout 40ms -kill 2:recv:2
+//	ftring -n 16 -detector swim -kill 5:recv:2      # gossip detection, O(1) traffic
+//	ftring -n 16 -detector swim -swim-period 8ms -agreement tree -term validate-all -kill 5:recv:3
 package main
 
 import (
@@ -52,9 +54,12 @@ func main() {
 		obsAddr  = flag.String("obs", "", "serve /metrics, /debug/vars, /debug/pprof on this address (e.g. 127.0.0.1:9464)")
 		obsHold  = flag.Duration("obs-linger", 0, "keep the -obs endpoint up this long after the run (for scrapers)")
 
-		detMode    = flag.String("detector", "oracle", "failure detection: oracle|heartbeat")
+		detMode    = flag.String("detector", "oracle", "failure detection: oracle|heartbeat|swim")
 		hbInterval = flag.Duration("hb-interval", 0, "heartbeat ping interval (0 = default 2ms; with -detector heartbeat)")
 		hbTimeout  = flag.Duration("hb-timeout", 0, "heartbeat suspicion timeout (0 = 8x interval; with -detector heartbeat)")
+		swPeriod   = flag.Duration("swim-period", 0, "SWIM protocol period (0 = default; with -detector swim)")
+		swIndirect = flag.Int("swim-indirect", 0, "SWIM indirect-probe fanout k (0 = default; with -detector swim)")
+		agreeMode  = flag.String("agreement", "", "validate_all topology: coordinator|tree (\"\" = coordinator)")
 
 		chaosOn      = flag.Bool("chaos", false, "inject network faults (default rates unless overridden)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the chaos plan")
@@ -140,6 +145,10 @@ func main() {
 		Heartbeat: ftmpi.HeartbeatOptions{
 			Interval: *hbInterval, Timeout: *hbTimeout,
 		},
+		Swim: ftmpi.SwimOptions{
+			Period: *swPeriod, IndirectK: *swIndirect,
+		},
+		Agreement: *agreeMode,
 	}
 	var obsSrv *ftmpi.ObsServer
 	if *obsAddr != "" {

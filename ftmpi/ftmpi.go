@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/detector"
+	"repro/internal/membership"
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/obs"
@@ -154,6 +155,12 @@ const (
 	ObsSuspicionLatency = obs.SuspicionLatency
 	// ObsFenceRTT times a raised suspicion to its confirmed failure.
 	ObsFenceRTT = obs.FenceRTT
+	// ObsSwimProbeRTT times one SWIM probe transaction from launch to
+	// the direct or indirect ack.
+	ObsSwimProbeRTT = obs.SwimProbeRTT
+	// ObsGossipConvergence times epidemic dissemination: membership-event
+	// origination to each remote rank learning it via piggyback.
+	ObsGossipConvergence = obs.GossipConvergence
 )
 
 // Failure-detection modes (see WithDetector).
@@ -165,6 +172,21 @@ const (
 	// DetectorHeartbeat detects failures by missed heartbeats over the
 	// live fabric, with fencing preserving fail-stop accuracy.
 	DetectorHeartbeat = mpi.DetectorHeartbeat
+	// DetectorSwim detects failures SWIM-style: one randomized probe per
+	// period with k indirect probes through relays, and membership events
+	// disseminated epidemically as gossip piggybacked on control frames —
+	// O(1) per-rank traffic at any world size.
+	DetectorSwim = mpi.DetectorSwim
+)
+
+// Agreement topologies for validate_all (see WithAgreement).
+const (
+	// AgreementCoordinator funnels every vote through one coordinator —
+	// the paper-faithful default.
+	AgreementCoordinator = mpi.AgreementCoordinator
+	// AgreementTree reduces votes up a fault-aware spanning tree over the
+	// live membership — the scalable choice for large N.
+	AgreementTree = mpi.AgreementTree
 )
 
 // Hook points and actions.
@@ -260,6 +282,14 @@ func WithDetector(mode string) Option { return mpi.WithDetector(mode) }
 // zero option fields take defaults.
 func WithHeartbeat(opts HeartbeatOptions) Option { return mpi.WithHeartbeat(opts) }
 
+// WithSwim selects the SWIM membership detector and tunes its monitors;
+// zero option fields take defaults.
+func WithSwim(opts SwimOptions) Option { return mpi.WithSwim(opts) }
+
+// WithAgreement selects the validate_all topology: AgreementCoordinator
+// (the default) or AgreementTree.
+func WithAgreement(mode string) Option { return mpi.WithAgreement(mode) }
+
 // --- request combinators -----------------------------------------------------
 
 // Waitany blocks until one of the requests completes and returns its index
@@ -317,6 +347,10 @@ type (
 	// WithHeartbeat): ping interval, suspicion timeout, phi threshold,
 	// and the self-fence horizon.
 	HeartbeatOptions = detector.HeartbeatOptions
+	// SwimOptions tunes the SWIM detector's monitors (see WithSwim):
+	// protocol period, probe timeout, indirect-probe fanout, suspicion
+	// timeout, gossip retransmission budget, and the self-fence horizon.
+	SwimOptions = membership.Options
 )
 
 // NewChaosPlan returns an empty fault plan for the seed: configure it

@@ -238,3 +238,65 @@ func TestFacadeObservability(t *testing.T) {
 		t.Error("Chrome trace missing the rank 3 lane")
 	}
 }
+
+// TestFacadeSwimTreeValidate exercises the PR-6 surface end to end
+// through the facade alone: the SWIM gossip detector selected and tuned
+// with WithSwim, tree-topology agreement selected with WithAgreement,
+// one injected death detected without any oracle, and the new histogram
+// families visible through the re-exported registry.
+func TestFacadeSwimTreeValidate(t *testing.T) {
+	const n = 8
+	reg := ftmpi.NewObsRegistry(n)
+	mets := ftmpi.NewMetrics(n)
+	w, err := ftmpi.NewWorld(n,
+		ftmpi.WithSwim(ftmpi.SwimOptions{Period: 4 * time.Millisecond, Seed: 1}),
+		ftmpi.WithAgreement(ftmpi.AgreementTree),
+		ftmpi.WithObservability(reg), ftmpi.WithMetrics(mets),
+		ftmpi.WithDeadline(60*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(p *ftmpi.Proc) error {
+		c := p.World()
+		c.SetErrhandler(ftmpi.ErrorsReturn)
+		if p.Rank() == 3 {
+			p.Die()
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			info, err := c.RankState(3)
+			if err != nil {
+				return err
+			}
+			if info.State == ftmpi.RankFailed {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Error("rank 3 failure never surfaced through SWIM")
+				return nil
+			}
+			time.Sleep(time.Millisecond)
+		}
+		cnt, err := c.ValidateAll()
+		if err != nil {
+			return err
+		}
+		if cnt != 1 {
+			t.Errorf("rank %d agreed on %d failures, want 1", p.Rank(), cnt)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatalf("run wedged; stuck ranks %v", res.Stuck)
+	}
+	snap := reg.Snapshot()
+	if snap.Family(ftmpi.ObsSwimProbeRTT).Merged.Count == 0 {
+		t.Error("no swim_probe_rtt samples reached the facade registry")
+	}
+	if snap.Family(ftmpi.ObsGossipConvergence).Merged.Count == 0 {
+		t.Error("no gossip_convergence samples reached the facade registry")
+	}
+}

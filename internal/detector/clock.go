@@ -1,0 +1,128 @@
+package detector
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the monitors' time source so that deadline-coupled
+// tests can drive suspicion, fencing and self-fencing deterministically
+// instead of keying off real millisecond tickers (which false-suspect
+// under CI load). Production code uses WallClock; tests inject a
+// ManualClock and call Advance.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// NewTicker returns a ticker firing every d.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker is the Clock-owned analogue of time.Ticker.
+type Ticker interface {
+	// Chan returns the tick channel.
+	Chan() <-chan time.Time
+	// Stop releases the ticker's resources.
+	Stop()
+}
+
+// wallClock is the production Clock: real time, real tickers.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+func (wallClock) NewTicker(d time.Duration) Ticker { return wallTicker{time.NewTicker(d)} }
+
+type wallTicker struct{ t *time.Ticker }
+
+func (w wallTicker) Chan() <-chan time.Time { return w.t.C }
+func (w wallTicker) Stop()                  { w.t.Stop() }
+
+// WallClock returns the real-time Clock (the default when options leave
+// the Clock field nil).
+func WallClock() Clock { return wallClock{} }
+
+// ManualClock is a test Clock whose time only moves when Advance is
+// called. Tickers created from it fire (best-effort, buffered) as
+// Advance crosses their periods; deterministic tests usually bypass the
+// pump entirely and drive monitor ticks by hand, using the ManualClock
+// only as the shared notion of "now".
+type ManualClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	tickers []*manualTicker
+}
+
+// NewManualClock creates a manual clock set to start.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now returns the clock's current (frozen) time.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and delivers any ticks that fall
+// inside the advanced window, in timestamp order across tickers.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	type due struct {
+		at time.Time
+		t  *manualTicker
+	}
+	var fires []due
+	for _, t := range c.tickers {
+		for !t.next.After(target) {
+			fires = append(fires, due{at: t.next, t: t})
+			t.next = t.next.Add(t.period)
+		}
+	}
+	c.now = target
+	c.mu.Unlock()
+	sort.SliceStable(fires, func(i, j int) bool { return fires[i].at.Before(fires[j].at) })
+	for _, f := range fires {
+		select {
+		case f.t.ch <- f.at:
+		default: // receiver lagging: drop the tick, like time.Ticker
+		}
+	}
+}
+
+// NewTicker returns a ticker that fires as Advance crosses multiples of d.
+func (c *ManualClock) NewTicker(d time.Duration) Ticker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &manualTicker{
+		clock:  c,
+		period: d,
+		next:   c.now.Add(d),
+		ch:     make(chan time.Time, 1),
+	}
+	c.tickers = append(c.tickers, t)
+	return t
+}
+
+type manualTicker struct {
+	clock  *ManualClock
+	period time.Duration
+	next   time.Time
+	ch     chan time.Time
+}
+
+func (t *manualTicker) Chan() <-chan time.Time { return t.ch }
+
+func (t *manualTicker) Stop() {
+	c := t.clock
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, other := range c.tickers {
+		if other == t {
+			c.tickers = append(c.tickers[:i], c.tickers[i+1:]...)
+			return
+		}
+	}
+}

@@ -137,6 +137,12 @@ type Registry struct {
 	notifyObs   func(rank int, latency time.Duration)
 	epoch       uint64 // incremented on every failure, for change detection
 	cond        *sync.Cond
+	// timers holds the delayed-notify timers armed by Kill when a
+	// NotifyDelay is configured, so Close can stop the ones still pending.
+	// Without this, a world that tears down inside the delay window leaks
+	// the timer goroutine and fires subscriber callbacks into freed state.
+	timers map[*time.Timer]struct{}
+	closed bool
 }
 
 // New creates a registry for n ranks, all alive, all at generation 1.
@@ -293,11 +299,53 @@ func (r *Registry) Kill(rank int) bool {
 		}
 	}
 	if delay > 0 {
-		time.AfterFunc(delay, notify)
+		r.armNotify(delay, notify)
 	} else {
 		notify()
 	}
 	return true
+}
+
+// armNotify schedules a delayed notification, tracking the timer so Close
+// can cancel it if the registry shuts down inside the delay window.
+func (r *Registry) armNotify(delay time.Duration, notify func()) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	if r.timers == nil {
+		r.timers = make(map[*time.Timer]struct{})
+	}
+	var t *time.Timer
+	t = time.AfterFunc(delay, func() {
+		r.mu.Lock()
+		_, live := r.timers[t]
+		delete(r.timers, t)
+		closed := r.closed
+		r.mu.Unlock()
+		if live && !closed {
+			notify()
+		}
+	})
+	r.timers[t] = struct{}{}
+	r.mu.Unlock()
+}
+
+// Close cancels all pending delayed notifications and marks the registry
+// shut down: subsequent delayed notifies are dropped. Read-side methods
+// and synchronous notification keep working; Close exists so that a world
+// torn down mid-delay does not have oracle notify timers firing
+// subscriber callbacks after teardown.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	r.closed = true
+	timers := r.timers
+	r.timers = nil
+	r.mu.Unlock()
+	for t := range timers {
+		t.Stop()
+	}
 }
 
 // Suspect records that observer `by` suspects `rank`, returning true when

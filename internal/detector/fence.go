@@ -29,6 +29,15 @@ import "time"
 type fenceState struct {
 	start    time.Time // suspicion raise time, for fence RTT
 	lastSend time.Time // zero until the first fence notice goes out
+	// clearAt, when non-zero, marks the fence as draining: a late
+	// heartbeat asked to withdraw the suspicion after a fence notice was
+	// already committed to the wire. Cancelling outright would clear the
+	// suspicion of a rank the in-flight fence may still kill (and leave
+	// nobody to confirm the death), so the fence stays armed — without
+	// resends — until the fence either lands (ground-truth death →
+	// Confirm) or has evidently been lost (one resend period elapses with
+	// the suspect alive → ClearSuspect).
+	clearAt time.Time
 }
 
 // fenceConfirm is one suspect resolved by the ground-truth path, with the
@@ -39,10 +48,13 @@ type fenceConfirm struct {
 }
 
 // driveFencesLocked advances every pending fence one step: suspects that
-// turn out ground-truth dead are queued for Confirm, the rest get a fence
-// (re)send when their resend deadline lapses. Caller holds mu; the
-// returned packets are sent (and Confirm called) outside it.
-func (h *Heartbeat) driveFencesLocked(now time.Time) (confirms []fenceConfirm, fenceSends []int, outs []ctl) {
+// turn out ground-truth dead are queued for Confirm, draining fences
+// (clear requested after a notice went out; see fenceState.clearAt) are
+// retired once their last notice has evidently been lost, and the rest
+// get a fence (re)send when their resend deadline lapses. Caller holds
+// mu; the returned packets are sent (and Confirm/ClearSuspect called)
+// outside it.
+func (h *Heartbeat) driveFencesLocked(now time.Time) (confirms []fenceConfirm, fenceSends, clears []int, outs []ctl) {
 	for p, fs := range h.fences {
 		switch {
 		case h.reg.Confirmed(p):
@@ -55,13 +67,22 @@ func (h *Heartbeat) driveFencesLocked(now time.Time) (confirms []fenceConfirm, f
 			// registry, not the unreachable ack, proves it.
 			confirms = append(confirms, fenceConfirm{rank: p, rtt: now.Sub(fs.start)})
 			delete(h.fences, p)
+		case !fs.clearAt.IsZero():
+			// Draining: no resends. If a full resend period passes and the
+			// suspect is still alive, the in-flight notice was lost (or
+			// dropped by chaos) — the late heartbeat wins and the
+			// suspicion is finally withdrawn.
+			if now.Sub(fs.clearAt) >= h.opts.FenceResend {
+				delete(h.fences, p)
+				clears = append(clears, p)
+			}
 		case fs.lastSend.IsZero() || now.Sub(fs.lastSend) >= h.opts.FenceResend:
 			fs.lastSend = now
 			outs = append(outs, ctl{to: p, op: OpFence})
 			fenceSends = append(fenceSends, p)
 		}
 	}
-	return confirms, fenceSends, outs
+	return confirms, fenceSends, clears, outs
 }
 
 // selfFenceDueLocked reports whether this rank must fence itself: none of

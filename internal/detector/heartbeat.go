@@ -24,6 +24,13 @@ const (
 	// OpFenceAck is sent by a fenced rank strictly AFTER it has killed
 	// itself: receipt proves ground-truth death.
 	OpFenceAck
+	// OpProbe is a SWIM-style liveness probe (direct, or relayed on
+	// behalf of the origin rank named in the gossip envelope).
+	OpProbe
+	// OpProbeAck acknowledges a probe; relays forward it to the origin.
+	OpProbeAck
+	// OpProbeReq asks a relay to probe the envelope's target indirectly.
+	OpProbeReq
 )
 
 // String returns the control-op name.
@@ -37,6 +44,12 @@ func (op ControlOp) String() string {
 		return "fence"
 	case OpFenceAck:
 		return "fence-ack"
+	case OpProbe:
+		return "probe"
+	case OpProbeAck:
+		return "probe-ack"
+	case OpProbeReq:
+		return "probe-req"
 	default:
 		return fmt.Sprintf("ControlOp(%d)", int(op))
 	}
@@ -66,12 +79,19 @@ type HeartbeatOptions struct {
 	// FenceResend is the retransmission period for unacknowledged fence
 	// notices (default 2×Interval).
 	FenceResend time.Duration
+	// Clock is the monitor's time source (default: the wall clock).
+	// Tests inject a ManualClock to drive deadlines deterministically
+	// instead of racing real millisecond tickers against CI load.
+	Clock Clock
 }
 
 // withDefaults fills zero fields.
 func (o HeartbeatOptions) withDefaults() HeartbeatOptions {
 	if o.Interval <= 0 {
 		o.Interval = 2 * time.Millisecond
+	}
+	if o.Clock == nil {
+		o.Clock = WallClock()
 	}
 	if o.Timeout <= 0 {
 		o.Timeout = 8 * o.Interval
@@ -162,11 +182,12 @@ func (a *arrival) phi(now time.Time, sigmaFloor float64) float64 {
 // unacknowledged for too long. Construct with NewHeartbeat, wire inbound
 // control packets to OnControl, and bracket the run with Start/Stop.
 type Heartbeat struct {
-	reg  *Registry
-	rank int
-	size int
-	opts HeartbeatOptions
-	send func(to int, op ControlOp, seq uint64)
+	reg   *Registry
+	rank  int
+	size  int
+	opts  HeartbeatOptions
+	clock Clock
+	send  func(to int, op ControlOp, seq uint64)
 
 	// Hooks may be set between NewHeartbeat and Start.
 	Hooks HeartbeatHooks
@@ -197,6 +218,7 @@ func NewHeartbeat(reg *Registry, rank, size int, opts HeartbeatOptions, send fun
 		rank:       rank,
 		size:       size,
 		opts:       o,
+		clock:      o.Clock,
 		send:       send,
 		est:        make([]arrival, size),
 		fences:     make(map[int]*fenceState),
@@ -210,15 +232,22 @@ func (h *Heartbeat) Options() HeartbeatOptions { return h.opts }
 
 // Start launches the heartbeat pump. Call after the fabric is started.
 func (h *Heartbeat) Start() {
-	now := time.Now()
+	h.prime(h.clock.Now())
+	h.wg.Add(1)
+	go h.pump()
+}
+
+// prime resets the ack and arrival baselines to now, so the first
+// deadlines are measured from monitor start rather than the zero time.
+// Deterministic tests call it directly and then drive tick by hand
+// instead of starting the pump.
+func (h *Heartbeat) prime(now time.Time) {
 	h.mu.Lock()
 	h.lastAck = now
 	for i := range h.est {
 		h.est[i].last = now
 	}
 	h.mu.Unlock()
-	h.wg.Add(1)
-	go h.pump()
 }
 
 // Stop terminates the pump and waits for it. Safe to call more than once.
@@ -227,16 +256,18 @@ func (h *Heartbeat) Stop() {
 	h.wg.Wait()
 }
 
-// pump is the per-rank monitor loop: one tick per Interval.
+// pump is the per-rank monitor loop: one tick per Interval. The ticker
+// comes from the injected clock and is stopped on every exit path, so no
+// timer outlives Stop even when a fence resend or suspicion is pending.
 func (h *Heartbeat) pump() {
 	defer h.wg.Done()
-	ticker := time.NewTicker(h.opts.Interval)
+	ticker := h.clock.NewTicker(h.opts.Interval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-h.done:
 			return
-		case now := <-ticker.C:
+		case now := <-ticker.Chan():
 			if !h.tick(now) {
 				return
 			}
@@ -275,13 +306,16 @@ func (h *Heartbeat) tick(now time.Time) bool {
 		outs = append(outs, ctl{to: p, op: OpPing, seq: seq})
 	}
 	raised = h.checkDeadlinesLocked(now)
-	confirms, fenceSends, fenceOuts := h.driveFencesLocked(now)
+	confirms, fenceSends, clears, fenceOuts := h.driveFencesLocked(now)
 	outs = append(outs, fenceOuts...)
 	selfFence := h.selfFenceDueLocked(now)
 	h.mu.Unlock()
 
 	for _, p := range raised {
 		h.reg.Suspect(p, h.rank)
+	}
+	for _, p := range clears {
+		h.reg.ClearSuspect(p, h.rank)
 	}
 	for _, cf := range confirms {
 		if h.reg.Confirm(cf.rank, h.rank) && h.Hooks.FenceRTT != nil {
@@ -343,7 +377,7 @@ func (h *Heartbeat) OnControl(from int, op ControlOp, seq uint64) {
 	if from < 0 || from >= h.size || from == h.rank {
 		return
 	}
-	now := time.Now()
+	now := h.clock.Now()
 	if h.reg.Failed(h.rank) {
 		if op == OpFence {
 			h.send(from, OpFenceAck, seq)
@@ -368,11 +402,29 @@ func (h *Heartbeat) OnControl(from int, op ControlOp, seq uint64) {
 
 // markAlive folds fresh evidence of `from`'s liveness into its estimator
 // and withdraws any suspicion this monitor held against it.
+//
+// The withdrawal is racy by nature: the tick loop decides to emit a FENCE
+// under the lock but sends it after unlocking, so a heartbeat processed in
+// that window used to clear the suspicion while the fence was already
+// committed to the wire — the rank would then be killed by a fence its
+// observer no longer stood behind, with no fence state left to confirm
+// the death. The rule now: a suspicion whose fence has not yet been
+// emitted clears immediately, but once a fence notice is out the fence
+// supersedes the clear — the state drains instead (see fenceState.clearAt
+// and driveFencesLocked), resolving to Confirm if the fence lands or to a
+// deferred ClearSuspect if it evidently got lost.
 func (h *Heartbeat) markAlive(from int, now time.Time) {
+	cleared := false
 	h.mu.Lock()
 	h.est[from].observe(now)
-	cleared := h.fences[from] != nil
-	delete(h.fences, from)
+	if fs := h.fences[from]; fs != nil {
+		if fs.lastSend.IsZero() {
+			delete(h.fences, from)
+			cleared = true
+		} else if fs.clearAt.IsZero() {
+			fs.clearAt = now // fence in flight: drain, don't clear yet
+		}
+	}
 	h.mu.Unlock()
 	if cleared {
 		h.reg.ClearSuspect(from, h.rank)

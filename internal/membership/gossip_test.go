@@ -1,0 +1,165 @@
+package membership
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSupersedes(t *testing.T) {
+	cases := []struct {
+		a, b Event
+		want bool
+	}{
+		// Higher incarnation wins regardless of kind.
+		{Event{EvAlive, 3, 2}, Event{EvSuspect, 3, 1}, true},
+		{Event{EvSuspect, 3, 2}, Event{EvAlive, 3, 1}, true},
+		{Event{EvAlive, 3, 1}, Event{EvSuspect, 3, 2}, false},
+		// Equal incarnation: suspect beats alive, never the reverse.
+		{Event{EvSuspect, 3, 1}, Event{EvAlive, 3, 1}, true},
+		{Event{EvAlive, 3, 1}, Event{EvSuspect, 3, 1}, false},
+		{Event{EvAlive, 3, 1}, Event{EvAlive, 3, 1}, false},
+		// Confirm beats everything and nothing beats it.
+		{Event{EvConfirm, 3, 0}, Event{EvSuspect, 3, 9}, true},
+		{Event{EvSuspect, 3, 9}, Event{EvConfirm, 3, 0}, false},
+		{Event{EvAlive, 3, 9}, Event{EvConfirm, 3, 0}, false},
+		// Different ranks never interact.
+		{Event{EvConfirm, 3, 0}, Event{EvAlive, 4, 0}, false},
+	}
+	for _, c := range cases {
+		if got := Supersedes(c.a, c.b); got != c.want {
+			t.Errorf("Supersedes(%+v, %+v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestBufferSupersedeDedup: an alive event overriding a suspect by
+// incarnation replaces the entry (with a reset send budget); stale news
+// is dropped.
+func TestBufferSupersedeDedup(t *testing.T) {
+	b := NewBuffer(8, 3)
+	if !b.Add(Event{EvSuspect, 1, 0}) {
+		t.Fatal("fresh suspect rejected")
+	}
+	b.Pick(1) // one transmission spent
+	if b.Add(Event{EvAlive, 1, 0}) {
+		t.Fatal("same-incarnation alive must not override suspect")
+	}
+	if !b.Add(Event{EvAlive, 1, 1}) {
+		t.Fatal("refutation (alive at bumped incarnation) rejected")
+	}
+	got := b.Pick(4)
+	if len(got) != 1 || got[0] != (Event{EvAlive, 1, 1}) {
+		t.Fatalf("buffer spreads %+v, want the refutation", got)
+	}
+	// The replacement reset the send budget: two more transmissions left.
+	if n := len(b.Pick(4)) + len(b.Pick(4)); n != 2 {
+		t.Fatalf("refutation retransmitted %d more times, want 2", n)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("buffer not empty after TTL: %d", b.Len())
+	}
+}
+
+// TestBufferPickOrder: least-transmitted events travel first, and every
+// entry retires after exactly TTL transmissions.
+func TestBufferPickOrder(t *testing.T) {
+	b := NewBuffer(8, 2)
+	b.Add(Event{EvSuspect, 1, 0})
+	b.Add(Event{EvSuspect, 2, 0})
+	first := b.Pick(2) // both at sends=0, tie broken by rank
+	if len(first) != 2 || first[0].Rank != 1 || first[1].Rank != 2 {
+		t.Fatalf("first pick %+v", first)
+	}
+	b.Add(Event{EvSuspect, 3, 0}) // fresh entry: sends=0, must lead next pick
+	second := b.Pick(1)
+	if len(second) != 1 || second[0].Rank != 3 {
+		t.Fatalf("freshest event did not travel first: %+v", second)
+	}
+	// ranks 1 and 2 have one transmission left each, rank 3 has one.
+	rest := append(b.Pick(8), b.Pick(8)...)
+	if len(rest) != 3 || b.Len() != 0 {
+		t.Fatalf("retirement after TTL broken: rest=%+v len=%d", rest, b.Len())
+	}
+}
+
+// TestBufferEvictionOrder: a full buffer evicts the most-transmitted
+// entry — it has had the most chances to spread — never the freshest.
+func TestBufferEvictionOrder(t *testing.T) {
+	b := NewBuffer(2, 10)
+	b.Add(Event{EvSuspect, 1, 0})
+	b.Add(Event{EvSuspect, 2, 0})
+	b.Pick(1) // rank 1 (lowest rank at equal sends) now has 1 transmission
+	b.Add(Event{EvSuspect, 3, 0})
+	if b.Len() != 2 {
+		t.Fatalf("capacity not enforced: %d", b.Len())
+	}
+	got := map[int]bool{}
+	for _, ev := range b.Pick(8) {
+		got[ev.Rank] = true
+	}
+	if got[1] || !got[2] || !got[3] {
+		t.Fatalf("evicted the wrong entry: remaining %+v", got)
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	cases := []Envelope{
+		{},
+		{Origin: 7, Target: 3},
+		{Origin: 4095, Target: 0, Events: []Event{
+			{EvSuspect, 12, 0}, {EvAlive, 12, 1}, {EvConfirm, 900, 0},
+		}},
+	}
+	for _, want := range cases {
+		got, err := DecodeEnvelope(want.Encode())
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", want, err)
+		}
+		if got.Origin != want.Origin || got.Target != want.Target ||
+			!reflect.DeepEqual(got.Events, want.Events) {
+			t.Fatalf("round trip %+v -> %+v", want, got)
+		}
+	}
+}
+
+func TestDecodeEnvelopeRejectsMalformed(t *testing.T) {
+	good := Envelope{Origin: 1, Target: 2, Events: []Event{{EvSuspect, 3, 4}}}.Encode()
+	bad := [][]byte{
+		nil,
+		{},
+		{0x00},                   // wrong magic
+		good[:len(good)-1],       // truncated
+		append(append([]byte{}, good...), 0xFF), // trailing garbage
+		{envelopeMagic, 0x01, 0x02, 0x01, 0x77, 0x03, 0x04}, // unknown event kind 0x77
+		{envelopeMagic, 0x01, 0x02, 0xFF},                   // truncated varint
+	}
+	for i, data := range bad {
+		if _, err := DecodeEnvelope(data); err == nil {
+			t.Errorf("case %d: malformed payload decoded without error", i)
+		}
+	}
+}
+
+// FuzzDecodeEnvelope drives the decode path with arbitrary bytes — the
+// chaos fabric corrupts control payloads, so decode must fail cleanly
+// (never panic) and anything it accepts must re-encode canonically.
+func FuzzDecodeEnvelope(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{envelopeMagic})
+	f.Add(Envelope{Origin: 1, Target: 2}.Encode())
+	f.Add(Envelope{Origin: 3, Target: 0, Events: []Event{{EvAlive, 5, 9}, {EvConfirm, 2, 0}}}.Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := DecodeEnvelope(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeEnvelope(env.Encode())
+		if err != nil {
+			t.Fatalf("accepted envelope did not re-decode: %v", err)
+		}
+		if again.Origin != env.Origin || again.Target != env.Target ||
+			!reflect.DeepEqual(again.Events, env.Events) {
+			t.Fatalf("re-encode not canonical: %+v vs %+v", env, again)
+		}
+	})
+}

@@ -80,6 +80,26 @@ const (
 	SelfFences
 	// Confirms counts suspected ranks confirmed dead by each observer.
 	Confirms
+	// ControlFrames counts every failure-detection control frame sent
+	// (heartbeats, probes, fences, acks) — the quantity the SWIM mode
+	// keeps O(1) per rank per protocol period where the mesh pays O(N).
+	ControlFrames
+	// SwimProbes counts direct SWIM probes launched.
+	SwimProbes
+	// SwimIndirectProbes counts indirect probe requests sent to relays.
+	SwimIndirectProbes
+	// SwimProbeTimeouts counts probe transactions that expired unanswered
+	// (the target became a suspect).
+	SwimProbeTimeouts
+	// GossipEvents counts membership events this rank originated into the
+	// gossip stream (suspicions, refutations, confirmations).
+	GossipEvents
+	// GossipLearns counts membership events first learned from a
+	// piggybacked envelope.
+	GossipLearns
+	// GossipDecodeErrors counts control payloads dropped because they
+	// failed to decode (chaos corruption).
+	GossipDecodeErrors
 	numCounters
 )
 
@@ -92,6 +112,9 @@ var counterNames = [numCounters]string{
 	"frames_rejected", "frames_deduped", "link_escalations",
 	"heartbeats", "suspicions", "false_suspicions", "suspicions_cleared",
 	"fences", "self_fences", "confirms",
+	"control_frames", "swim_probes", "swim_indirect_probes",
+	"swim_probe_timeouts", "gossip_events", "gossip_learns",
+	"gossip_decode_errors",
 }
 
 // String returns the counter's table-column name.

@@ -53,7 +53,8 @@ type agreeMsg struct {
 	From    int   // sender's world rank
 	Failed  []int // vote payload or decision (world ranks)
 	Decided bool  // Failed carries an already-made decision
-	Group   []int // REQ only: the communicator group (world ranks)
+	Group   []int // REQ/PULL only: the communicator group (world ranks)
+	Covered []int // tree mode: ranks whose votes this aggregate includes
 }
 
 type agreeKey struct {
@@ -114,15 +115,25 @@ func (e *engine) deliverAgreement(pkt *transport.Packet) {
 			// answers it when this rank reaches its validate_all call.
 			e.agree.pendingReqs[key] = append(e.agree.pendingReqs[key], msg)
 		}
-	case agreeVote:
+	case agreeVote, agreeTreeVote:
 		m, ok := e.agree.votes[key]
 		if !ok {
 			m = make(map[int]agreeMsg)
 			e.agree.votes[key] = m
 		}
 		m[msg.From] = msg
+		if msg.Type == agreeTreeVote {
+			if d, ok := e.agree.decisions[key]; ok {
+				// Reactive decide rule: a vote climbing into a rank that
+				// already holds the decision (this rank may have returned
+				// from validate_all long ago) is answered immediately, so
+				// orphaned subtrees rejoin without waiting for the root.
+				reply = &agreeMsg{Type: agreeTreeDecide, Inst: msg.Inst,
+					From: e.rank, Failed: d, Decided: true}
+			}
+		}
 		e.agreeBumpLocked()
-	case agreeDecide:
+	case agreeDecide, agreeTreeDecide:
 		if _, ok := e.agree.decisions[key]; !ok {
 			if msg.Failed == nil {
 				msg.Failed = []int{} // gob flattens empty slices to nil
@@ -130,6 +141,16 @@ func (e *engine) deliverAgreement(pkt *transport.Packet) {
 			e.agree.decisions[key] = msg.Failed
 		}
 		e.agreeBumpLocked()
+	case agreeTreePull:
+		if d, ok := e.agree.decisions[key]; ok {
+			reply = &agreeMsg{Type: agreeTreeDecide, Inst: msg.Inst,
+				From: e.rank, Failed: d, Decided: true}
+		} else if e.agree.started[key] {
+			reply = e.treeAggregateVoteLocked(key, msg.Group)
+		} else {
+			// Not in the collective yet: park; answered at enterInstance.
+			e.agree.pendingReqs[key] = append(e.agree.pendingReqs[key], msg)
+		}
 	}
 	e.mu.Unlock()
 
@@ -166,6 +187,10 @@ func (c *Comm) validateAllDriver(inst int) ([]int, error) {
 	key := agreeKey{ctx: c.ctxInternal, inst: inst}
 	reg := c.proc.w.registry
 	e.enterInstance(key, c)
+
+	if e.w.agreement == AgreementTree {
+		return c.treeAgreementDriver(key)
+	}
 
 	for {
 		e.mu.Lock()
@@ -241,6 +266,17 @@ func (e *engine) enterInstance(key agreeKey, c *Comm) {
 	parked := e.agree.pendingReqs[key]
 	delete(e.agree.pendingReqs, key)
 	for _, req := range parked {
+		if req.Type == agreeTreePull {
+			var vote agreeMsg
+			if d, ok := e.agree.decisions[key]; ok {
+				vote = agreeMsg{Type: agreeTreeDecide, Inst: key.inst,
+					From: e.rank, Failed: d, Decided: true}
+			} else {
+				vote = *e.treeAggregateVoteLocked(key, req.Group)
+			}
+			replies = append(replies, pendingReply{dst: req.From, msg: vote})
+			continue
+		}
 		vote := agreeMsg{Type: agreeVote, Inst: key.inst, From: e.rank}
 		if d, ok := e.agree.decisions[key]; ok {
 			vote.Failed, vote.Decided = d, true

@@ -197,13 +197,15 @@ func (e *engine) knownFailedSnapshotLocked(group []int) []int {
 // own goroutine while it holds mu.
 func (e *engine) deliver(pkt *transport.Packet) {
 	if pkt.Kind == transport.KindControl {
-		// Failure-detection control traffic goes to the rank's heartbeat
+		// Failure-detection control traffic goes to the rank's detector
 		// monitor, not the matching engine — and deliberately without a
 		// dead-rank guard: the monitor is the "NIC", which keeps answering
 		// fence notices after the process died so a fencer across a
 		// half-open link can still learn of the death.
 		if hb := e.w.hb; hb != nil {
 			hb[e.rank].OnControl(pkt.Src, detector.ControlOp(pkt.Tag), pkt.Seq)
+		} else if sw := e.w.sw; sw != nil {
+			sw[e.rank].OnControl(pkt.Src, detector.ControlOp(pkt.Tag), pkt.Seq, pkt.Payload)
 		}
 		return
 	}

@@ -43,7 +43,7 @@ func (w *World) initHeartbeats(opts detector.HeartbeatOptions) {
 		rank := i
 		hb := detector.NewHeartbeat(w.registry, rank, w.size, opts,
 			func(to int, op detector.ControlOp, seq uint64) {
-				w.sendControl(rank, to, op, seq)
+				w.sendControl(rank, to, op, seq, nil)
 			})
 		hb.Hooks = detector.HeartbeatHooks{
 			Ping: func(r int) { w.metrics.Inc(r, metrics.Heartbeats) },
@@ -67,11 +67,13 @@ func (w *World) initHeartbeats(opts detector.HeartbeatOptions) {
 // enters at the top of the fabric stack: the reliability sublayer passes
 // control frames through un-sequenced, and the chaos fabric subjects them
 // to drops, delays and partitions — heartbeats must take the same weather
-// as the traffic whose liveness they vouch for.
-func (w *World) sendControl(from, to int, op detector.ControlOp, seq uint64) {
+// as the traffic whose liveness they vouch for. payload carries the SWIM
+// gossip envelope and is nil for heartbeat-mode frames.
+func (w *World) sendControl(from, to int, op detector.ControlOp, seq uint64, payload []byte) {
+	w.metrics.Inc(from, metrics.ControlFrames)
 	_ = w.fabric.Send(&transport.Packet{
 		Src: from, Dst: to, Tag: int(op), Context: ctxControl,
-		Kind: transport.KindControl, Seq: seq,
+		Kind: transport.KindControl, Seq: seq, Payload: payload,
 	})
 }
 
@@ -99,16 +101,23 @@ func (w *World) onSuspicion(ev detector.SuspicionEvent) {
 	}
 }
 
-// startHeartbeats launches every rank's monitor (no-op in oracle mode).
-func (w *World) startHeartbeats() {
+// startMonitors launches every rank's detector monitor — heartbeat or
+// SWIM, whichever mode configured (no-op in oracle mode).
+func (w *World) startMonitors() {
 	for _, hb := range w.hb {
 		hb.Start()
 	}
+	for _, sw := range w.sw {
+		sw.Start()
+	}
 }
 
-// stopHeartbeats terminates the monitors before the fabric closes.
-func (w *World) stopHeartbeats() {
+// stopMonitors terminates the monitors before the fabric closes.
+func (w *World) stopMonitors() {
 	for _, hb := range w.hb {
 		hb.Stop()
+	}
+	for _, sw := range w.sw {
+		sw.Stop()
 	}
 }

@@ -252,15 +252,23 @@ func TestHeartbeatSelfFenceOnTotalIsolation(t *testing.T) {
 	}
 }
 
-// TestDetectorModeValidation: unknown detector names must be rejected at
-// construction.
+// TestDetectorModeValidation: unknown detector and agreement names must
+// be rejected at construction.
 func TestDetectorModeValidation(t *testing.T) {
 	if _, err := NewWorld(2, WithDetector("telepathy")); err == nil {
 		t.Fatal("bogus detector mode accepted")
 	}
-	for _, mode := range []string{"", DetectorOracle, DetectorHeartbeat} {
+	for _, mode := range []string{"", DetectorOracle, DetectorHeartbeat, DetectorSwim} {
 		if _, err := NewWorld(2, WithDetector(mode)); err != nil {
 			t.Fatalf("mode %q rejected: %v", mode, err)
+		}
+	}
+	if _, err := NewWorld(2, WithAgreement("gossip-only")); err == nil {
+		t.Fatal("bogus agreement mode accepted")
+	}
+	for _, mode := range []string{"", AgreementCoordinator, AgreementTree} {
+		if _, err := NewWorld(2, WithAgreement(mode)); err != nil {
+			t.Fatalf("agreement mode %q rejected: %v", mode, err)
 		}
 	}
 }

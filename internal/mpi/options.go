@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/detector"
+	"repro/internal/membership"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/reliable"
@@ -62,9 +63,11 @@ func WithNotifyDelay(d time.Duration) Option {
 }
 
 // WithDetector selects the failure-detection mode: DetectorOracle (the
-// default — failures are known the instant they are injected) or
+// default — failures are known the instant they are injected),
 // DetectorHeartbeat (failures are detected by missed heartbeats and
-// converted to fail-stop by fencing before being reported).
+// converted to fail-stop by fencing before being reported), or
+// DetectorSwim (SWIM-style randomized probing with gossip dissemination,
+// O(1) control traffic per rank).
 func WithDetector(mode string) Option {
 	return func(cfg *Config) { cfg.Detector = mode }
 }
@@ -76,6 +79,23 @@ func WithHeartbeat(opts detector.HeartbeatOptions) Option {
 		cfg.Detector = DetectorHeartbeat
 		cfg.Heartbeat = opts
 	}
+}
+
+// WithSwim selects the SWIM membership detector and tunes its monitors;
+// zero option fields take the membership package defaults.
+func WithSwim(opts membership.Options) Option {
+	return func(cfg *Config) {
+		cfg.Detector = DetectorSwim
+		cfg.Swim = opts
+	}
+}
+
+// WithAgreement selects the validate_all consensus topology:
+// AgreementCoordinator (the default — the paper-faithful single
+// coordinator funnel) or AgreementTree (votes reduced up a fault-aware
+// spanning tree, the scalable choice for large N).
+func WithAgreement(mode string) Option {
+	return func(cfg *Config) { cfg.Agreement = mode }
 }
 
 // WithChaos injects seeded network faults from the plan between the

@@ -1,0 +1,169 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/membership"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// swimFast is the SWIM tuning used across these tests: tight enough to
+// detect within tens of milliseconds, with a self-fence horizon far
+// enough out that tests controlling the death stay deterministic.
+func swimFast() membership.Options {
+	return membership.Options{
+		Period:         4 * time.Millisecond,
+		SelfFenceAfter: 2 * time.Second,
+		Seed:           1,
+	}
+}
+
+// TestSwimDetectsInjectedKill is the swim-mode smoke test: survivors
+// learn of an injected kill only through missed probes, fencing, and
+// confirmation — and the full metrics/obs pipeline lights up.
+func TestSwimDetectsInjectedKill(t *testing.T) {
+	const n = 5
+	m := metrics.NewWorld(n)
+	o := obs.NewRegistry(n)
+	w, err := NewWorld(n, WithSwim(swimFast()), WithMetrics(m),
+		WithObservability(o), WithDeadline(60*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(p *Proc) error {
+		c := p.World()
+		c.SetErrhandler(ErrorsReturn)
+		if p.Rank() == 3 {
+			p.Die()
+		}
+		return awaitRankFailed(c, 3)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ranks[3].Killed {
+		t.Fatal("rank 3 did not die")
+	}
+	for _, rank := range []int{0, 1, 2, 4} {
+		if res.Ranks[rank].Err != nil {
+			t.Fatalf("rank %d: %v", rank, res.Ranks[rank].Err)
+		}
+	}
+	if m.Total(metrics.SwimProbes) == 0 {
+		t.Fatal("no probes counted")
+	}
+	if m.Total(metrics.ControlFrames) == 0 {
+		t.Fatal("no control frames counted")
+	}
+	if m.Total(metrics.Suspicions) == 0 || m.Total(metrics.Confirms) == 0 {
+		t.Fatalf("detection pipeline incomplete: suspicions=%d confirms=%d",
+			m.Total(metrics.Suspicions), m.Total(metrics.Confirms))
+	}
+	if m.Total(metrics.FalseSuspicions) != 0 {
+		t.Fatalf("%d false suspicions on a quiet fabric", m.Total(metrics.FalseSuspicions))
+	}
+	if o.Merged(obs.SwimProbeRTT).Count == 0 {
+		t.Fatal("probe RTT never observed")
+	}
+	if o.Merged(obs.SuspicionLatency).Count == 0 {
+		t.Fatal("suspicion latency never observed")
+	}
+	if m.Total(metrics.GossipEvents) == 0 {
+		t.Fatal("confirm was never gossiped")
+	}
+}
+
+// TestSwimGossipConvergenceObserved: with enough ranks, the confirm of a
+// death must reach ranks that did not fence it through gossip alone, and
+// each first learn lands one sample in the gossip_convergence histogram.
+func TestSwimGossipConvergenceObserved(t *testing.T) {
+	const n = 8
+	m := metrics.NewWorld(n)
+	o := obs.NewRegistry(n)
+	w, err := NewWorld(n, WithSwim(swimFast()), WithMetrics(m),
+		WithObservability(o), WithDeadline(60*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(p *Proc) error {
+		c := p.World()
+		c.SetErrhandler(ErrorsReturn)
+		if p.Rank() == 5 {
+			p.Die()
+		}
+		if err := awaitRankFailed(c, 5); err != nil {
+			return err
+		}
+		// Give gossip a few periods to fan the confirm out everywhere.
+		time.Sleep(100 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < n; rank++ {
+		if rank == 5 {
+			continue
+		}
+		if res.Ranks[rank].Err != nil {
+			t.Fatalf("rank %d: %v", rank, res.Ranks[rank].Err)
+		}
+	}
+	if m.Total(metrics.GossipLearns) == 0 {
+		t.Fatal("no rank learned the confirm through gossip")
+	}
+	if o.Merged(obs.GossipConvergence).Count == 0 {
+		t.Fatal("gossip convergence latency never observed")
+	}
+	if m.Total(metrics.GossipDecodeErrors) != 0 {
+		t.Fatalf("%d gossip decode errors on a clean fabric", m.Total(metrics.GossipDecodeErrors))
+	}
+}
+
+// TestSwimValidateAllWithTreeAgreement runs the full PR stack end to
+// end: SWIM membership below, tree agreement above, one injected death.
+func TestSwimValidateAllWithTreeAgreement(t *testing.T) {
+	const n = 8
+	m := metrics.NewWorld(n)
+	w, err := NewWorld(n, WithSwim(swimFast()), WithAgreement(AgreementTree),
+		WithMetrics(m), WithDeadline(60*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	res, err := w.Run(func(p *Proc) error {
+		c := p.World()
+		c.SetErrhandler(ErrorsReturn)
+		if p.Rank() == 2 {
+			p.Die()
+		}
+		if err := awaitRankFailed(c, 2); err != nil {
+			return err
+		}
+		cnt, err := c.ValidateAll()
+		if err != nil {
+			return err
+		}
+		counts[p.Rank()] = cnt
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatalf("validate_all wedged; stuck ranks %v", res.Stuck)
+	}
+	for rank := 0; rank < n; rank++ {
+		if rank == 2 {
+			continue
+		}
+		if res.Ranks[rank].Err != nil {
+			t.Fatalf("rank %d: %v", rank, res.Ranks[rank].Err)
+		}
+		if counts[rank] != 1 {
+			t.Fatalf("rank %d agreed on %d failures, want 1: %v", rank, counts[rank], counts)
+		}
+	}
+}

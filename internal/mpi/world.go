@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/detector"
+	"repro/internal/membership"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/reliable"
@@ -43,12 +44,21 @@ type Config struct {
 	// is ignored.
 	NotifyDelay time.Duration
 	// Detector selects the failure-detection mode: DetectorOracle (the
-	// default, also selected by "") or DetectorHeartbeat. See the mode
-	// constants in heartbeat.go.
+	// default, also selected by ""), DetectorHeartbeat, or DetectorSwim.
+	// See the mode constants in heartbeat.go and swim.go.
 	Detector string
 	// Heartbeat tunes the heartbeat monitors when Detector is
 	// DetectorHeartbeat; zero fields take the detector package defaults.
 	Heartbeat detector.HeartbeatOptions
+	// Swim tunes the SWIM monitors when Detector is DetectorSwim; zero
+	// fields take the membership package defaults.
+	Swim membership.Options
+	// Agreement selects the validate_all consensus topology:
+	// AgreementCoordinator (the default, also selected by "") funnels
+	// votes through the lowest alive rank, AgreementTree reduces them up
+	// a fault-aware spanning tree — the scalable choice for large N. See
+	// the constants in treeagree.go.
+	Agreement string
 	// Chaos injects seeded network faults (drop, duplication, corruption,
 	// jitter, reordering, partitions) between the engines and the fabric;
 	// nil disables. Setting it implies the reliability sublayer, which is
@@ -79,8 +89,10 @@ type World struct {
 	obs      *obs.Registry
 	hook     HookFunc
 	deadline time.Duration
-	reliable *reliable.Fabric      // non-nil when the reliability sublayer is on
-	hb       []*detector.Heartbeat // per-rank monitors; nil in oracle mode
+	reliable  *reliable.Fabric      // non-nil when the reliability sublayer is on
+	hb        []*detector.Heartbeat // per-rank heartbeat monitors; nil unless heartbeat mode
+	sw        []*membership.Swim    // per-rank SWIM monitors; nil unless swim mode
+	agreement string                // validate_all topology (AgreementCoordinator / AgreementTree)
 
 	// nonRetaining records that the fabric copies everything it needs
 	// inside Send (transport.NonRetaining), so the p2p send path may hand
@@ -119,10 +131,16 @@ func NewWorldFromConfig(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("%w: world size %d", ErrInvalidArg, cfg.Size)
 	}
 	switch cfg.Detector {
-	case "", DetectorOracle, DetectorHeartbeat:
+	case "", DetectorOracle, DetectorHeartbeat, DetectorSwim:
 	default:
-		return nil, fmt.Errorf("%w: unknown detector mode %q (want %q or %q)",
-			ErrInvalidArg, cfg.Detector, DetectorOracle, DetectorHeartbeat)
+		return nil, fmt.Errorf("%w: unknown detector mode %q (want %q, %q or %q)",
+			ErrInvalidArg, cfg.Detector, DetectorOracle, DetectorHeartbeat, DetectorSwim)
+	}
+	switch cfg.Agreement {
+	case "", AgreementCoordinator, AgreementTree:
+	default:
+		return nil, fmt.Errorf("%w: unknown agreement mode %q (want %q or %q)",
+			ErrInvalidArg, cfg.Agreement, AgreementCoordinator, AgreementTree)
 	}
 	fabric := cfg.Fabric
 	if fabric == nil {
@@ -159,11 +177,18 @@ func NewWorldFromConfig(cfg Config) (*World, error) {
 		nonRetaining: nonRetaining,
 		abortCh:      make(chan struct{}),
 	}
+	w.agreement = cfg.Agreement
+	if w.agreement == "" {
+		w.agreement = AgreementCoordinator
+	}
 	if cfg.NotifyDelay > 0 {
 		w.registry.SetNotifyDelay(cfg.NotifyDelay)
 	}
-	if cfg.Detector == DetectorHeartbeat {
+	switch cfg.Detector {
+	case DetectorHeartbeat:
 		w.initHeartbeats(cfg.Heartbeat)
+	case DetectorSwim:
+		w.initSwim(cfg.Swim)
 	}
 	if cfg.Obs != nil {
 		w.registry.SetNotifyObserver(func(rank int, lat time.Duration) {
@@ -345,11 +370,11 @@ func (w *World) Run(fn func(p *Proc) error) (*RunResult, error) {
 		if startErr != nil {
 			return
 		}
-		if w.hb != nil {
-			// Heartbeat mode: ground-truth death unwinds the victim
-			// immediately — it IS dead, whatever its peers believe — while
-			// the survivors' notifications wait for the heartbeat/fencing
-			// pipeline to Confirm the failure.
+		if w.hb != nil || w.sw != nil {
+			// Monitored modes (heartbeat or SWIM): ground-truth death
+			// unwinds the victim immediately — it IS dead, whatever its
+			// peers believe — while the survivors' notifications wait for
+			// the detection/fencing pipeline to Confirm the failure.
 			w.registry.OnDeath(func(f int) {
 				w.tracer.Record(f, trace.Killed, -1, -1, -1, "fail-stop")
 				w.engines[f].markDead()
@@ -364,7 +389,7 @@ func (w *World) Run(fn func(p *Proc) error) (*RunResult, error) {
 					}
 				}
 			})
-			w.startHeartbeats()
+			w.startMonitors()
 		} else {
 			w.registry.Subscribe(func(f int) {
 				w.tracer.Record(f, trace.Killed, -1, -1, -1, "fail-stop")
@@ -440,15 +465,17 @@ func (w *World) Run(fn func(p *Proc) error) (*RunResult, error) {
 		<-done
 	}
 
-	// Teardown: wake any internal service goroutines, stop the heartbeat
-	// monitors while the fabric can still carry their last acks, then
-	// close the fabric.
+	// Teardown: wake any internal service goroutines, stop the detector
+	// monitors while the fabric can still carry their last acks, close
+	// the fabric, and cancel any delayed failure notifications still
+	// pending in the registry (they must not fire into torn-down state).
 	for _, e := range w.engines {
 		e.markClosed()
 	}
 	w.registry.BroadcastWaiters()
-	w.stopHeartbeats()
+	w.stopMonitors()
 	_ = w.fabric.Close()
+	w.registry.Close()
 
 	res.Elapsed = time.Since(begin)
 	if w.aborted.Load() && !res.TimedOut {

@@ -43,13 +43,19 @@ const (
 	// observer confirming the failure (fence ack received, or ground-truth
 	// death observed by the fence resend loop — whichever wins).
 	FenceRTT
+	// SwimProbeRTT times one SWIM probe transaction from launch to
+	// acknowledgment (direct, or via an indirect relay).
+	SwimProbeRTT
+	// GossipConvergence times epidemic dissemination: event origination
+	// to each other rank first learning it from a piggybacked envelope.
+	GossipConvergence
 	numFamilies
 )
 
 var familyNames = [numFamilies]string{
 	"send_complete", "recv_wait", "validate_all", "agreement_round",
 	"election", "retry_backoff", "chaos_delay", "notify_latency",
-	"suspicion_latency", "fence_rtt",
+	"suspicion_latency", "fence_rtt", "swim_probe_rtt", "gossip_convergence",
 }
 
 // String returns the family's exposition name (the Prometheus metric is

@@ -87,6 +87,12 @@ const (
 	// Confirmed marks a suspected peer confirmed dead (fence ack or
 	// ground truth), releasing the failure notification.
 	Confirmed
+	// ProbeTimeout marks a SWIM probe transaction expiring unanswered
+	// (direct and indirect probes both failed; the target is suspected).
+	ProbeTimeout
+	// Refuted marks a rank bumping its incarnation to refute a gossiped
+	// suspicion of itself.
+	Refuted
 	// Note is a free-form annotation.
 	Note
 )
@@ -123,6 +129,8 @@ var kindNames = map[Kind]string{
 	FenceSent:      "fence",
 	SelfFenced:     "self-fence",
 	Confirmed:      "confirm",
+	ProbeTimeout:   "probe-timeout",
+	Refuted:        "refuted",
 	Note:           "note",
 }
 

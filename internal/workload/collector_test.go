@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+)
+
+// TestCollectorCoversAllFamilies is the observability-plumbing gate: one
+// swim-mode detection world absorbed into a Collector must surface EVERY
+// histogram family and EVERY counter in the -json output — the schema is
+// complete and stable — and the families this PR added (swim_probe_rtt,
+// gossip_convergence) must carry real samples, proving the new hooks flow
+// end to end through obs -> World -> Collector -> JSON.
+func TestCollectorCoversAllFamilies(t *testing.T) {
+	c := NewCollector()
+	opt := Options{Quick: true, Seed: 1, Collector: c}
+	if _, err := runDetectionWorld(opt, 16, mpi.DetectorSwim); err != nil {
+		t.Fatal(err)
+	}
+	if c.Runs() == 0 {
+		t.Fatal("collector absorbed no worlds")
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Runs       int                 `json:"runs"`
+		Counters   map[string]int64    `json:"counters"`
+		Histograms map[string]histJSON `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("ftbench -json output is not valid JSON: %v", err)
+	}
+
+	// Schema completeness: every family and counter appears by name even
+	// when it has no samples in this particular run.
+	for _, f := range obs.Families() {
+		if _, ok := out.Histograms[f.String()]; !ok {
+			t.Errorf("histogram family %q missing from JSON output", f)
+		}
+	}
+	for _, ctr := range metrics.Counters() {
+		if _, ok := out.Counters[ctr.String()]; !ok {
+			t.Errorf("counter %q missing from JSON output", ctr)
+		}
+	}
+
+	// The families and counters this detector mode must actually light up.
+	for _, name := range []string{"swim_probe_rtt", "gossip_convergence", "suspicion_latency"} {
+		if out.Histograms[name].Count == 0 {
+			t.Errorf("family %q has no samples after a swim detection run\n%s", name, buf.String())
+		}
+	}
+	for _, name := range []string{"control_frames", "swim_probes", "gossip_events", "gossip_learns"} {
+		if out.Counters[name] == 0 {
+			t.Errorf("counter %q is zero after a swim detection run", name)
+		}
+	}
+	if out.Counters["gossip_decode_errors"] != 0 {
+		t.Errorf("%d gossip decode errors on a clean fabric", out.Counters["gossip_decode_errors"])
+	}
+}

@@ -20,7 +20,8 @@ import (
 func ringOnce(opt Options, size int, cfg core.Config, mut func(*mpi.Config)) (*core.Report, *mpi.RunResult, *metrics.World, error) {
 	mets := metrics.NewWorld(size)
 	mcfg := mpi.Config{Size: size, Deadline: 60 * time.Second, Metrics: mets,
-		Detector: opt.Detector, Heartbeat: opt.Heartbeat}
+		Detector: opt.Detector, Heartbeat: opt.Heartbeat,
+		Swim: opt.Swim, Agreement: opt.Agreement}
 	if reg := opt.newObs(size); reg != nil {
 		mcfg.Obs = reg
 		opt.Collector.Attach(mets, reg)
@@ -38,11 +39,11 @@ func All() []Experiment {
 	return []Experiment{
 		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(),
 		e9(), e10(), e11(), e12(), e13(), e14(), e15(), e16(), e17(),
-		e18(), e19(),
+		e18(), e19(), e20(),
 	}
 }
 
-// ByID finds an experiment by its identifier ("e1".."e19").
+// ByID finds an experiment by its identifier ("e1".."e20").
 func ByID(id string) (Experiment, bool) {
 	for _, e := range All() {
 		if e.ID == id {
@@ -448,6 +449,15 @@ func e19() Experiment {
 		ID: "e19", Title: "Heartbeat detector soak", PaperRef: "Sec. III detector, made real",
 		Run: func(opt Options) ([]*Table, error) {
 			return runHeartbeatSoak(opt)
+		},
+	}
+}
+
+func e20() Experiment {
+	return Experiment{
+		ID: "e20", Title: "SWIM membership scaling soak", PaperRef: "Sec. III detector, at scale",
+		Run: func(opt Options) ([]*Table, error) {
+			return runSwimSoak(opt)
 		},
 	}
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package workload
+
+// raceEnabled reports whether the race detector is compiled in. Soak
+// tests use it to shrink sweeps: the detector multiplies scheduler and
+// memory costs by an order of magnitude, so full-scale worlds under
+// -race measure the instrumentation, not the protocol.
+const raceEnabled = true

@@ -1,6 +1,6 @@
 // Package workload is the experiment harness behind cmd/ftbench and
 // EXPERIMENTS.md: it programmatically re-runs every experiment in the
-// per-experiment index of DESIGN.md (E1-E19) — one per figure or claim of
+// per-experiment index of DESIGN.md (E1-E20) — one per figure or claim of
 // the paper — and renders the result tables.
 package workload
 
@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/detector"
+	"repro/internal/membership"
 	"repro/internal/obs"
 )
 
@@ -89,10 +90,15 @@ type Options struct {
 	Collector *Collector
 	// Detector overrides the failure-detection mode of the generic ring
 	// worlds ("" keeps the oracle default). E19 always runs heartbeat
-	// monitors regardless.
+	// monitors and E20 always runs SWIM monitors regardless.
 	Detector string
 	// Heartbeat tunes the monitors when Detector is "heartbeat".
 	Heartbeat detector.HeartbeatOptions
+	// Swim tunes the monitors when Detector is "swim".
+	Swim membership.Options
+	// Agreement selects the validate_all topology for the generic ring
+	// worlds ("" keeps the coordinator default).
+	Agreement string
 }
 
 // obsMaxRanks caps the world size that gets a histogram registry: each

@@ -42,8 +42,8 @@ func TestAllHaveMetadata(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	if len(ids) != 19 {
-		t.Fatalf("have %d experiments, want 19", len(ids))
+	if len(ids) != 20 {
+		t.Fatalf("have %d experiments, want 20", len(ids))
 	}
 }
 
@@ -128,6 +128,50 @@ func TestHeartbeatSoakAllSeedsOK(t *testing.T) {
 	for _, want := range []string{"suspicion_latency", "fence_rtt"} {
 		if !families[want] {
 			t.Fatalf("family %q missing from latency table\n%s", want, tables[1].Render())
+		}
+	}
+}
+
+// TestSwimSoakDetectionFlat is the acceptance gate for the SWIM
+// detector: E20 must complete with its two in-run assertions intact —
+// detection-latency p99 flat vs N (bounded by the mesh baseline with a
+// floor) and O(1) control frames per rank per period. -short shrinks the
+// sweep to the quick sizes (mesh at 32, swim up to 1024), as does the
+// race detector: `go test -race ./...` runs without -short in CI, and
+// the N=4096 world under race instrumentation measures the
+// instrumentation, not the detector.
+func TestSwimSoakDetectionFlat(t *testing.T) {
+	opt := Options{Quick: testing.Short() || raceEnabled, Seed: 1}
+	tables, err := runSwimSoak(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	if rows[0][0] != "heartbeat mesh" {
+		t.Fatalf("first row should be the mesh baseline\n%s", tables[0].Render())
+	}
+	wantRows := 4 // mesh + swim at 64, 256, 1024
+	if raceEnabled {
+		wantRows = 3 // race builds cap the sweep at 256
+	}
+	if len(rows) < wantRows {
+		t.Fatalf("want mesh + >=%d swim sizes, got %d rows\n%s", wantRows-1, len(rows), tables[0].Render())
+	}
+	for _, row := range rows {
+		if row[2] == "0" {
+			t.Fatalf("detector %q at n=%s observed no detection samples\n%s",
+				row[0], row[1], tables[0].Render())
+		}
+		if row[8] == "0" {
+			t.Fatalf("detector %q at n=%s confirmed nothing\n%s",
+				row[0], row[1], tables[0].Render())
+		}
+	}
+	// The swim rows must gossip: confirms reach non-fencing ranks only
+	// through the piggyback channel.
+	for _, row := range rows[1:] {
+		if row[7] == "0" {
+			t.Fatalf("swim at n=%s had no gossip learns\n%s", row[1], tables[0].Render())
 		}
 	}
 }
