@@ -1,4 +1,4 @@
-// Command ftbench runs the experiment suite (DESIGN.md E1-E20) and prints
+// Command ftbench runs the experiment suite (DESIGN.md E1-E21) and prints
 // the result tables recorded in EXPERIMENTS.md.
 //
 //	ftbench                # full suite
@@ -9,6 +9,7 @@
 //	ftbench -obs :9464     # live /metrics while the suite runs
 //	ftbench -exp e1 -detector heartbeat   # ring experiments without the oracle
 //	ftbench -exp e20 -quick               # SWIM scaling soak, CI sizes
+//	ftbench -exp e21 -quick               # elastic shrink/respawn soak
 //	ftbench -exp e1 -detector swim -agreement tree   # gossip detection + tree votes
 package main
 
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "run a single experiment (e1..e20)")
+		exp     = flag.String("exp", "", "run a single experiment (e1..e21)")
 		quick   = flag.Bool("quick", false, "shrink sweeps for a fast pass")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		seed    = flag.Int64("seed", 1, "seed for randomized failure schedules")

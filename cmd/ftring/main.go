@@ -16,6 +16,8 @@
 //	ftring -n 4 -detector heartbeat -hb-interval 5ms -hb-timeout 40ms -kill 2:recv:2
 //	ftring -n 16 -detector swim -kill 5:recv:2      # gossip detection, O(1) traffic
 //	ftring -n 16 -detector swim -swim-period 8ms -agreement tree -term validate-all -kill 5:recv:3
+//	ftring -elastic -seed 3                         # elastic repair demo: kill, respawn, resume
+//	ftring -elastic -obs 127.0.0.1:9464 -obs-linger 5s   # scrape respawn/shrink counters
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/inject"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -53,6 +56,7 @@ func main() {
 		traceOut = flag.String("trace-out", "", "stream the event timeline as JSONL to this file (see cmd/traceconv)")
 		obsAddr  = flag.String("obs", "", "serve /metrics, /debug/vars, /debug/pprof on this address (e.g. 127.0.0.1:9464)")
 		obsHold  = flag.Duration("obs-linger", 0, "keep the -obs endpoint up this long after the run (for scrapers)")
+		elastic  = flag.Bool("elastic", false, "run the elastic repair demo instead of the ring: a seeded victim dies holding the token, AutoRespawn reincarnates its slot at the next generation, the ring resumes exactly-once at full size (fixed world size; honors -seed, -obs, -stats)")
 
 		detMode    = flag.String("detector", "oracle", "failure detection: oracle|heartbeat|swim")
 		hbInterval = flag.Duration("hb-interval", 0, "heartbeat ping interval (0 = default 2ms; with -detector heartbeat)")
@@ -136,6 +140,11 @@ func main() {
 		jsonl = ftmpi.NewTraceJSONLWriter(f)
 		rec.SetSink(jsonl.Sink())
 	}
+	if *elastic {
+		// The elastic demo protocol is written for a fixed ring size;
+		// the counters and histograms must be sized to match.
+		*n = workload.ElasticDemoRanks
+	}
 	mets := ftmpi.NewMetrics(*n)
 	reg := ftmpi.NewObsRegistry(*n)
 	mcfg := ftmpi.Config{
@@ -161,6 +170,12 @@ func main() {
 		obsSrv = srv
 		fmt.Printf("observability endpoint: http://%s/metrics\n", srv.Addr())
 	}
+
+	if *elastic {
+		runElasticDemo(*seed, *n, mets, reg, *doStats, obsSrv, *obsHold)
+		return
+	}
+
 	switch *fabric {
 	case "local":
 	case "tcp":
@@ -226,6 +241,41 @@ func main() {
 	if obsSrv != nil && *obsHold > 0 {
 		fmt.Printf("keeping observability endpoint up for %v\n", *obsHold)
 		time.Sleep(*obsHold)
+	}
+	if obsSrv != nil {
+		_ = obsSrv.Close()
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+}
+
+// runElasticDemo drives the E21 elastic repair protocol once (kill a
+// seeded victim holding the ring token, AutoRespawn its slot at the next
+// generation, resume exactly-once, epilogue shrink back to full size)
+// over ftring's own metrics recorder and histogram registry, so -obs and
+// -stats expose the respawn/shrink/stale-generation counters.
+func runElasticDemo(seed int64, n int, mets *ftmpi.Metrics, reg *ftmpi.ObsRegistry,
+	doStats bool, obsSrv *ftmpi.ObsServer, obsHold time.Duration) {
+	fmt.Printf("elastic repair demo (seed %d): %d ranks under chaos, victim dies holding the token\n", seed, n)
+	table, err := workload.RunElasticDemo(seed, mets, reg)
+	if err != nil {
+		fmt.Printf("RESULT: elastic repair FAILED: %v\n", err)
+	} else {
+		fmt.Printf("RESULT: elastic repair completed\n")
+		fmt.Print(table.Render())
+	}
+	if doStats {
+		fmt.Println("\nruntime counters:")
+		fmt.Print(mets.Render())
+		if lat := reg.Snapshot().Render(); lat != "" {
+			fmt.Println("\nlatency quantiles:")
+			fmt.Print(lat)
+		}
+	}
+	if obsSrv != nil && obsHold > 0 {
+		fmt.Printf("keeping observability endpoint up for %v\n", obsHold)
+		time.Sleep(obsHold)
 	}
 	if obsSrv != nil {
 		_ = obsSrv.Close()

@@ -72,6 +72,30 @@ type (
 	AbortError = mpi.AbortError
 )
 
+// --- elastic worlds ------------------------------------------------------------
+
+type (
+	// RankID is a generation-stamped rank identity: Slot is the world
+	// rank, Gen the incarnation number (1 for the original process, bumped
+	// by every respawn). See Proc.ID.
+	RankID = mpi.RankID
+	// ElasticOptions enables elastic-world repair (see WithElastic):
+	// confirmed-dead slots may be reoccupied at the next generation via
+	// World.Spawn, or automatically when AutoRespawn is set.
+	ElasticOptions = mpi.ElasticOptions
+	// ShrinkOptions tunes Comm.ShrinkWith, the ULFM MPIX_Comm_shrink
+	// analogue that derives a dense survivors-only communicator.
+	ShrinkOptions = mpi.ShrinkOptions
+	// RespawnResult reports how one reincarnation of a slot ended (see
+	// RunResult.Respawns).
+	RespawnResult = mpi.RespawnResult
+)
+
+// WithElastic enables elastic-world repair with the given options: dead
+// slots become respawnable (World.Spawn), survivors observe revivals, and
+// stale-generation traffic is fenced at delivery.
+func WithElastic(opts ElasticOptions) Option { return mpi.WithElastic(opts) }
+
 // --- fault injection hooks ---------------------------------------------------
 
 type (
@@ -161,6 +185,12 @@ const (
 	// ObsGossipConvergence times epidemic dissemination: membership-event
 	// origination to each remote rank learning it via piggyback.
 	ObsGossipConvergence = obs.GossipConvergence
+	// ObsShrinkLatency times Comm.Shrink from entry to the dense survivor
+	// communicator being ready (agreement included).
+	ObsShrinkLatency = obs.ShrinkLatency
+	// ObsRespawnRecovery times a slot's ground-truth death to its next
+	// incarnation starting.
+	ObsRespawnRecovery = obs.RespawnRecovery
 )
 
 // Failure-detection modes (see WithDetector).
@@ -218,6 +248,9 @@ var (
 	ErrTimedOut = mpi.ErrTimedOut
 	// ErrNoDecision reports agreement shut down before deciding.
 	ErrNoDecision = mpi.ErrNoDecision
+	// ErrNoState reports a FetchState peer that is alive but has no state
+	// provider registered.
+	ErrNoState = mpi.ErrNoState
 )
 
 // IsRankFailStop reports whether err belongs to the MPI_ERR_RANK_FAIL_STOP
@@ -232,11 +265,6 @@ func FailedRankOf(err error) int { return mpi.FailedRankOf(err) }
 // NewWorld builds a world of size ranks configured by functional options.
 // The world is single-use: one Run per World.
 func NewWorld(size int, opts ...Option) (*World, error) { return mpi.NewWorld(size, opts...) }
-
-// NewWorldFromConfig builds a world from a positional Config literal.
-//
-// Deprecated: use NewWorld with functional options.
-func NewWorldFromConfig(cfg Config) (*World, error) { return mpi.NewWorldFromConfig(cfg) }
 
 // WithFabric selects the transport; the default is the in-memory Local
 // fabric.

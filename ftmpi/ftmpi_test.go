@@ -2,6 +2,7 @@ package ftmpi_test
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"net/http"
 	"strings"
@@ -298,5 +299,107 @@ func TestFacadeSwimTreeValidate(t *testing.T) {
 	}
 	if snap.Family(ftmpi.ObsGossipConvergence).Merged.Count == 0 {
 		t.Error("no gossip_convergence samples reached the facade registry")
+	}
+}
+
+// TestFacadeElasticRespawn drives the full elastic repair chain through
+// the public surface alone: WithElastic + AutoRespawn reincarnates a dead
+// slot at generation 2, the newcomer recovers neighbor state with
+// FetchState, and the whole world — reincarnation included — agrees it is
+// healthy again and "shrinks" back to full size.
+func TestFacadeElasticRespawn(t *testing.T) {
+	const n = 4
+	mets := ftmpi.NewMetrics(n)
+	reg := ftmpi.NewObsRegistry(n)
+	w, err := ftmpi.NewWorld(n,
+		ftmpi.WithDeadline(30*time.Second),
+		ftmpi.WithMetrics(mets),
+		ftmpi.WithObservability(reg),
+		ftmpi.WithElastic(ftmpi.ElasticOptions{AutoRespawn: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(func(p *ftmpi.Proc) error {
+		c := p.World()
+		c.SetErrhandler(ftmpi.ErrorsReturn)
+		me := p.Rank()
+		p.SetStateProvider(func() []byte { return []byte{byte('a' + me)} })
+
+		switch {
+		case me == 3 && p.Gen() == 1:
+			p.Die()
+		case me == 3: // the reincarnation
+			if id := p.ID(); id != (ftmpi.RankID{Slot: 3, Gen: 2}) {
+				t.Errorf("reincarnation identity %v", id)
+			}
+			// The respawn can beat the neighbor's own startup: retry while
+			// its provider is not registered yet.
+			for {
+				st, err := p.FetchState(2)
+				if err == nil {
+					if string(st) != "c" {
+						t.Errorf("FetchState(2) = %q", st)
+					}
+					break
+				}
+				if !errors.Is(err, ftmpi.ErrNoState) {
+					return err
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		default:
+			// Survivors wait until the slot is reoccupied before the
+			// epilogue agreement, so it aligns with the newcomer's first.
+			deadline := time.Now().Add(20 * time.Second)
+			for {
+				info, err := c.RankState(3)
+				if err != nil {
+					return err
+				}
+				if info.State == ftmpi.RankOK && info.Generation == 2 {
+					break
+				}
+				if time.Now().After(deadline) {
+					return errors.New("slot 3 never came back")
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+
+		cnt, err := c.ValidateAll()
+		if err != nil {
+			return err
+		}
+		if cnt != 0 {
+			t.Errorf("rank %d gen %d: %d failures agreed after repair", me, p.Gen(), cnt)
+		}
+		nc, err := c.Shrink()
+		if err != nil {
+			return err
+		}
+		if nc.Size() != n {
+			t.Errorf("rank %d: post-repair shrink size %d, want %d", me, nc.Size(), n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatalf("run wedged; stuck ranks %v", res.Stuck)
+	}
+	if !res.Ranks[3].Killed {
+		t.Fatalf("rank 3 gen 1 not recorded killed: %+v", res.Ranks[3])
+	}
+	if len(res.Respawns) != 1 || res.Respawns[0].Gen != 2 || !res.Respawns[0].Finished {
+		t.Fatalf("respawns: %+v", res.Respawns)
+	}
+	snap := reg.Snapshot()
+	if snap.Family(ftmpi.ObsRespawnRecovery).Merged.Count == 0 {
+		t.Error("no respawn_recovery samples reached the facade registry")
+	}
+	if snap.Family(ftmpi.ObsShrinkLatency).Merged.Count != int64(n) {
+		t.Errorf("shrink_latency samples = %d, want %d",
+			snap.Family(ftmpi.ObsShrinkLatency).Merged.Count, n)
 	}
 }

@@ -73,7 +73,9 @@ func Body(cfg Config, report *Report) func(p *mpi.Proc) error {
 // report automatically. Most callers (tests, benchmarks, cmd/ftring) use
 // this entry point.
 func Run(mcfg mpi.Config, cfg Config) (*Report, *mpi.RunResult, error) {
-	w, err := mpi.NewWorldFromConfig(mcfg)
+	// An Option is func(*Config), so the assembled struct feeds straight
+	// into the functional-options constructor.
+	w, err := mpi.NewWorld(mcfg.Size, func(c *mpi.Config) { *c = mcfg })
 	if err != nil {
 		return nil, nil, err
 	}

@@ -132,6 +132,7 @@ type Registry struct {
 	subscribers []Subscriber
 	suspicion   []func(SuspicionEvent)
 	deathHooks  []func(rank int)
+	reviveSubs  []func(rank, gen int)
 	confirmGate bool
 	notifyDelay time.Duration
 	notifyObs   func(rank int, latency time.Duration)
@@ -406,10 +407,31 @@ func (r *Registry) ClearSuspect(rank, by int) bool {
 // impossible (a fence ack is only ever sent after the suspect killed
 // itself). Returns true for the confirming call, false for later ones.
 func (r *Registry) Confirm(rank, by int) bool {
+	return r.confirm(rank, by, -1)
+}
+
+// ConfirmGen is Confirm for elastic worlds: gen is the generation the
+// observer captured when it armed the fence. If the slot has since been
+// revived past that generation, the confirmation is for a previous
+// incarnation — a stale fence ack that raced the revive — and is silently
+// dropped instead of panicking. The accuracy panic still fires when the
+// generation is current and the rank is alive, because then the fencing
+// invariant itself was broken.
+func (r *Registry) ConfirmGen(rank, by, gen int) bool {
+	return r.confirm(rank, by, gen)
+}
+
+// confirm implements Confirm/ConfirmGen; gen < 0 skips the generation
+// staleness check (the non-elastic path, where slots never revive).
+func (r *Registry) confirm(rank, by, gen int) bool {
 	r.mu.Lock()
 	if rank < 0 || rank >= len(r.failed) {
 		r.mu.Unlock()
 		panic(fmt.Sprintf("detector: Confirm(%d) out of range [0,%d)", rank, len(r.failed)))
+	}
+	if gen >= 0 && r.generation[rank] != gen {
+		r.mu.Unlock()
+		return false
 	}
 	if !r.failed[rank] {
 		r.mu.Unlock()
@@ -440,6 +462,70 @@ func (r *Registry) Confirm(rank, by int) bool {
 		fn(ev)
 	}
 	return true
+}
+
+// SubscribeRevive registers a callback invoked (outside the registry
+// mutex) whenever a confirmed-dead slot is revived at a new generation.
+// Elastic worlds use it to clear per-peer failure state on survivors
+// before the reincarnation starts talking.
+func (r *Registry) SubscribeRevive(fn func(rank, gen int)) {
+	r.mu.Lock()
+	r.reviveSubs = append(r.reviveSubs, fn)
+	r.mu.Unlock()
+}
+
+// Revive returns a confirmed-dead slot to the alive state at the next
+// generation, replacing the registry's one-shot death model for elastic
+// worlds. It requires the death to have been fully notified (confirmed):
+// reviving a dead-but-unconfirmed slot would race the fencing protocol's
+// accuracy argument — survivors could Confirm the old incarnation after
+// the new one is alive. The new generation number is returned; revive
+// subscribers fire outside the mutex, before Revive returns.
+func (r *Registry) Revive(rank int) int {
+	r.mu.Lock()
+	if rank < 0 || rank >= len(r.failed) {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("detector: Revive(%d) out of range [0,%d)", rank, len(r.failed)))
+	}
+	if !r.failed[rank] {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("detector: Revive(%d) of a live rank", rank))
+	}
+	if !r.confirmed[rank] {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("detector: Revive(%d) before its death was confirmed", rank))
+	}
+	r.failed[rank] = false
+	r.confirmed[rank] = false
+	r.diedAt[rank] = time.Time{}
+	r.suspectedBy[rank] = nil
+	r.generation[rank]++
+	gen := r.generation[rank]
+	r.aliveCount++
+	r.epoch++
+	subs := make([]func(int, int), len(r.reviveSubs))
+	copy(subs, r.reviveSubs)
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	for _, fn := range subs {
+		fn(rank, gen)
+	}
+	return gen
+}
+
+// SinceDeath returns the time elapsed since rank's ground-truth death,
+// and ok=false when the rank is alive. Elastic respawn samples it before
+// Revive clears the death timestamp, to feed the recovery histogram.
+func (r *Registry) SinceDeath(rank int) (time.Duration, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rank < 0 || rank >= len(r.failed) {
+		panic(fmt.Sprintf("detector: SinceDeath(%d) out of range [0,%d)", rank, len(r.failed)))
+	}
+	if !r.failed[rank] {
+		return 0, false
+	}
+	return r.sinceDeathLocked(rank), true
 }
 
 // sinceDeathLocked returns time since rank's ground-truth death, or a
@@ -501,9 +587,9 @@ func (r *Registry) State(rank int) State {
 	}
 }
 
-// Generation returns the incarnation number of rank. Run-through
-// stabilization does not recover processes, so this is always 1 here; the
-// field exists so the RankInfo plumbing matches the proposal's interface.
+// Generation returns the incarnation number of rank. It starts at 1 and
+// is bumped by every Revive, so a slot's generation names exactly one
+// incarnation; the RankInfo plumbing matches the proposal's interface.
 func (r *Registry) Generation(rank int) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -28,6 +28,7 @@ import "time"
 // fenceState tracks one (observer, suspect) fence in flight.
 type fenceState struct {
 	start    time.Time // suspicion raise time, for fence RTT
+	gen      int       // suspect's generation when the fence was armed
 	lastSend time.Time // zero until the first fence notice goes out
 	// clearAt, when non-zero, marks the fence as draining: a late
 	// heartbeat asked to withdraw the suspicion after a fence notice was
@@ -41,9 +42,11 @@ type fenceState struct {
 }
 
 // fenceConfirm is one suspect resolved by the ground-truth path, with the
-// suspicion-raise to confirmation round-trip.
+// suspicion-raise to confirmation round-trip and the generation the fence
+// was armed against (so a stale fence never confirms a reincarnation).
 type fenceConfirm struct {
 	rank int
+	gen  int
 	rtt  time.Duration
 }
 
@@ -65,7 +68,7 @@ func (h *Heartbeat) driveFencesLocked(now time.Time) (confirms []fenceConfirm, f
 			// completes fencing across a cut ack link — the fence (or the
 			// original failure) already killed the suspect, and the
 			// registry, not the unreachable ack, proves it.
-			confirms = append(confirms, fenceConfirm{rank: p, rtt: now.Sub(fs.start)})
+			confirms = append(confirms, fenceConfirm{rank: p, gen: fs.gen, rtt: now.Sub(fs.start)})
 			delete(h.fences, p)
 		case !fs.clearAt.IsZero():
 			// Draining: no resends. If a full resend period passes and the
@@ -111,17 +114,29 @@ func (h *Heartbeat) onFenced(from int, seq uint64) {
 
 // onFenceAck handles a fence acknowledgment: the suspect killed itself
 // before acking, so confirming it failed is safe even though the ack
-// travelled a chaotic network (duplicated or delayed acks re-confirm,
-// which is a no-op).
+// travelled a chaotic network. Confirmation is generation-fenced: the ack
+// proves the death of the incarnation the fence was armed against, not of
+// whatever occupies the slot when the ack finally lands — with elastic
+// revival a sufficiently delayed ack can arrive after the slot is alive
+// again at a later generation, and must not confirm it. An ack with no
+// matching fence entry is dropped: the fence was already resolved by
+// another path (duplicate acks re-confirmed as a no-op before; now they
+// simply carry no generation evidence and are ignored — liveness is held
+// by the ground-truth resend loop in driveFencesLocked).
 func (h *Heartbeat) onFenceAck(from int, now time.Time) {
 	var rtt time.Duration = -1
+	gen := -1
 	h.mu.Lock()
 	if fs := h.fences[from]; fs != nil {
 		rtt = now.Sub(fs.start)
+		gen = fs.gen
 		delete(h.fences, from)
 	}
 	h.mu.Unlock()
-	h.reg.Confirm(from, h.rank)
+	if gen < 0 {
+		return
+	}
+	h.reg.ConfirmGen(from, h.rank, gen)
 	if rtt >= 0 && h.Hooks.FenceRTT != nil {
 		h.Hooks.FenceRTT(h.rank, from, rtt)
 	}

@@ -256,6 +256,23 @@ func (h *Heartbeat) Stop() {
 	h.wg.Wait()
 }
 
+// Resume resets this monitor's view of peer p ahead of p's reincarnation:
+// the arrival estimator restarts from now (a stale `last` from the dead
+// incarnation would instantly re-suspect the new one) and any fence
+// against the old incarnation is dropped. Call on every survivor BEFORE
+// the registry revives the slot — while the slot is still Confirmed the
+// deadline scan skips it, so there is no window for a false suspicion.
+func (h *Heartbeat) Resume(p int) {
+	if p < 0 || p >= h.size || p == h.rank {
+		return
+	}
+	now := h.clock.Now()
+	h.mu.Lock()
+	h.est[p] = arrival{last: now}
+	delete(h.fences, p)
+	h.mu.Unlock()
+}
+
 // pump is the per-rank monitor loop: one tick per Interval. The ticker
 // comes from the injected clock and is stopped on every exit path, so no
 // timer outlives Stop even when a fence resend or suspicion is pending.
@@ -318,7 +335,7 @@ func (h *Heartbeat) tick(now time.Time) bool {
 		h.reg.ClearSuspect(p, h.rank)
 	}
 	for _, cf := range confirms {
-		if h.reg.Confirm(cf.rank, h.rank) && h.Hooks.FenceRTT != nil {
+		if h.reg.ConfirmGen(cf.rank, h.rank, cf.gen) && h.Hooks.FenceRTT != nil {
 			// Suspicion-to-confirmation round-trip, same histogram the ack
 			// path feeds: with a shared ground-truth registry this path
 			// usually wins the race against the (possibly cut) ack.
@@ -362,7 +379,9 @@ func (h *Heartbeat) checkDeadlinesLocked(now time.Time) []int {
 			over = a.phi(now, h.sigmaFloor) >= h.opts.Phi
 		}
 		if over {
-			h.fences[p] = &fenceState{start: now}
+			// Capture the suspect's generation: the fence (and any eventual
+			// Confirm) is against this incarnation only.
+			h.fences[p] = &fenceState{start: now, gen: h.reg.Generation(p)}
 			raised = append(raised, p)
 		}
 	}

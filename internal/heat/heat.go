@@ -24,6 +24,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/mpi"
 )
@@ -51,12 +52,19 @@ type Config struct {
 type Result struct {
 	// Block is the final local temperature field.
 	Block []float64
-	// StepsDone counts completed steps.
+	// StepsDone counts completed steps. A recovered incarnation counts
+	// only the steps it integrated itself (Steps - ResumeStep).
 	StepsDone int
 	// NeighborChanges counts halo-partner failovers (deaths survived).
 	NeighborChanges int
 	// Sum is the local heat content (for conservation checks).
 	Sum float64
+	// Recovered reports that this incarnation warm-started from a
+	// neighbor's published state (elastic respawn, generation > 1).
+	Recovered bool
+	// ResumeStep is the step the recovered incarnation re-entered the
+	// integration at (0 when not recovered).
+	ResumeStep int
 }
 
 // solver is the per-rank state.
@@ -71,6 +79,12 @@ type solver struct {
 
 	block []float64
 	res   Result
+
+	// snap is the state snapshot served to FetchState callers. It is
+	// republished (a fresh, never-mutated buffer) after every step and
+	// read by the provider on the delivery goroutine, so the atomic
+	// pointer is the entire synchronization story.
+	snap atomic.Pointer[[]byte]
 }
 
 // Run executes the solver on rank p and returns its result. All ranks of
@@ -87,11 +101,32 @@ func Run(p *mpi.Proc, cfg Config) (*Result, error) {
 	s.initBlock()
 	s.left = s.nearestAlive(-1)
 	s.rght = s.nearestAlive(+1)
-	for step := 0; step < cfg.Steps; step++ {
+	start := 0
+	if p.Gen() > 1 {
+		// Elastic reincarnation: the block died with the previous
+		// incarnation. Warm-start from a neighbor's published state — the
+		// natural-fault-tolerance approximation — and re-enter the
+		// integration at the neighbor's step so the halo step stamps line
+		// up. A failed fetch falls back to the cold initial condition.
+		if at, ok := s.recoverFromNeighbor(); ok {
+			start = at
+			s.res.Recovered = true
+			s.res.ResumeStep = at
+		}
+	}
+	s.publish(start)
+	p.SetStateProvider(func() []byte {
+		if b := s.snap.Load(); b != nil {
+			return *b
+		}
+		return nil
+	})
+	for step := start; step < cfg.Steps; step++ {
 		if err := s.step(step); err != nil {
 			return nil, err
 		}
 		s.res.StepsDone++
+		s.publish(step + 1)
 	}
 	s.drainEpilogue()
 	for _, v := range s.block {
@@ -154,6 +189,74 @@ func decodeHalo(b []byte) (halo, error) {
 		Step:  int64(binary.LittleEndian.Uint64(b)),
 		Value: math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
 	}, nil
+}
+
+// publish refreshes the snapshot served to FetchState: the step the
+// block is current for, followed by the cells. The buffer is freshly
+// allocated and never written again, so concurrent provider reads are
+// safe without a lock.
+func (s *solver) publish(step int) {
+	buf := make([]byte, 16+8*len(s.block))
+	binary.LittleEndian.PutUint64(buf, uint64(int64(step)))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(len(s.block)))
+	for i, v := range s.block {
+		binary.LittleEndian.PutUint64(buf[16+8*i:], math.Float64bits(v))
+	}
+	s.snap.Store(&buf)
+}
+
+// decodeState parses a snapshot published by publish.
+func decodeState(b []byte) (step int, cells []float64, err error) {
+	if len(b) < 16 {
+		return 0, nil, fmt.Errorf("heat: malformed state (%d bytes)", len(b))
+	}
+	step = int(int64(binary.LittleEndian.Uint64(b)))
+	n := int(binary.LittleEndian.Uint64(b[8:]))
+	if n < 0 || len(b) != 16+8*n {
+		return 0, nil, fmt.Errorf("heat: malformed state (%d cells, %d bytes)", n, len(b))
+	}
+	cells = make([]float64, n)
+	for i := range cells {
+		cells[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[16+8*i:]))
+	}
+	return step, cells, nil
+}
+
+// recoverFromNeighbor rebuilds a lost block from the nearest alive
+// neighbor's published state: the block is filled with the neighbor's
+// facing boundary cell (a smooth, zero-gradient continuation across the
+// gap) and the integration resumes at the neighbor's step, clamped to
+// the configured horizon. Returns ok=false when no neighbor could serve
+// state (all dead, no provider, or a fetch race with a failure).
+func (s *solver) recoverFromNeighbor() (int, bool) {
+	type src struct {
+		rank int
+		face func(cells []float64) float64 // facing boundary cell
+	}
+	last := func(cells []float64) float64 { return cells[len(cells)-1] }
+	first := func(cells []float64) float64 { return cells[0] }
+	for _, cand := range []src{{s.left, last}, {s.rght, first}} {
+		if cand.rank == mpi.ProcNull {
+			continue
+		}
+		raw, err := s.p.FetchState(cand.rank)
+		if err != nil {
+			continue
+		}
+		step, cells, err := decodeState(raw)
+		if err != nil || len(cells) == 0 {
+			continue
+		}
+		if step > s.cfg.Steps {
+			step = s.cfg.Steps
+		}
+		v := cand.face(cells)
+		for i := range s.block {
+			s.block[i] = v
+		}
+		return step, true
+	}
+	return 0, false
 }
 
 // step performs one halo exchange + Euler update, riding through any

@@ -127,6 +127,7 @@ type probe struct {
 // deferred ClearSuspect.
 type swimFence struct {
 	start    time.Time
+	gen      int // suspect's generation when the fence was armed
 	lastSend time.Time
 	clearAt  time.Time
 }
@@ -225,6 +226,26 @@ func (s *Swim) Stop() {
 	s.wg.Wait()
 }
 
+// Resume resets this monitor's view of peer p ahead of p's reincarnation:
+// any outstanding probe transaction or fence against the old incarnation
+// is dropped and the suspected-incarnation watermark rewinds so fresh
+// suspect gossip about the new incarnation is not deduplicated away. Call
+// on every survivor BEFORE the registry revives the slot — while the slot
+// is still Confirmed the probe scheduler skips it, so there is no window
+// for a false suspicion.
+func (s *Swim) Resume(p int) {
+	if p < 0 || p >= s.size || p == s.rank {
+		return
+	}
+	s.mu.Lock()
+	if s.cur != nil && s.cur.target == p {
+		s.cur = nil
+	}
+	delete(s.fences, p)
+	s.suspectInc[p] = -1
+	s.mu.Unlock()
+}
+
 // pump drives the protocol at a quarter-period resolution so that the
 // sub-period probe deadline (ProbeTimeout) is honored without busy
 // polling. The ticker is stopped on every exit path.
@@ -281,7 +302,7 @@ func (s *Swim) tick(now time.Time) bool {
 			// known incarnation and arm a fence.
 			timedOut = c.target
 			if s.fences[c.target] == nil {
-				s.fences[c.target] = &swimFence{start: now}
+				s.fences[c.target] = &swimFence{start: now, gen: s.reg.Generation(c.target)}
 				suspects = append(suspects, c.target)
 				ev := Event{Kind: EvSuspect, Rank: c.target, Inc: s.inc[c.target]}
 				s.suspectInc[c.target] = int64(ev.Inc)
@@ -328,7 +349,7 @@ func (s *Swim) tick(now time.Time) bool {
 		s.reg.ClearSuspect(p, s.rank)
 	}
 	for _, cf := range confirms {
-		if s.reg.Confirm(cf.rank, s.rank) {
+		if s.reg.ConfirmGen(cf.rank, s.rank, cf.gen) {
 			s.originConfirm(cf.rank)
 			if s.Hooks.FenceRTT != nil {
 				s.Hooks.FenceRTT(s.rank, cf.rank, cf.rtt)
@@ -426,7 +447,7 @@ func (s *Swim) driveFencesLocked(now time.Time) (confirms []fenceConfirm, fenceS
 		case s.reg.Confirmed(p):
 			delete(s.fences, p)
 		case s.reg.Failed(p):
-			confirms = append(confirms, fenceConfirm{rank: p, rtt: now.Sub(fs.start)})
+			confirms = append(confirms, fenceConfirm{rank: p, gen: fs.gen, rtt: now.Sub(fs.start)})
 			delete(s.fences, p)
 		case !fs.clearAt.IsZero():
 			if now.Sub(fs.clearAt) >= s.opts.FenceResend {
@@ -442,9 +463,12 @@ func (s *Swim) driveFencesLocked(now time.Time) (confirms []fenceConfirm, fenceS
 	return confirms, fenceSends, clears, outs
 }
 
-// fenceConfirm is one suspect resolved by the ground-truth path.
+// fenceConfirm is one suspect resolved by the ground-truth path; gen is
+// the generation the fence was armed against, so a stale fence never
+// confirms a later incarnation of the slot.
 type fenceConfirm struct {
 	rank int
+	gen  int
 	rtt  time.Duration
 }
 
@@ -539,16 +563,25 @@ func (s *Swim) onProbeAck(target int, seq uint64, now time.Time) {
 	}
 }
 
-// onFenceAck confirms a suspect that killed itself on our fence.
+// onFenceAck confirms a suspect that killed itself on our fence. The
+// confirmation is generation-fenced (see ConfirmGen): a delayed ack that
+// lands after the slot was revived must not confirm the reincarnation.
+// An ack with no matching fence entry carries no generation evidence and
+// is dropped — the ground-truth resend loop holds confirmation liveness.
 func (s *Swim) onFenceAck(from int, now time.Time) {
 	var rtt time.Duration = -1
+	gen := -1
 	s.mu.Lock()
 	if fs := s.fences[from]; fs != nil {
 		rtt = now.Sub(fs.start)
+		gen = fs.gen
 		delete(s.fences, from)
 	}
 	s.mu.Unlock()
-	if s.reg.Confirm(from, s.rank) {
+	if gen < 0 {
+		return
+	}
+	if s.reg.ConfirmGen(from, s.rank, gen) {
 		s.originConfirm(from)
 		if rtt >= 0 && s.Hooks.FenceRTT != nil {
 			s.Hooks.FenceRTT(s.rank, from, rtt)

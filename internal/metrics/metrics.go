@@ -100,6 +100,13 @@ const (
 	// GossipDecodeErrors counts control payloads dropped because they
 	// failed to decode (chaos corruption).
 	GossipDecodeErrors
+	// Respawns counts dead slots reincarnated at a new generation.
+	Respawns
+	// Shrinks counts Comm.Shrink operations completed.
+	Shrinks
+	// StaleGenRejected counts frames rejected by the engine's generation
+	// fence: traffic stamped for (or by) a dead incarnation of a slot.
+	StaleGenRejected
 	numCounters
 )
 
@@ -114,7 +121,7 @@ var counterNames = [numCounters]string{
 	"fences", "self_fences", "confirms",
 	"control_frames", "swim_probes", "swim_indirect_probes",
 	"swim_probe_timeouts", "gossip_events", "gossip_learns",
-	"gossip_decode_errors",
+	"gossip_decode_errors", "respawns", "shrinks", "stale_gen_rejected",
 }
 
 // String returns the counter's table-column name.

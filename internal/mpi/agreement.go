@@ -75,6 +75,11 @@ type agreementState struct {
 	// ever making the call.
 	started     map[agreeKey]bool
 	pendingReqs map[agreeKey][]agreeMsg
+	// reactive marks pre-join instances this engine is already serving as
+	// a reactive coordinator (elastic worlds: coordinator succession can
+	// land on a revived slot for an instance its previous incarnation was
+	// part of — see reactiveCoordinate).
+	reactive map[agreeKey]bool
 }
 
 func (a *agreementState) init() {
@@ -82,6 +87,15 @@ func (a *agreementState) init() {
 	a.votes = make(map[agreeKey]map[int]agreeMsg)
 	a.started = make(map[agreeKey]bool)
 	a.pendingReqs = make(map[agreeKey][]agreeMsg)
+	a.reactive = make(map[agreeKey]bool)
+}
+
+// preJoin reports that the instance predates this incarnation's join into
+// an elastic world: the reincarnation will never reach that validate_all
+// call in program order, so it must answer for it reactively. Caller
+// holds mu.
+func (e *engine) preJoinLocked(key agreeKey) bool {
+	return e.joinInst > 0 && key.ctx == ctxWorldInternal && key.inst < e.joinInst
 }
 
 // deliverAgreement handles an inbound agreement packet reactively. Runs
@@ -95,6 +109,7 @@ func (e *engine) deliverAgreement(pkt *transport.Packet) {
 	key := agreeKey{ctx: pkt.Context, inst: msg.Inst}
 
 	var reply *agreeMsg
+	var coordGroup []int // non-nil: serve the instance as reactive coordinator
 	e.mu.Lock()
 	if e.dead.Load() || e.closed.Load() {
 		e.mu.Unlock()
@@ -107,7 +122,11 @@ func (e *engine) deliverAgreement(pkt *transport.Packet) {
 		case haveDecision:
 			reply = &agreeMsg{Type: agreeVote, Inst: msg.Inst, From: e.rank,
 				Failed: e.agree.decisions[key], Decided: true}
-		case e.agree.started[key]:
+		case e.agree.started[key] || e.preJoinLocked(key):
+			// Entered in program order, or a pre-join instance of an
+			// elastic reincarnation: either way, vote with the current
+			// failure view (the newcomer will never reach pre-join
+			// validate_all calls, so parking would starve the coordinator).
 			reply = &agreeMsg{Type: agreeVote, Inst: msg.Inst, From: e.rank,
 				Failed: e.knownFailedSnapshotLocked(msg.Group)}
 		default:
@@ -122,15 +141,26 @@ func (e *engine) deliverAgreement(pkt *transport.Packet) {
 			e.agree.votes[key] = m
 		}
 		m[msg.From] = msg
-		if msg.Type == agreeTreeVote {
-			if d, ok := e.agree.decisions[key]; ok {
-				// Reactive decide rule: a vote climbing into a rank that
-				// already holds the decision (this rank may have returned
-				// from validate_all long ago) is answered immediately, so
-				// orphaned subtrees rejoin without waiting for the root.
-				reply = &agreeMsg{Type: agreeTreeDecide, Inst: msg.Inst,
-					From: e.rank, Failed: d, Decided: true}
+		if d, ok := e.agree.decisions[key]; ok {
+			// Reactive decide rule: a vote arriving at a rank that already
+			// holds the decision (this rank may have returned from
+			// validate_all long ago, or learned it before a DECIDE that
+			// was broadcast while the sender had not yet entered) is
+			// answered immediately.
+			typ := agreeDecide
+			if msg.Type == agreeTreeVote {
+				typ = agreeTreeDecide
 			}
+			reply = &agreeMsg{Type: typ, Inst: msg.Inst,
+				From: e.rank, Failed: d, Decided: true}
+		} else if e.preJoinLocked(key) && msg.Group != nil && !e.agree.reactive[key] {
+			// Elastic corner: coordinator succession landed on this revived
+			// slot for an instance that predates its join — every other
+			// member is waiting passively and pushed its vote here. The
+			// incarnation will never reach that validate_all call, so it
+			// coordinates reactively.
+			e.agree.reactive[key] = true
+			coordGroup = append([]int(nil), msg.Group...)
 		}
 		e.agreeBumpLocked()
 	case agreeDecide, agreeTreeDecide:
@@ -145,7 +175,7 @@ func (e *engine) deliverAgreement(pkt *transport.Packet) {
 		if d, ok := e.agree.decisions[key]; ok {
 			reply = &agreeMsg{Type: agreeTreeDecide, Inst: msg.Inst,
 				From: e.rank, Failed: d, Decided: true}
-		} else if e.agree.started[key] {
+		} else if e.agree.started[key] || e.preJoinLocked(key) {
 			reply = e.treeAggregateVoteLocked(key, msg.Group)
 		} else {
 			// Not in the collective yet: park; answered at enterInstance.
@@ -157,6 +187,25 @@ func (e *engine) deliverAgreement(pkt *transport.Packet) {
 	if reply != nil {
 		e.sendAgreement(pkt.Src, pkt.Context, reply)
 	}
+	if coordGroup != nil {
+		go e.reactiveCoordinate(key, coordGroup)
+	}
+}
+
+// reactiveCoordinate runs the coordinator role for an instance this
+// incarnation never entered in program order (see deliverAgreement). It
+// runs on its own goroutine; terminal panics are absorbed because no app
+// goroutine is waiting on it.
+func (e *engine) reactiveCoordinate(key agreeKey, group []int) {
+	defer func() {
+		r := recover()
+		switch r.(type) {
+		case nil, killedPanic, closedPanic, abortPanic:
+		default:
+			panic(r)
+		}
+	}()
+	_, _ = e.coordinateInstance(key, group)
 }
 
 // sendAgreement transmits an agreement message. Errors are ignored: a
@@ -168,10 +217,69 @@ func (e *engine) sendAgreement(dstWorld, ctx int, msg *agreeMsg) {
 		return
 	}
 	e.w.metrics.Inc(e.rank, metrics.AgreementMsgs)
-	_ = e.w.fabric.Send(&transport.Packet{
+	pkt := &transport.Packet{
 		Src: e.rank, Dst: dstWorld, Tag: 0, Context: ctx,
 		Kind: transport.KindAgreement, Payload: payload,
-	})
+	}
+	e.stampGen(pkt)
+	_ = e.w.fabric.Send(pkt)
+}
+
+// setJoinInst installs the join fence on a freshly spawned incarnation's
+// engine and retroactively applies it: vote requests for pre-join
+// instances that were parked before the fence existed are answered now,
+// and votes that were already pushed here (coordinator succession onto
+// this slot) trigger reactive coordination.
+func (e *engine) setJoinInst(inst int) {
+	type pendingReply struct {
+		dst int
+		ctx int
+		msg agreeMsg
+	}
+	var replies []pendingReply
+	var coordKeys []agreeKey
+	var coordGroups [][]int
+	e.mu.Lock()
+	e.joinInst = inst
+	for key, reqs := range e.agree.pendingReqs {
+		if !e.preJoinLocked(key) {
+			continue
+		}
+		delete(e.agree.pendingReqs, key)
+		for _, req := range reqs {
+			var vote agreeMsg
+			if req.Type == agreeTreePull {
+				vote = *e.treeAggregateVoteLocked(key, req.Group)
+			} else {
+				vote = agreeMsg{Type: agreeVote, Inst: key.inst, From: e.rank,
+					Failed: e.knownFailedSnapshotLocked(req.Group)}
+			}
+			replies = append(replies, pendingReply{dst: req.From, ctx: key.ctx, msg: vote})
+		}
+	}
+	for key, votes := range e.agree.votes {
+		if !e.preJoinLocked(key) || e.agree.reactive[key] {
+			continue
+		}
+		if _, ok := e.agree.decisions[key]; ok {
+			continue
+		}
+		for _, v := range votes {
+			if v.Group != nil {
+				e.agree.reactive[key] = true
+				coordKeys = append(coordKeys, key)
+				coordGroups = append(coordGroups, append([]int(nil), v.Group...))
+				break
+			}
+		}
+	}
+	e.mu.Unlock()
+	for i := range replies {
+		e.sendAgreement(replies[i].dst, replies[i].ctx, &replies[i].msg)
+	}
+	for i := range coordKeys {
+		go e.reactiveCoordinate(coordKeys[i], coordGroups[i])
+	}
 }
 
 // validateAllDriver runs one agreement instance for comm c and returns
@@ -192,6 +300,7 @@ func (c *Comm) validateAllDriver(inst int) ([]int, error) {
 		return c.treeAgreementDriver(key)
 	}
 
+	lastPushed := -1
 	for {
 		e.mu.Lock()
 		if d, ok := e.agree.decisions[key]; ok {
@@ -214,6 +323,19 @@ func (c *Comm) validateAllDriver(inst int) ([]int, error) {
 		}
 		if coord == c.proc.rank {
 			return c.coordinateAgreement(key)
+		}
+
+		// Push the vote to (each successive) coordinator instead of waiting
+		// to be solicited. A coordinator that solicited before this rank
+		// entered still folds the pushed vote in; and in an elastic world a
+		// coordinator seat can pass to a revived slot that will never
+		// solicit for this pre-join instance — the pushed vote (which
+		// carries the group) is what triggers its reactive coordination.
+		if coord != lastPushed {
+			vote := &agreeMsg{Type: agreeVote, Inst: key.inst, From: e.rank,
+				Failed: e.knownFailedSnapshot(c.group), Group: c.Group()}
+			e.sendAgreement(coord, c.ctxInternal, vote)
+			lastPushed = coord
 		}
 
 		// Passive role: wait for the decision, the coordinator's death, or
@@ -292,11 +414,18 @@ func (e *engine) enterInstance(key agreeKey, c *Comm) {
 	}
 }
 
-// coordinateAgreement runs the coordinator role: gather votes from every
-// alive member, decide, distribute.
+// coordinateAgreement runs the coordinator role for a communicator-level
+// validate_all call.
 func (c *Comm) coordinateAgreement(key agreeKey) ([]int, error) {
-	e := c.eng
-	me := c.proc.rank
+	return c.eng.coordinateInstance(key, c.Group())
+}
+
+// coordinateInstance runs the coordinator role over group: gather votes
+// from every alive member, decide, distribute. It lives on the engine so
+// an elastic reincarnation can serve instances that predate its join
+// (reactiveCoordinate) without a Comm for them.
+func (e *engine) coordinateInstance(key agreeKey, group []int) ([]int, error) {
+	me := e.rank
 	if e.w.obs != nil {
 		start := time.Now()
 		defer func() { e.w.obs.Observe(me, obs.AgreementRound, time.Since(start)) }()
@@ -306,7 +435,7 @@ func (c *Comm) coordinateAgreement(key agreeKey) ([]int, error) {
 	union := make(map[int]bool)
 	pending := make(map[int]bool)
 	e.mu.Lock()
-	for _, m := range c.group {
+	for _, m := range group {
 		if e.knownFailed[m] {
 			union[m] = true
 		} else if m != me {
@@ -315,9 +444,9 @@ func (c *Comm) coordinateAgreement(key agreeKey) ([]int, error) {
 	}
 	e.mu.Unlock()
 
-	req := &agreeMsg{Type: agreeReq, Inst: key.inst, From: me, Group: c.Group()}
+	req := &agreeMsg{Type: agreeReq, Inst: key.inst, From: me, Group: append([]int(nil), group...)}
 	for m := range pending {
-		e.sendAgreement(m, c.ctxInternal, req)
+		e.sendAgreement(m, key.ctx, req)
 	}
 
 	var adopted []int
@@ -388,7 +517,7 @@ func (c *Comm) coordinateAgreement(key agreeKey) ([]int, error) {
 		decision = e.agree.decisions[key]
 	}
 	knownDead := make(map[int]bool)
-	for _, m := range c.group {
+	for _, m := range group {
 		if e.knownFailed[m] {
 			knownDead[m] = true
 		}
@@ -396,9 +525,9 @@ func (c *Comm) coordinateAgreement(key agreeKey) ([]int, error) {
 	e.mu.Unlock()
 
 	dec := &agreeMsg{Type: agreeDecide, Inst: key.inst, From: me, Failed: decision}
-	for _, m := range c.group {
+	for _, m := range group {
 		if m != me && !knownDead[m] {
-			e.sendAgreement(m, c.ctxInternal, dec)
+			e.sendAgreement(m, key.ctx, dec)
 		}
 	}
 	return decision, nil

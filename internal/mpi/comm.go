@@ -51,7 +51,9 @@ type Comm struct {
 	// space. Guarded by eng.mu: ValidateAll resynchronizes it (possibly
 	// from the IvalidateAll driver goroutine), see NextCollTag.
 	collSeq int
-	// validateSeq allocates agreement instances; proc-local.
+	// validateSeq allocates agreement instances. Guarded by eng.mu:
+	// elastic respawn reads it cross-rank to compute the newcomer's join
+	// fence (World.captureSeed).
 	validateSeq int
 }
 
@@ -83,6 +85,11 @@ func newComm(p *Proc, group []int, ctxP2P, ctxInternal int) *Comm {
 			c.myRank = i
 		}
 	}
+	// Register with the engine so a peer's revival can repair recognition
+	// and collective membership on every communicator that contains it.
+	c.eng.mu.Lock()
+	c.eng.comms = append(c.eng.comms, c)
+	c.eng.mu.Unlock()
 	return c
 }
 
@@ -206,7 +213,7 @@ func (s RankState) String() string {
 // RankInfo mirrors the proposal's MPI_Rank_info object.
 type RankInfo struct {
 	Rank       int // communicator rank
-	Generation int // incarnation (always 1: no recovery in run-through stabilization)
+	Generation int // incarnation (1 until an elastic respawn reoccupies the slot)
 	State      RankState
 }
 
@@ -333,18 +340,19 @@ func (c *Comm) NextCollTag() int {
 func (c *Comm) Dup() *Comm {
 	c.eng.checkAlive()
 	p := c.proc
-	p.ctxSeq++
-	ctxP2P, ctxInternal := nextCtxPair(p, 0)
+	ctxP2P, ctxInternal := nextCtxPair(p.nextCtxSeq(), 0)
 	return newComm(p, c.Group(), ctxP2P, ctxInternal)
 }
 
-// nextCtxPair derives the context pair for the p.ctxSeq'th derived
+// nextCtxPair derives the context pair for the seq'th derived
 // communicator. Every rank creates derived communicators in the same
-// program order (an MPI requirement), so the pair agrees across ranks.
-// Split mixes in the color so sibling sub-communicators get disjoint
-// contexts (colors are limited to [0, 4094]).
-func nextCtxPair(p *Proc, color int) (int, int) {
-	base := 2 * (p.ctxSeq*4096 + color + 1)
+// program order (an MPI requirement), so the pair agrees across ranks;
+// elastic respawn hands the newcomer the most advanced survivor's
+// allocator position so reincarnations stay aligned too. Split mixes in
+// the color so sibling sub-communicators get disjoint contexts (colors
+// are limited to [0, 4094]).
+func nextCtxPair(seq, color int) (int, int) {
+	base := 2 * (seq*4096 + color + 1)
 	return base, base + 1
 }
 
@@ -359,8 +367,7 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	}
 	c.eng.checkAlive()
 	p := c.proc
-	p.ctxSeq++
-	ctxP2P, ctxInternal := nextCtxPair(p, color)
+	ctxP2P, ctxInternal := nextCtxPair(p.nextCtxSeq(), color)
 
 	type entry struct{ WorldRank, Color, Key int }
 	mine := entry{WorldRank: p.rank, Color: color, Key: key}

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,13 @@ import (
 type engine struct {
 	w    *World
 	rank int
+	// gen is the incarnation this engine serves, immutable for the
+	// engine's lifetime. A slot's first engine is generation 1; every
+	// Spawn installs a brand-new engine at the next generation, so stale
+	// frames addressed to (or stamped by) a dead incarnation are fenced
+	// at deliver by a plain equality check — the matching layer never has
+	// to reason about "the same rank, but earlier".
+	gen uint32
 
 	dead   atomic.Bool // this rank has fail-stopped
 	closed atomic.Bool // world torn down (normal completion path)
@@ -57,18 +65,38 @@ type engine struct {
 	// detection latency.
 	knownFailed []bool
 
+	// comms lists every communicator created by this incarnation's proc,
+	// so a peer's revival can repair recognition and collective membership
+	// on all of them. Guarded by mu.
+	comms []*Comm
+
+	// joinInst is the first world-communicator agreement instance this
+	// incarnation participates in (0 for generation 1). Vote requests for
+	// earlier instances are answered reactively instead of parked — the
+	// reincarnation will never reach those validate_all calls. Guarded by mu.
+	joinInst int
+
 	agree agreementState
+
+	// stateProvider serializes this rank's application state on demand
+	// (elastic-world neighbor recovery); stateWaiters holds the pending
+	// FetchState calls keyed by request id. Guarded by mu.
+	stateProvider func() []byte
+	stateWaiters  map[uint64]*stateWaiter
+	stateSeq      uint64
 }
 
-func newEngine(w *World, rank int) *engine {
+func newEngine(w *World, rank int, gen uint32) *engine {
 	e := &engine{
-		w:           w,
-		rank:        rank,
-		downCh:      make(chan struct{}),
-		agreeCh:     make(chan struct{}),
-		posted:      newPostedIndex(),
-		unexpected:  newUnexpectedIndex(),
-		knownFailed: make([]bool, w.size),
+		w:            w,
+		rank:         rank,
+		gen:          gen,
+		downCh:       make(chan struct{}),
+		agreeCh:      make(chan struct{}),
+		posted:       newPostedIndex(),
+		unexpected:   newUnexpectedIndex(),
+		knownFailed:  make([]bool, w.size),
+		stateWaiters: make(map[uint64]*stateWaiter),
 	}
 	e.agree.init()
 	return e
@@ -133,6 +161,15 @@ func (e *engine) onPeerFailure(f int) {
 		e.mu.Unlock()
 		return
 	}
+	// A delayed notification can outlive the incarnation it reports: with
+	// elastic respawn the slot may already be alive again at a higher
+	// generation, and marking it failed now would never be repaired
+	// (onPeerRevive already ran). Checked under e.mu so a concurrent
+	// revive cannot interleave between the check and the write.
+	if !e.w.registry.Failed(f) {
+		e.mu.Unlock()
+		return
+	}
 	e.knownFailed[f] = true
 	// doomed classifies a posted receive that can no longer complete and
 	// picks the Status.Source the old linear sweep reported for it.
@@ -160,7 +197,48 @@ func (e *engine) onPeerFailure(f int) {
 		src, _ := doomed(r)
 		r.completeLocked(failStop(f), Status{Source: src, Tag: r.tag}, nil)
 	}
+	// State fetches directed at the dead rank can never be answered.
+	for id, sw := range e.stateWaiters {
+		if sw.target == f {
+			delete(e.stateWaiters, id)
+			sw.ch <- stateReply{err: failStop(f)} // buffered, never blocks
+		}
+	}
 	e.agreeBumpLocked() // agreement waiters watch knownFailed
+	e.mu.Unlock()
+}
+
+// onPeerRevive repairs this engine's view after world rank p rejoined at a
+// new generation: the failure notification is withdrawn, recognition of
+// the old incarnation is cleared (sends to the new one must flow again),
+// and p is re-admitted to collective membership on every communicator that
+// contains it. Survivors re-admit deterministically in communicator-rank
+// order, and they all start from the same agreed collective membership, so
+// the repaired memberships match without another agreement round.
+func (e *engine) onPeerRevive(p int) {
+	e.mu.Lock()
+	if p >= 0 && p < len(e.knownFailed) {
+		e.knownFailed[p] = false
+	}
+	for _, c := range e.comms {
+		if c.rankOf(p) < 0 {
+			continue
+		}
+		delete(c.recognized, p)
+		keep := make(map[int]bool, len(c.collMembers)+1)
+		for _, wr := range c.collMembers {
+			keep[wr] = true
+		}
+		keep[p] = true
+		members := make([]int, 0, len(keep))
+		for _, wr := range c.group {
+			if keep[wr] {
+				members = append(members, wr)
+			}
+		}
+		c.collMembers = members
+	}
+	e.agreeBumpLocked()
 	e.mu.Unlock()
 }
 
@@ -192,25 +270,54 @@ func (e *engine) knownFailedSnapshotLocked(group []int) []int {
 
 // --- delivery and matching --------------------------------------------------
 
+// staleGen reports whether the packet was stamped for (or by) a different
+// incarnation than the ones currently installed. Generation 0 means
+// "unstamped" (frames from fabrics or tests that predate elastic worlds)
+// and is always accepted.
+func (e *engine) staleGen(pkt *transport.Packet) (bool, string) {
+	if pkt.DstGen != 0 && pkt.DstGen != e.gen {
+		return true, fmt.Sprintf("dstgen=%d have=%d", pkt.DstGen, e.gen)
+	}
+	if pkt.SrcGen != 0 && pkt.Src >= 0 && pkt.Src < e.w.size {
+		if g := e.w.genOf(pkt.Src); pkt.SrcGen != g {
+			return true, fmt.Sprintf("srcgen=%d current=%d", pkt.SrcGen, g)
+		}
+	}
+	return false, ""
+}
+
 // deliver accepts an inbound packet. It runs on the sender's goroutine
 // (Local fabric) or a fabric reader goroutine (TCP), never on this rank's
 // own goroutine while it holds mu.
 func (e *engine) deliver(pkt *transport.Packet) {
+	// Generation fence: frames addressed to a dead incarnation of this
+	// slot, or stamped by a dead incarnation of the sender, are rejected
+	// before any routing — including control traffic, so a stale fence ack
+	// from an old incarnation can never confirm the live new one.
+	if stale, why := e.staleGen(pkt); stale {
+		e.w.metrics.Inc(e.rank, metrics.StaleGenRejected)
+		e.w.tracer.Record(e.rank, trace.StaleGenDrop, pkt.Src, pkt.Tag, -1, why)
+		return
+	}
 	if pkt.Kind == transport.KindControl {
 		// Failure-detection control traffic goes to the rank's detector
 		// monitor, not the matching engine — and deliberately without a
 		// dead-rank guard: the monitor is the "NIC", which keeps answering
 		// fence notices after the process died so a fencer across a
 		// half-open link can still learn of the death.
-		if hb := e.w.hb; hb != nil {
-			hb[e.rank].OnControl(pkt.Src, detector.ControlOp(pkt.Tag), pkt.Seq)
-		} else if sw := e.w.sw; sw != nil {
-			sw[e.rank].OnControl(pkt.Src, detector.ControlOp(pkt.Tag), pkt.Seq, pkt.Payload)
+		if hb := e.w.hbAt(e.rank); hb != nil {
+			hb.OnControl(pkt.Src, detector.ControlOp(pkt.Tag), pkt.Seq)
+		} else if sw := e.w.swAt(e.rank); sw != nil {
+			sw.OnControl(pkt.Src, detector.ControlOp(pkt.Tag), pkt.Seq, pkt.Payload)
 		}
 		return
 	}
 	if pkt.Kind == transport.KindAgreement {
 		e.deliverAgreement(pkt)
+		return
+	}
+	if pkt.Kind == transport.KindState {
+		e.deliverState(pkt)
 		return
 	}
 	e.mu.Lock()
@@ -281,9 +388,20 @@ func (e *engine) removePostedLocked(r *Request) {
 	e.posted.remove(r)
 }
 
+// stampGen stamps the packet with the sender's incarnation and the
+// incarnation the sender currently believes the destination to be, arming
+// the receiver-side generation fence.
+func (e *engine) stampGen(pkt *transport.Packet) {
+	pkt.SrcGen = e.gen
+	if pkt.Dst >= 0 && pkt.Dst < e.w.size {
+		pkt.DstGen = e.w.genOf(pkt.Dst)
+	}
+}
+
 // sendPacket hands a fully addressed packet to the fabric, tracing and
 // counting it. Must be called with no engine lock held.
 func (e *engine) sendPacket(pkt *transport.Packet) error {
+	e.stampGen(pkt)
 	e.w.metrics.Inc(e.rank, metrics.Sends)
 	e.w.metrics.Add(e.rank, metrics.BytesSent, int64(len(pkt.Payload)))
 	e.w.tracer.Record(e.rank, trace.SendPosted, pkt.Dst, pkt.Tag, -1, "")

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/detector"
@@ -33,34 +34,41 @@ const ctxControl = -2
 
 // initHeartbeats switches the registry into confirm-gated (heartbeat)
 // mode and builds one monitor per rank over the world's fabric stack.
-// Called from NewWorldFromConfig; the monitors start inside Run, after
+// Called from newWorldFromConfig; the monitors start inside Run, after
 // the fabric is up.
 func (w *World) initHeartbeats(opts detector.HeartbeatOptions) {
 	w.registry.SetConfirmGate(true)
 	w.registry.SubscribeSuspicion(w.onSuspicion)
-	w.hb = make([]*detector.Heartbeat, w.size)
+	w.hbOpts = opts
+	w.hb = make([]atomic.Pointer[detector.Heartbeat], w.size)
 	for i := range w.hb {
-		rank := i
-		hb := detector.NewHeartbeat(w.registry, rank, w.size, opts,
-			func(to int, op detector.ControlOp, seq uint64) {
-				w.sendControl(rank, to, op, seq, nil)
-			})
-		hb.Hooks = detector.HeartbeatHooks{
-			Ping: func(r int) { w.metrics.Inc(r, metrics.Heartbeats) },
-			FenceSent: func(by, target int) {
-				w.metrics.Inc(by, metrics.Fences)
-				w.tracer.Record(by, trace.FenceSent, target, -1, -1, "")
-			},
-			FenceRTT: func(by, target int, rtt time.Duration) {
-				w.obs.Observe(by, obs.FenceRTT, rtt)
-			},
-			SelfFence: func(r int) {
-				w.metrics.Inc(r, metrics.SelfFences)
-				w.tracer.Record(r, trace.SelfFenced, -1, -1, -1, "heartbeat acks stale")
-			},
-		}
-		w.hb[rank] = hb
+		w.hb[i].Store(w.makeHeartbeat(i))
 	}
+}
+
+// makeHeartbeat builds one rank's heartbeat monitor. Elastic respawn
+// calls it again for the slot's next incarnation: the old monitor's pump
+// exited at death and is not restartable.
+func (w *World) makeHeartbeat(rank int) *detector.Heartbeat {
+	hb := detector.NewHeartbeat(w.registry, rank, w.size, w.hbOpts,
+		func(to int, op detector.ControlOp, seq uint64) {
+			w.sendControl(rank, to, op, seq, nil)
+		})
+	hb.Hooks = detector.HeartbeatHooks{
+		Ping: func(r int) { w.metrics.Inc(r, metrics.Heartbeats) },
+		FenceSent: func(by, target int) {
+			w.metrics.Inc(by, metrics.Fences)
+			w.tracer.Record(by, trace.FenceSent, target, -1, -1, "")
+		},
+		FenceRTT: func(by, target int, rtt time.Duration) {
+			w.obs.Observe(by, obs.FenceRTT, rtt)
+		},
+		SelfFence: func(r int) {
+			w.metrics.Inc(r, metrics.SelfFences)
+			w.tracer.Record(r, trace.SelfFenced, -1, -1, -1, "heartbeat acks stale")
+		},
+	}
+	return hb
 }
 
 // sendControl puts one failure-detection control packet on the wire. It
@@ -74,6 +82,9 @@ func (w *World) sendControl(from, to int, op detector.ControlOp, seq uint64, pay
 	_ = w.fabric.Send(&transport.Packet{
 		Src: from, Dst: to, Tag: int(op), Context: ctxControl,
 		Kind: transport.KindControl, Seq: seq, Payload: payload,
+		// Control frames carry generation stamps like everything else, so
+		// a monitor's traffic for a dead incarnation is fenced at delivery.
+		SrcGen: w.genOf(from), DstGen: w.genOf(to),
 	})
 }
 
@@ -104,20 +115,20 @@ func (w *World) onSuspicion(ev detector.SuspicionEvent) {
 // startMonitors launches every rank's detector monitor — heartbeat or
 // SWIM, whichever mode configured (no-op in oracle mode).
 func (w *World) startMonitors() {
-	for _, hb := range w.hb {
-		hb.Start()
+	for i := range w.hb {
+		w.hb[i].Load().Start()
 	}
-	for _, sw := range w.sw {
-		sw.Start()
+	for i := range w.sw {
+		w.sw[i].Load().Start()
 	}
 }
 
 // stopMonitors terminates the monitors before the fabric closes.
 func (w *World) stopMonitors() {
-	for _, hb := range w.hb {
-		hb.Stop()
+	for i := range w.hb {
+		w.hb[i].Load().Stop()
 	}
-	for _, sw := range w.sw {
-		sw.Stop()
+	for i := range w.sw {
+		w.sw[i].Load().Stop()
 	}
 }

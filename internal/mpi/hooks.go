@@ -74,6 +74,6 @@ func (w *World) fireHook(rank int, ev HookEvent) {
 		return
 	}
 	if w.hook(ev) == ActKill {
-		w.engines[rank].die()
+		w.eng(rank).die()
 	}
 }

@@ -116,3 +116,13 @@ func WithReliability(opts reliable.Options) Option {
 		cfg.ReliableOptions = opts
 	}
 }
+
+// WithElastic enables elastic-world repair: confirmed-dead slots may be
+// reoccupied at the next generation via World.Spawn, and automatically
+// when opts.AutoRespawn is set. See ElasticOptions.
+func WithElastic(opts ElasticOptions) Option {
+	return func(cfg *Config) {
+		o := opts
+		cfg.Elastic = &o
+	}
+}

@@ -15,11 +15,14 @@ type Proc struct {
 	rank      int
 	eng       *engine
 	worldComm *Comm
-	ctxSeq    int // per-proc communicator-context allocator (see newComm)
+	// ctxSeq is the per-proc communicator-context allocator (see
+	// nextCtxPair). Guarded by eng.mu: elastic respawn reads it cross-rank
+	// to seed a reincarnation's allocator.
+	ctxSeq int
 }
 
 func newProc(w *World, rank int) *Proc {
-	p := &Proc{w: w, rank: rank, eng: w.engines[rank]}
+	p := &Proc{w: w, rank: rank, eng: w.eng(rank)}
 	group := make([]int, w.size)
 	for i := range group {
 		group[i] = i
@@ -28,8 +31,23 @@ func newProc(w *World, rank int) *Proc {
 	return p
 }
 
+// nextCtxSeq advances the context allocator and returns its new position.
+func (p *Proc) nextCtxSeq() int {
+	p.eng.mu.Lock()
+	defer p.eng.mu.Unlock()
+	p.ctxSeq++
+	return p.ctxSeq
+}
+
 // Rank returns this process's world rank.
 func (p *Proc) Rank() int { return p.rank }
+
+// Gen returns this process's incarnation number (1 unless the rank was
+// respawned into an elastic world).
+func (p *Proc) Gen() int { return int(p.eng.gen) }
+
+// ID returns this process's generation-stamped identity.
+func (p *Proc) ID() RankID { return RankID{Slot: p.rank, Gen: int(p.eng.gen)} }
 
 // Size returns the world size (including failed ranks — fail-stop ranks
 // are never removed from the universe, per run-through stabilization).

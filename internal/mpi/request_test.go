@@ -151,15 +151,13 @@ func TestWorldRunTwiceRejected(t *testing.T) {
 	}
 }
 
-// TestNewWorldValidation exercises size validation through the deprecated
-// Config constructor — deliberately the last remaining test of
-// NewWorldFromConfig, kept as its compatibility coverage until the
-// positional path is removed.
+// TestNewWorldValidation exercises size validation through the one
+// remaining constructor (the positional NewWorldFromConfig is gone).
 func TestNewWorldValidation(t *testing.T) {
-	if _, err := NewWorldFromConfig(Config{Size: 0}); !errors.Is(err, ErrInvalidArg) {
+	if _, err := NewWorld(0); !errors.Is(err, ErrInvalidArg) {
 		t.Fatalf("zero-size world accepted: %v", err)
 	}
-	if _, err := NewWorldFromConfig(Config{Size: -3}); !errors.Is(err, ErrInvalidArg) {
+	if _, err := NewWorld(-3); !errors.Is(err, ErrInvalidArg) {
 		t.Fatalf("negative world accepted: %v", err)
 	}
 }

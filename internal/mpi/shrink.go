@@ -1,0 +1,64 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// ShrinkOptions configures Comm.ShrinkWith.
+type ShrinkOptions struct {
+	// Validate runs a ValidateAll before constructing the survivor group,
+	// so the group is the agreed failure-free membership rather than this
+	// rank's local view. Shrink() sets it; turn it off only when the
+	// caller has just validated itself.
+	Validate bool
+}
+
+// Shrink builds a new communicator containing only the agreed survivors
+// of this one, densely re-ranked in the current communicator's rank order
+// — the ULFM MPIX_Comm_shrink. All members that are alive must call it
+// (it is collective: it runs the validate_all agreement and exchanges no
+// further messages).
+//
+// If another member fails while Shrink is running, the agreement may
+// still include it in the survivor group (the failure was not yet agreed
+// on); as with MPIX_Comm_shrink, the caller detects this on first use of
+// the new communicator and simply shrinks again.
+func (c *Comm) Shrink() (*Comm, error) {
+	return c.ShrinkWith(ShrinkOptions{Validate: true})
+}
+
+// ShrinkWith is Shrink with explicit options.
+func (c *Comm) ShrinkWith(opt ShrinkOptions) (*Comm, error) {
+	c.eng.checkAlive()
+	start := time.Now()
+	if opt.Validate {
+		if _, err := c.ValidateAll(); err != nil {
+			return nil, c.herr(err)
+		}
+	}
+	p := c.proc
+	c.eng.mu.Lock()
+	group := append([]int(nil), c.collMembers...)
+	p.ctxSeq++
+	seq := p.ctxSeq
+	c.eng.mu.Unlock()
+	if len(group) == 0 {
+		return nil, c.herr(fmt.Errorf("%w: no survivors to shrink onto", ErrInvalidArg))
+	}
+	// collMembers after a ValidateAll is the agreed survivor set in
+	// comm-rank order at every member, so every survivor derives the same
+	// group and the same context pair without any extra exchange.
+	ctxP2P, ctxInternal := nextCtxPair(seq, 0)
+	nc := newComm(p, group, ctxP2P, ctxInternal)
+	w := p.w
+	w.metrics.Inc(p.rank, metrics.Shrinks)
+	w.obs.Observe(p.rank, obs.ShrinkLatency, time.Since(start))
+	w.tracer.Record(p.rank, trace.ShrinkDone, -1, -1, -1,
+		fmt.Sprintf("%d -> %d members", len(c.group), len(group)))
+	return nc, nil
+}

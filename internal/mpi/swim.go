@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/detector"
@@ -71,60 +72,68 @@ func (c *convTracker) learn(rank int, ev membership.Event) (time.Duration, bool)
 
 // initSwim switches the registry into confirm-gated mode and builds one
 // SWIM monitor per rank over the world's fabric stack. Called from
-// NewWorldFromConfig; the monitors start inside Run, after the fabric is
+// newWorldFromConfig; the monitors start inside Run, after the fabric is
 // up.
 func (w *World) initSwim(opts membership.Options) {
 	w.registry.SetConfirmGate(true)
 	w.registry.SubscribeSuspicion(w.onSuspicion)
-	conv := newConvTracker()
-	w.sw = make([]*membership.Swim, w.size)
+	w.swConv = newConvTracker()
+	w.swOpts = opts
+	w.sw = make([]atomic.Pointer[membership.Swim], w.size)
 	for i := range w.sw {
-		rank := i
-		sw := membership.NewSwim(w.registry, rank, w.size, opts,
-			func(to int, op detector.ControlOp, seq uint64, payload []byte) {
-				w.sendControl(rank, to, op, seq, payload)
-			})
-		sw.Hooks = membership.Hooks{
-			ProbeSent: func(r int) { w.metrics.Inc(r, metrics.SwimProbes) },
-			IndirectProbe: func(r int) {
-				w.metrics.Inc(r, metrics.SwimIndirectProbes)
-			},
-			ProbeTimeout: func(r, target int) {
-				w.metrics.Inc(r, metrics.SwimProbeTimeouts)
-				w.tracer.Record(r, trace.ProbeTimeout, target, -1, -1, "")
-			},
-			ProbeRTT: func(r, target int, rtt time.Duration) {
-				w.obs.Observe(r, obs.SwimProbeRTT, rtt)
-			},
-			FenceSent: func(by, target int) {
-				w.metrics.Inc(by, metrics.Fences)
-				w.tracer.Record(by, trace.FenceSent, target, -1, -1, "")
-			},
-			FenceRTT: func(by, target int, rtt time.Duration) {
-				w.obs.Observe(by, obs.FenceRTT, rtt)
-			},
-			SelfFence: func(r int) {
-				w.metrics.Inc(r, metrics.SelfFences)
-				w.tracer.Record(r, trace.SelfFenced, -1, -1, -1, "probe acks stale")
-			},
-			GossipOrigin: func(r int, ev membership.Event) {
-				w.metrics.Inc(r, metrics.GossipEvents)
-				if ev.Kind == membership.EvAlive && ev.Rank == r {
-					w.tracer.Record(r, trace.Refuted, -1, -1, -1,
-						fmt.Sprintf("incarnation %d", ev.Inc))
-				}
-				conv.origin(ev)
-			},
-			GossipLearn: func(r int, ev membership.Event) {
-				w.metrics.Inc(r, metrics.GossipLearns)
-				if lat, ok := conv.learn(r, ev); ok {
-					w.obs.Observe(r, obs.GossipConvergence, lat)
-				}
-			},
-			DecodeError: func(r int) {
-				w.metrics.Inc(r, metrics.GossipDecodeErrors)
-			},
-		}
-		w.sw[rank] = sw
+		w.sw[i].Store(w.makeSwim(i))
 	}
+}
+
+// makeSwim builds one rank's SWIM monitor. Elastic respawn calls it again
+// for the slot's next incarnation; the convergence tracker is shared
+// across incarnations (dissemination latency is a world-level quantity).
+func (w *World) makeSwim(rank int) *membership.Swim {
+	conv := w.swConv
+	sw := membership.NewSwim(w.registry, rank, w.size, w.swOpts,
+		func(to int, op detector.ControlOp, seq uint64, payload []byte) {
+			w.sendControl(rank, to, op, seq, payload)
+		})
+	sw.Hooks = membership.Hooks{
+		ProbeSent: func(r int) { w.metrics.Inc(r, metrics.SwimProbes) },
+		IndirectProbe: func(r int) {
+			w.metrics.Inc(r, metrics.SwimIndirectProbes)
+		},
+		ProbeTimeout: func(r, target int) {
+			w.metrics.Inc(r, metrics.SwimProbeTimeouts)
+			w.tracer.Record(r, trace.ProbeTimeout, target, -1, -1, "")
+		},
+		ProbeRTT: func(r, target int, rtt time.Duration) {
+			w.obs.Observe(r, obs.SwimProbeRTT, rtt)
+		},
+		FenceSent: func(by, target int) {
+			w.metrics.Inc(by, metrics.Fences)
+			w.tracer.Record(by, trace.FenceSent, target, -1, -1, "")
+		},
+		FenceRTT: func(by, target int, rtt time.Duration) {
+			w.obs.Observe(by, obs.FenceRTT, rtt)
+		},
+		SelfFence: func(r int) {
+			w.metrics.Inc(r, metrics.SelfFences)
+			w.tracer.Record(r, trace.SelfFenced, -1, -1, -1, "probe acks stale")
+		},
+		GossipOrigin: func(r int, ev membership.Event) {
+			w.metrics.Inc(r, metrics.GossipEvents)
+			if ev.Kind == membership.EvAlive && ev.Rank == r {
+				w.tracer.Record(r, trace.Refuted, -1, -1, -1,
+					fmt.Sprintf("incarnation %d", ev.Inc))
+			}
+			conv.origin(ev)
+		},
+		GossipLearn: func(r int, ev membership.Event) {
+			w.metrics.Inc(r, metrics.GossipLearns)
+			if lat, ok := conv.learn(r, ev); ok {
+				w.obs.Observe(r, obs.GossipConvergence, lat)
+			}
+		},
+		DecodeError: func(r int) {
+			w.metrics.Inc(r, metrics.GossipDecodeErrors)
+		},
+	}
+	return sw
 }

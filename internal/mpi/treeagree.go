@@ -190,7 +190,7 @@ func (c *Comm) treeAgreementDriver(key agreeKey) ([]int, error) {
 	// are monotone unions, so (parent, |covered|, |failed|) identifies a
 	// push; a pull round is re-armed only when the view changes.
 	lastParent, lastCovered, lastFailed := -1, -1, -1
-	lastPullView := fingerprintView(nil)
+	lastPullView := e.fingerprintView(nil)
 
 	for {
 		var (
@@ -240,7 +240,7 @@ func (c *Comm) treeAgreementDriver(key agreeKey) ([]int, error) {
 					if e.w.obs != nil {
 						e.w.obs.Observe(me, obs.AgreementRound, time.Since(start))
 					}
-				} else if fp := fingerprintView(view); fp != lastPullView {
+				} else if fp := e.fingerprintView(view); fp != lastPullView {
 					// View changed while members are missing from the
 					// aggregate: some may have returned already and will
 					// never push again — pull them directly.
@@ -257,8 +257,11 @@ func (c *Comm) treeAgreementDriver(key agreeKey) ([]int, error) {
 				if parent, ok := treeParent(view, me); ok &&
 					(parent != lastParent || len(covered) != lastCovered || len(failedU) != lastFailed) {
 					lastParent, lastCovered, lastFailed = parent, len(covered), len(failedU)
+					// Group rides along so that a parent that turns out to
+					// be a revived slot for a pre-join instance can serve
+					// it reactively (see deliverAgreement).
 					sends = append(sends, agreeMsg{Type: agreeTreeVote,
-						Inst: key.inst, From: me,
+						Inst: key.inst, From: me, Group: group,
 						Failed: sortedKeys(failedU), Covered: sortedKeys(covered)})
 					sendDst = append(sendDst, parent)
 				}
@@ -295,12 +298,15 @@ func (c *Comm) treeAgreementDriver(key agreeKey) ([]int, error) {
 }
 
 // fingerprintView reduces a view to a comparable value for pull-round
-// dedup. Views only ever shrink, so (len, sum) never collides across the
-// views one instance observes.
-func fingerprintView(view []int) [2]int {
-	sum := 0
+// dedup. With elastic worlds a view can shrink and then regrow to a
+// previous shape when a slot is revived, so member generations are folded
+// in alongside (len, sum): a revival bumps the generation sum even when
+// the rank sum repeats.
+func (e *engine) fingerprintView(view []int) [3]int {
+	sum, gsum := 0, 0
 	for _, m := range view {
 		sum += m
+		gsum += int(e.w.genOf(m))
 	}
-	return [2]int{len(view), sum}
+	return [3]int{len(view), sum, gsum}
 }

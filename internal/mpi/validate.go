@@ -21,8 +21,7 @@ import (
 // agreement protocol in agreement.go.
 func (c *Comm) ValidateAll() (int, error) {
 	c.eng.checkAlive()
-	inst := c.validateSeq
-	c.validateSeq++
+	inst := c.nextValidateInst()
 	decision, err := c.validateAllDriver(inst)
 	if err != nil {
 		return 0, c.herr(err)
@@ -38,8 +37,7 @@ func (c *Comm) ValidateAll() (int, error) {
 // failure count is available from Request.Result (and Status.Len).
 func (c *Comm) IvalidateAll() *Request {
 	c.eng.checkAlive()
-	inst := c.validateSeq
-	c.validateSeq++
+	inst := c.nextValidateInst()
 	r := newRequest(c.eng, c, reqValidate)
 	r.tag, r.ctx = 0, c.ctxInternal
 	go func() {
@@ -62,12 +60,33 @@ func (c *Comm) IvalidateAll() *Request {
 	return r
 }
 
+// nextValidateInst allocates the next agreement instance under the engine
+// lock: elastic respawn reads validateSeq cross-rank to compute a
+// reincarnation's join fence, so the increment must be coherent with that
+// read.
+func (c *Comm) nextValidateInst() int {
+	c.eng.mu.Lock()
+	defer c.eng.mu.Unlock()
+	inst := c.validateSeq
+	c.validateSeq++
+	return inst
+}
+
 // applyValidateDecision recognizes the agreed failures and rebuilds the
 // collective participant list.
 func (c *Comm) applyValidateDecision(decision []int) {
 	c.eng.mu.Lock()
 	dec := make(map[int]bool, len(decision))
 	for _, f := range decision {
+		// An agreement can conclude across a revive boundary, in which
+		// case the decision names an incarnation that is already gone.
+		// Recognizing the slot now would poison the new incarnation
+		// (onPeerRevive cannot repair retroactively), so agreed failures
+		// apply only while the registry still reports the slot dead.
+		// Checked under eng.mu, where onPeerRevive's repair serializes.
+		if !c.proc.w.registry.Failed(f) {
+			continue
+		}
 		c.recognized[f] = true
 		dec[f] = true
 	}

@@ -18,9 +18,11 @@ import (
 
 // Config configures a World.
 //
-// Prefer constructing worlds with NewWorld(size, opts...) and the
-// functional options in options.go; the struct-literal form remains
-// supported through NewWorldFromConfig for existing callers.
+// Construct worlds with NewWorld(size, opts...) and the functional
+// options in options.go. The struct itself stays exported for callers
+// that assemble a configuration positionally and feed it through an
+// Option (an Option is just func(*Config)); the old NewWorldFromConfig
+// constructor is gone.
 type Config struct {
 	// Size is the number of ranks (required, > 0).
 	Size int
@@ -75,24 +77,40 @@ type Config struct {
 	// wait, validate_all, agreement rounds, elections, retry backoff,
 	// chaos delay, failure-notification latency); nil disables.
 	Obs *obs.Registry
+	// Elastic enables elastic-world repair: dead slots may be reoccupied
+	// by a new incarnation at the next generation via World.Spawn (and
+	// automatically, when Elastic.AutoRespawn is set). Nil keeps the
+	// classic fixed-membership semantics where death is forever.
+	Elastic *ElasticOptions
 }
 
-// World is one MPI universe: a fixed set of ranks, a fabric, and the
+// World is one MPI universe: a set of rank slots, a fabric, and the
 // ground-truth failure registry. Create with NewWorld, execute with Run.
+//
+// A slot's identity is generation-stamped (RankID): the slice elements
+// below that describe a slot's live machinery — engine, detector monitor,
+// proc — are atomic pointers swapped wholesale when an elastic world
+// reincarnates a dead slot at the next generation. Readers always see a
+// complete incarnation, never a half-rebuilt one.
 type World struct {
 	size     int
 	registry *detector.Registry
 	fabric   transport.Fabric
-	engines  []*engine
+	engines  []atomic.Pointer[engine]
+	procs    []atomic.Pointer[Proc]
 	tracer   *trace.Recorder
 	metrics  *metrics.World
 	obs      *obs.Registry
 	hook     HookFunc
 	deadline time.Duration
-	reliable  *reliable.Fabric      // non-nil when the reliability sublayer is on
-	hb        []*detector.Heartbeat // per-rank heartbeat monitors; nil unless heartbeat mode
-	sw        []*membership.Swim    // per-rank SWIM monitors; nil unless swim mode
-	agreement string                // validate_all topology (AgreementCoordinator / AgreementTree)
+	reliable  *reliable.Fabric               // non-nil when the reliability sublayer is on
+	hb        []atomic.Pointer[detector.Heartbeat] // per-rank heartbeat monitors; nil unless heartbeat mode
+	sw        []atomic.Pointer[membership.Swim]    // per-rank SWIM monitors; nil unless swim mode
+	hbOpts    detector.HeartbeatOptions      // retained to build replacement monitors at respawn
+	swOpts    membership.Options
+	swConv    *convTracker // gossip-convergence probe shared across incarnations
+	agreement string       // validate_all topology (AgreementCoordinator / AgreementTree)
+	elastic   *ElasticOptions
 
 	// nonRetaining records that the fabric copies everything it needs
 	// inside Send (transport.NonRetaining), so the p2p send path may hand
@@ -106,11 +124,49 @@ type World struct {
 	completionSeq atomic.Uint64 // request-completion order for Waitany
 	startOnce     sync.Once
 	started       bool
+
+	// Run-lifecycle state shared with Spawn. runMu guards every field
+	// below; the invariant that makes WaitGroup reuse safe is that rank
+	// goroutines decrement active under runMu strictly before calling
+	// runWG.Done, so Spawn observing active > 0 under runMu may Add.
+	runMu     sync.Mutex
+	runFn     func(p *Proc) error
+	runRes    *RunResult
+	runWG     *sync.WaitGroup
+	active    int
+	closing   bool
+	spawning  map[int]bool // slots with a Spawn in flight
+	respawned int          // total reincarnations this run
+	finished  []atomic.Bool
+}
+
+// eng returns the slot's current engine.
+func (w *World) eng(i int) *engine { return w.engines[i].Load() }
+
+// genOf returns the generation of the slot's current incarnation.
+func (w *World) genOf(i int) uint32 { return w.engines[i].Load().gen }
+
+// hbAt returns the slot's current heartbeat monitor (nil outside
+// heartbeat mode).
+func (w *World) hbAt(i int) *detector.Heartbeat {
+	if w.hb == nil {
+		return nil
+	}
+	return w.hb[i].Load()
+}
+
+// swAt returns the slot's current SWIM monitor (nil outside swim mode).
+func (w *World) swAt(i int) *membership.Swim {
+	if w.sw == nil {
+		return nil
+	}
+	return w.sw[i].Load()
 }
 
 // NewWorld builds a world of size ranks, configured by functional
 // options (WithFabric, WithTracer, WithMetrics, WithHook, WithDeadline,
-// WithNotifyDelay). The world is single-use: one Run per World.
+// WithNotifyDelay, WithElastic, ...). The world is single-use: one Run
+// per World.
 func NewWorld(size int, opts ...Option) (*World, error) {
 	cfg := Config{Size: size}
 	for _, opt := range opts {
@@ -118,15 +174,11 @@ func NewWorld(size int, opts ...Option) (*World, error) {
 			opt(&cfg)
 		}
 	}
-	return NewWorldFromConfig(cfg)
+	return newWorldFromConfig(cfg)
 }
 
-// NewWorldFromConfig builds a world from a positional Config literal.
-//
-// Deprecated: use NewWorld(size, opts...) with functional options. The
-// Config form remains supported for existing callers and for code that
-// threads a Config through (e.g. core.Run).
-func NewWorldFromConfig(cfg Config) (*World, error) {
+// newWorldFromConfig builds a world from an assembled Config.
+func newWorldFromConfig(cfg Config) (*World, error) {
 	if cfg.Size <= 0 {
 		return nil, fmt.Errorf("%w: world size %d", ErrInvalidArg, cfg.Size)
 	}
@@ -176,6 +228,8 @@ func NewWorldFromConfig(cfg Config) (*World, error) {
 		reliable:     relFab,
 		nonRetaining: nonRetaining,
 		abortCh:      make(chan struct{}),
+		elastic:      cfg.Elastic,
+		spawning:     make(map[int]bool),
 	}
 	w.agreement = cfg.Agreement
 	if w.agreement == "" {
@@ -202,9 +256,10 @@ func NewWorldFromConfig(cfg Config) (*World, error) {
 		relFab.Observe(w.onReliableEvent)
 		relFab.Escalate(func(peer int) { w.registry.Kill(peer) })
 	}
-	w.engines = make([]*engine, cfg.Size)
+	w.engines = make([]atomic.Pointer[engine], cfg.Size)
+	w.procs = make([]atomic.Pointer[Proc], cfg.Size)
 	for i := range w.engines {
-		w.engines[i] = newEngine(w, i)
+		w.engines[i].Store(newEngine(w, i, 1))
 	}
 	return w, nil
 }
@@ -317,10 +372,24 @@ type RankResult struct {
 	Finished bool
 }
 
+// RespawnResult reports how one reincarnation of a slot ended. Each
+// respawn gets its own entry — the slot's Ranks[slot] entry keeps the
+// first incarnation's outcome — so outcomes of an old incarnation still
+// unwinding and its replacement never race on one struct.
+type RespawnResult struct {
+	// Slot is the world rank the incarnation occupied.
+	Slot int
+	// Gen is the incarnation's generation (2 for the first respawn).
+	Gen int
+	RankResult
+}
+
 // RunResult aggregates a world execution.
 type RunResult struct {
-	// Ranks holds one result per world rank.
+	// Ranks holds one result per world rank (the first incarnation).
 	Ranks []RankResult
+	// Respawns holds one result per reincarnation, in spawn order.
+	Respawns []*RespawnResult
 	// TimedOut reports that the watchdog expired — the run deadlocked or
 	// overran the configured deadline.
 	TimedOut bool
@@ -364,7 +433,7 @@ func (w *World) Run(fn func(p *Proc) error) (*RunResult, error) {
 	w.startOnce.Do(func() {
 		startErr = w.fabric.Start(func(dst int, pkt *transport.Packet) {
 			if dst >= 0 && dst < w.size {
-				w.engines[dst].deliver(pkt)
+				w.eng(dst).deliver(pkt)
 			}
 		})
 		if startErr != nil {
@@ -377,15 +446,15 @@ func (w *World) Run(fn func(p *Proc) error) (*RunResult, error) {
 			// the detection/fencing pipeline to Confirm the failure.
 			w.registry.OnDeath(func(f int) {
 				w.tracer.Record(f, trace.Killed, -1, -1, -1, "fail-stop")
-				w.engines[f].markDead()
+				w.eng(f).markDead()
 			})
 			w.registry.Subscribe(func(f int) {
 				if w.reliable != nil {
 					w.reliable.PeerDown(f)
 				}
-				for _, e := range w.engines {
-					if e.rank != f {
-						e.onPeerFailure(f)
+				for i := 0; i < w.size; i++ {
+					if i != f {
+						w.eng(i).onPeerFailure(f)
 					}
 				}
 			})
@@ -398,12 +467,28 @@ func (w *World) Run(fn func(p *Proc) error) (*RunResult, error) {
 					// engines learn of the failure: fail-stop, not lossy.
 					w.reliable.PeerDown(f)
 				}
-				w.engines[f].markDead()
-				for _, e := range w.engines {
-					if e.rank != f {
-						e.onPeerFailure(f)
+				w.eng(f).markDead()
+				for i := 0; i < w.size; i++ {
+					if i != f {
+						w.eng(i).onPeerFailure(f)
 					}
 				}
+			})
+		}
+		// Elastic worlds: every survivor learns of revivals, and (when
+		// configured) a confirmed death schedules its own replacement.
+		w.registry.SubscribeRevive(func(slot, gen int) {
+			for i := 0; i < w.size; i++ {
+				if i != slot {
+					w.eng(i).onPeerRevive(slot)
+				}
+			}
+		})
+		if w.elastic != nil && w.elastic.AutoRespawn {
+			w.registry.Subscribe(func(f int) {
+				time.AfterFunc(w.elastic.RespawnDelay, func() {
+					_, _ = w.Spawn(f) // refused spawns (budget/teardown) are fine
+				})
 			})
 		}
 		w.started = true
@@ -418,30 +503,18 @@ func (w *World) Run(fn func(p *Proc) error) (*RunResult, error) {
 
 	begin := time.Now()
 	res := &RunResult{Ranks: make([]RankResult, w.size)}
-	finished := make([]atomic.Bool, w.size)
 	var wg sync.WaitGroup
+	w.runMu.Lock()
+	w.runFn = fn
+	w.runRes = res
+	w.runWG = &wg
+	w.finished = make([]atomic.Bool, w.size)
 	for rank := 0; rank < w.size; rank++ {
 		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				finished[rank].Store(true)
-				if r := recover(); r != nil {
-					switch r.(type) {
-					case killedPanic:
-						res.Ranks[rank].Killed = true
-					case abortPanic, closedPanic:
-						res.Ranks[rank].Aborted = true
-					default:
-						panic(r) // real bug: propagate
-					}
-				}
-			}()
-			p := newProc(w, rank)
-			res.Ranks[rank].Err = fn(p)
-			res.Ranks[rank].Finished = true
-		}(rank)
+		w.active++
+		w.launchRankLocked(rank, nil, &res.Ranks[rank])
 	}
+	w.runMu.Unlock()
 
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
@@ -454,7 +527,7 @@ func (w *World) Run(fn func(p *Proc) error) (*RunResult, error) {
 		case <-timer.C:
 			res.TimedOut = true
 			for rank := 0; rank < w.size; rank++ {
-				if !finished[rank].Load() && !w.registry.Failed(rank) {
+				if !w.finished[rank].Load() && !w.registry.Failed(rank) {
 					res.Stuck = append(res.Stuck, rank)
 				}
 			}
@@ -465,12 +538,16 @@ func (w *World) Run(fn func(p *Proc) error) (*RunResult, error) {
 		<-done
 	}
 
-	// Teardown: wake any internal service goroutines, stop the detector
-	// monitors while the fabric can still carry their last acks, close
-	// the fabric, and cancel any delayed failure notifications still
-	// pending in the registry (they must not fire into torn-down state).
-	for _, e := range w.engines {
-		e.markClosed()
+	// Teardown: refuse further respawns, wake any internal service
+	// goroutines, stop the detector monitors while the fabric can still
+	// carry their last acks, close the fabric, and cancel any delayed
+	// failure notifications still pending in the registry (they must not
+	// fire into torn-down state).
+	w.runMu.Lock()
+	w.closing = true
+	w.runMu.Unlock()
+	for i := 0; i < w.size; i++ {
+		w.eng(i).markClosed()
 	}
 	w.registry.BroadcastWaiters()
 	w.stopMonitors()

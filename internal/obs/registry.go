@@ -49,6 +49,13 @@ const (
 	// GossipConvergence times epidemic dissemination: event origination
 	// to each other rank first learning it from a piggybacked envelope.
 	GossipConvergence
+	// ShrinkLatency times one Comm.Shrink end to end: the agreement on the
+	// failure set plus construction of the dense survivor communicator.
+	ShrinkLatency
+	// RespawnRecovery times elastic-world healing: a slot's ground-truth
+	// death to its reincarnation rejoining the world at the next
+	// generation.
+	RespawnRecovery
 	numFamilies
 )
 
@@ -56,6 +63,7 @@ var familyNames = [numFamilies]string{
 	"send_complete", "recv_wait", "validate_all", "agreement_round",
 	"election", "retry_backoff", "chaos_delay", "notify_latency",
 	"suspicion_latency", "fence_rtt", "swim_probe_rtt", "gossip_convergence",
+	"shrink_latency", "respawn_recovery",
 }
 
 // String returns the family's exposition name (the Prometheus metric is

@@ -226,6 +226,31 @@ func (f *Fabric) PeerDown(rank int) {
 	f.mu.Unlock()
 }
 
+// PeerUp reverses PeerDown for a revived peer: the dead flag is cleared
+// and every sequencing link touching the slot — both tx directions AND
+// both rx directions — is purged so all four restart from sequence 1 with
+// the new incarnation. (PeerDown leaves the rx state of links *toward*
+// the dead peer in place, since a dead destination sees no new frames; a
+// reincarnation reusing the slot would have its fresh seq=1 frames
+// deduplicated against that stale watermark.) Stale frames from the old
+// incarnation that the restarted links would re-accept are rejected one
+// layer up by the engine's generation fence.
+func (f *Fabric) PeerUp(rank int) {
+	f.mu.Lock()
+	delete(f.dead, rank)
+	for key := range f.tx {
+		if key[0] == rank || key[1] == rank {
+			delete(f.tx, key)
+		}
+	}
+	for key := range f.rx {
+		if key[0] == rank || key[1] == rank {
+			delete(f.rx, key)
+		}
+	}
+	f.mu.Unlock()
+}
+
 // Send stamps the packet with the link's next sequence number and its
 // end-to-end payload CRC, records it for retransmission, and forwards it.
 // The packet (header and payload) is retained until acknowledged; callers

@@ -93,6 +93,13 @@ const (
 	// Refuted marks a rank bumping its incarnation to refute a gossiped
 	// suspicion of itself.
 	Refuted
+	// StaleGenDrop marks a frame rejected by the engine's generation
+	// fence: stamped for (or by) a dead incarnation of its slot.
+	StaleGenDrop
+	// Respawned marks a dead slot reincarnated at a new generation.
+	Respawned
+	// ShrinkDone marks a completed Comm.Shrink on the recording rank.
+	ShrinkDone
 	// Note is a free-form annotation.
 	Note
 )
@@ -131,6 +138,9 @@ var kindNames = map[Kind]string{
 	Confirmed:      "confirm",
 	ProbeTimeout:   "probe-timeout",
 	Refuted:        "refuted",
+	StaleGenDrop:   "stale-gen-drop",
+	Respawned:      "respawned",
+	ShrinkDone:     "shrink-done",
 	Note:           "note",
 }
 

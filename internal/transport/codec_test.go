@@ -20,6 +20,8 @@ func randomPacket(rng *rand.Rand) *Packet {
 		Tag:     rng.Intn(1<<16) - 1<<15,
 		Context: rng.Intn(1 << 10),
 		Kind:    Kind(rng.Intn(2)),
+		SrcGen:  rng.Uint32(),
+		DstGen:  rng.Uint32(),
 		Seq:     rng.Uint64(),
 		Crc:     rng.Uint32(),
 	}

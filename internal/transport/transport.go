@@ -10,8 +10,9 @@
 //   - TCP: real loopback sockets, one listener per rank. It exercises the
 //     same engine code over an actual network stack and backs the E15
 //     transport-comparison experiment. Packets travel as length-prefixed
-//     binary frames: a fixed 42-byte little-endian header (magic,
-//     version, kind, src, dst, tag, context, seq, payload crc, payload
+//     binary frames: a fixed 50-byte little-endian header (magic,
+//     version, kind, src, dst, tag, context, srcgen, dstgen, seq,
+//     payload crc, payload
 //     length, frame crc — see codec.go) followed by the raw payload,
 //     encoded with encoding/binary
 //     into sync.Pool-backed buffers so the steady-state send path does
@@ -56,6 +57,12 @@ const (
 	// signal, so retransmitting them would defeat their purpose — and are
 	// routed to the per-rank heartbeat monitor, not the matching engine.
 	KindControl
+	// KindState is elastic-world state-recovery traffic: a respawned rank
+	// requesting (and a survivor serving) an application state snapshot
+	// registered via Proc.SetStateProvider. The request id travels in Tag;
+	// replies carry the snapshot as payload. State frames bypass user-level
+	// matching and are answered reactively at delivery.
+	KindState
 )
 
 // String returns a short name for the packet kind.
@@ -69,6 +76,8 @@ func (k Kind) String() string {
 		return "ack"
 	case KindControl:
 		return "control"
+	case KindState:
+		return "state"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -77,12 +86,23 @@ func (k Kind) String() string {
 // Packet is one message on the wire. Ranks are world ranks; Context
 // identifies the communicator context (point-to-point and internal
 // contexts are distinct, as in MPI implementations).
+//
+// SrcGen and DstGen carry generation stamps for elastic worlds: the
+// incarnation of the sending slot and the incarnation of the destination
+// slot the sender believed it was addressing. A receiving engine rejects
+// frames whose stamps do not match the current incarnations (stale
+// generations), so traffic addressed to — or originated by — a dead
+// incarnation can never be matched by its reincarnation. Zero means
+// "unstamped" and is accepted, preserving compatibility with tooling that
+// crafts packets by hand.
 type Packet struct {
 	Src     int
 	Dst     int
 	Tag     int
 	Context int
 	Kind    Kind
+	SrcGen  uint32 // generation of the sending incarnation (0 = unstamped)
+	DstGen  uint32 // generation of the intended destination incarnation (0 = unstamped)
 	Seq     uint64 // per-(src,dst) sequence number, assigned by the reliability sublayer
 	Crc     uint32 // end-to-end CRC-32C of Payload (0 = unchecked); see PayloadCrc
 	Payload []byte

@@ -42,8 +42,8 @@ func TestAllHaveMetadata(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	if len(ids) != 20 {
-		t.Fatalf("have %d experiments, want 20", len(ids))
+	if len(ids) != 21 {
+		t.Fatalf("have %d experiments, want 21", len(ids))
 	}
 }
 
@@ -173,6 +173,38 @@ func TestSwimSoakDetectionFlat(t *testing.T) {
 		if row[7] == "0" {
 			t.Fatalf("swim at n=%s had no gossip learns\n%s", row[1], tables[0].Render())
 		}
+	}
+}
+
+// TestElasticSoak is the acceptance gate for elastic worlds: E21 must
+// complete every seeded run with its in-run assertions intact — the
+// victim respawned at generation 2, rank 0 observed every lap exactly
+// once in order (no loss from the token dying with its holder, no
+// duplicate from the resend), the verification laps crossed the full
+// ring including the reincarnation, and the recovered state was at least
+// as fresh as the kill lap. -short and race builds shrink the sweep from
+// 20 seeds to 6.
+func TestElasticSoak(t *testing.T) {
+	opt := Options{Quick: testing.Short() || raceEnabled, Seed: 1}
+	tables, err := runElasticSoak(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeeds := 20
+	if opt.Quick {
+		wantSeeds = 6
+	}
+	rows := tables[0].Rows
+	if len(rows) != wantSeeds {
+		t.Fatalf("want %d seed rows, got %d\n%s", wantSeeds, len(rows), tables[0].Render())
+	}
+	victims := map[string]bool{}
+	for _, row := range rows {
+		victims[row[1]] = true
+	}
+	if len(victims) < 2 {
+		t.Fatalf("seeds covered only victim(s) %v — the sweep is not exercising ring positions\n%s",
+			victims, tables[0].Render())
 	}
 }
 
