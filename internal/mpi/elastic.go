@@ -86,16 +86,21 @@ func (w *World) Spawn(slot int) (int, error) {
 	if slot < 0 || slot >= w.size {
 		return 0, fmt.Errorf("%w: Spawn(%d) out of range [0,%d)", ErrInvalidArg, slot, w.size)
 	}
-	if !w.registry.Confirmed(slot) {
-		return 0, fmt.Errorf("%w: Spawn(%d): slot is not confirmed dead", ErrInvalidArg, slot)
-	}
-	sinceDeath, _ := w.registry.SinceDeath(slot)
 
 	w.runMu.Lock()
 	defer w.runMu.Unlock()
 	if w.runFn == nil || w.closing || w.active == 0 {
 		return 0, fmt.Errorf("%w: Spawn(%d) outside a live run", ErrInvalidArg, slot)
 	}
+	// Checked under runMu: Revive only ever runs under this lock (join
+	// below), so when two Spawns race for one slot — a manual call against
+	// the AutoRespawn timer, or two survivors reacting to the same death —
+	// the loser observes the winner's revive here and is refused, instead
+	// of reaching Revive on a live rank (which panics).
+	if !w.registry.Confirmed(slot) {
+		return 0, fmt.Errorf("%w: Spawn(%d): slot is not confirmed dead", ErrInvalidArg, slot)
+	}
+	sinceDeath, _ := w.registry.SinceDeath(slot)
 	if w.spawning[slot] {
 		return 0, fmt.Errorf("%w: Spawn(%d) already in progress", ErrInvalidArg, slot)
 	}
@@ -133,15 +138,21 @@ func (w *World) Spawn(slot int) (int, error) {
 //     newcomer) while the registry still says "failed";
 //  3. build the slot's replacement monitor — the old incarnation's pump
 //     exited at death and is not restartable;
-//  4. reset the reliability links in both directions so the newcomer's
+//  4. install the replacement engine, arming the generation fence: from
+//     this instant genOf(slot) reports the new generation, so late or
+//     retransmitted frames stamped by the dead incarnation are rejected
+//     at delivery on every survivor (and frames stamped for the new
+//     generation are accepted from the instant they can be produced);
+//  5. reset the reliability links in both directions so the newcomer's
 //     seq=1 frames are neither deduped nor matched against stale
-//     retransmission state;
-//  5. install engine + monitor, so frames stamped for the new generation
-//     are accepted from the instant they can be produced;
-//  6. revive the slot in the registry — generation bumps, survivors'
+//     retransmission state — strictly after step 4, because purging rx
+//     dedup re-admits frames from the dead incarnation and only the
+//     already-armed fence keeps survivors from re-accepting them;
+//  6. install the monitor;
+//  7. revive the slot in the registry — generation bumps, survivors'
 //     engines repair recognition/collectives via the revive subscriber;
-//  7. start the new monitor;
-//  8. sync protocol counters from the most advanced survivor and set the
+//  8. start the new monitor;
+//  9. sync protocol counters from the most advanced survivor and set the
 //     agreement join fence.
 //
 // Caller holds runMu.
@@ -176,11 +187,12 @@ func (w *World) join(slot int) (int, *procSeed) {
 		sw2 = w.makeSwim(slot)
 	}
 
+	w.engines[slot].Store(e2)
+
 	if w.reliable != nil {
 		w.reliable.PeerUp(slot)
 	}
 
-	w.engines[slot].Store(e2)
 	if hb2 != nil {
 		w.hb[slot].Store(hb2)
 	}

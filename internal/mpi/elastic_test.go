@@ -587,3 +587,116 @@ func TestFetchStateDeadPeer(t *testing.T) {
 		t.Fatal(res.Ranks[0].Err)
 	}
 }
+
+// TestSpawnConcurrentSingleWinner: many Spawn calls racing for the same
+// confirmed-dead slot produce exactly one revival — the losers are refused
+// under runMu with ErrInvalidArg instead of reaching Revive on a live rank
+// (which panics). Regression for the check-then-lock race between a manual
+// Spawn and the AutoRespawn timer, or two survivors reacting to one death.
+func TestSpawnConcurrentSingleWinner(t *testing.T) {
+	_, res := runElastic(t, 3, []Option{WithElastic(ElasticOptions{})},
+		func(w *World, p *Proc) error {
+			c := p.World()
+			switch {
+			case p.Rank() == 2 && p.Gen() == 1:
+				p.Die()
+			case p.Rank() == 2: // the reincarnation has nothing to prove
+				return nil
+			case p.Rank() == 0:
+				if err := pollUntil("death of 2", func() (bool, error) {
+					info, err := c.RankState(2)
+					if err != nil {
+						return false, err
+					}
+					return info.State != RankOK, nil
+				}); err != nil {
+					return err
+				}
+				const racers = 8
+				var wg sync.WaitGroup
+				errs := make([]error, racers)
+				gens := make([]int, racers)
+				for i := 0; i < racers; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						gens[i], errs[i] = w.Spawn(2)
+					}(i)
+				}
+				wg.Wait()
+				won := 0
+				for i := 0; i < racers; i++ {
+					switch {
+					case errs[i] == nil:
+						won++
+						if gens[i] != 2 {
+							return fmt.Errorf("winner spawned generation %d", gens[i])
+						}
+					case !errors.Is(errs[i], ErrInvalidArg):
+						return fmt.Errorf("loser error: %v", errs[i])
+					}
+				}
+				if won != 1 {
+					return fmt.Errorf("%d racing spawns succeeded, want exactly 1", won)
+				}
+			}
+			return nil
+		})
+	requireNoRankErrors(t, res)
+	if len(res.Respawns) != 1 {
+		t.Fatalf("respawns: %+v", res.Respawns)
+	}
+}
+
+// TestLateFailureNoticeAfterRevive: a failure notification arriving after
+// the slot has already been revived (a delayed notification racing a fast
+// respawn) must not re-mark the slot failed — but it must still fail the
+// state fetches and posted receives aimed at the dead incarnation, whose
+// frames were generation-fenced and can never complete. Regression for a
+// FetchState that would otherwise block until the world watchdog.
+func TestLateFailureNoticeAfterRevive(t *testing.T) {
+	_, res := runElastic(t, 3, []Option{WithElastic(ElasticOptions{})},
+		func(w *World, p *Proc) error {
+			c := p.World()
+			if p.Rank() != 0 {
+				_, _, err := c.Recv(0, 99) // park until rank 0 is done asserting
+				return err
+			}
+			defer func() {
+				for peer := 1; peer <= 2; peer++ {
+					_ = c.Send(peer, 99, nil)
+				}
+			}()
+			// Plant a pending FetchState waiter and a posted receive toward
+			// rank 1, then deliver a failure notification for a slot the
+			// registry reports alive — exactly the engine state after a
+			// revive already repaired it.
+			e := w.eng(0)
+			e.mu.Lock()
+			e.stateSeq++
+			id := e.stateSeq
+			waiter := &stateWaiter{target: 1, ch: make(chan stateReply, 1)}
+			e.stateWaiters[id] = waiter
+			e.mu.Unlock()
+			r := c.Irecv(1, 42)
+			e.onPeerFailure(1)
+			select {
+			case rep := <-waiter.ch:
+				if !IsRankFailStop(rep.err) {
+					return fmt.Errorf("state waiter completed with %v", rep.err)
+				}
+			default:
+				return fmt.Errorf("late notification left the state waiter pending")
+			}
+			if _, err := r.Wait(); !IsRankFailStop(err) {
+				return fmt.Errorf("posted receive after late notification: %v", err)
+			}
+			// The alive slot must NOT be marked failed, or it would stay
+			// failed forever (onPeerRevive already ran and will not repair).
+			if kf := e.knownFailedSnapshot(nil); len(kf) != 0 {
+				return fmt.Errorf("late notification stuck knownFailed=%v", kf)
+			}
+			return nil
+		})
+	requireNoRankErrors(t, res)
+}

@@ -165,12 +165,16 @@ func (e *engine) onPeerFailure(f int) {
 	// elastic respawn the slot may already be alive again at a higher
 	// generation, and marking it failed now would never be repaired
 	// (onPeerRevive already ran). Checked under e.mu so a concurrent
-	// revive cannot interleave between the check and the write.
-	if !e.w.registry.Failed(f) {
-		e.mu.Unlock()
-		return
+	// revive cannot interleave between the check and the write. The sweep
+	// below still runs even then: requests and state fetches aimed at the
+	// dead incarnation were generation-fenced, so nothing will ever
+	// complete them — a FetchState that raced the respawn would otherwise
+	// block forever — and the app's recovery path re-issues them against
+	// the reincarnation.
+	revived := !e.w.registry.Failed(f)
+	if !revived {
+		e.knownFailed[f] = true
 	}
-	e.knownFailed[f] = true
 	// doomed classifies a posted receive that can no longer complete and
 	// picks the Status.Source the old linear sweep reported for it.
 	doomed := func(r *Request) (int, bool) {
@@ -204,7 +208,9 @@ func (e *engine) onPeerFailure(f int) {
 			sw.ch <- stateReply{err: failStop(f)} // buffered, never blocks
 		}
 	}
-	e.agreeBumpLocked() // agreement waiters watch knownFailed
+	if !revived {
+		e.agreeBumpLocked() // agreement waiters watch knownFailed, unchanged above
+	}
 	e.mu.Unlock()
 }
 

@@ -234,7 +234,10 @@ func (f *Fabric) PeerDown(rank int) {
 // reincarnation reusing the slot would have its fresh seq=1 frames
 // deduplicated against that stale watermark.) Stale frames from the old
 // incarnation that the restarted links would re-accept are rejected one
-// layer up by the engine's generation fence.
+// layer up by the engine's generation fence — which is why callers must
+// install the slot's new-generation engine (arming that fence) BEFORE
+// calling PeerUp: purging rx dedup while the fence still reports the old
+// generation would let such a frame be re-accepted.
 func (f *Fabric) PeerUp(rank int) {
 	f.mu.Lock()
 	delete(f.dead, rank)
