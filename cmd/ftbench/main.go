@@ -1,4 +1,4 @@
-// Command ftbench runs the experiment suite (DESIGN.md E1-E21) and prints
+// Command ftbench runs the experiment suite (DESIGN.md E1-E22) and prints
 // the result tables recorded in EXPERIMENTS.md.
 //
 //	ftbench                # full suite
@@ -10,6 +10,7 @@
 //	ftbench -exp e1 -detector heartbeat   # ring experiments without the oracle
 //	ftbench -exp e20 -quick               # SWIM scaling soak, CI sizes
 //	ftbench -exp e21 -quick               # elastic shrink/respawn soak
+//	ftbench -exp e22 -quick               # replication soak: transparent failover
 //	ftbench -exp e1 -detector swim -agreement tree   # gossip detection + tree votes
 package main
 
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/ftmpi"
@@ -26,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "run a single experiment (e1..e21)")
+		exp     = flag.String("exp", "", "run a single experiment (e1..e22)")
 		quick   = flag.Bool("quick", false, "shrink sweeps for a fast pass")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		seed    = flag.Int64("seed", 1, "seed for randomized failure schedules")
@@ -53,7 +55,7 @@ func main() {
 	if *exp != "" {
 		e, ok := workload.ByID(*exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q (use -list)\n", *exp)
+			fmt.Fprintln(os.Stderr, unknownExpErr(*exp))
 			os.Exit(2)
 		}
 		toRun = []workload.Experiment{e}
@@ -105,6 +107,19 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// unknownExpErr builds the diagnostic for an -exp value that matches no
+// experiment: it names every valid identifier so the user does not need a
+// second invocation with -list just to learn the id space.
+func unknownExpErr(id string) string {
+	all := workload.All()
+	ids := make([]string, 0, len(all))
+	for _, e := range all {
+		ids = append(ids, e.ID)
+	}
+	return fmt.Sprintf("ftbench: unknown experiment %q (valid: %s; -list shows titles)",
+		id, strings.Join(ids, ", "))
 }
 
 // writeJSON emits the collector aggregate to path ("-" = stdout).

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestUnknownExpErrListsAllExperiments pins the contract of the unknown
+// -exp diagnostic: it quotes the bad id and names every registered
+// experiment, so the message can never silently fall out of date when a
+// new experiment lands.
+func TestUnknownExpErrListsAllExperiments(t *testing.T) {
+	msg := unknownExpErr("e99")
+	if !strings.Contains(msg, `"e99"`) {
+		t.Errorf("diagnostic does not quote the bad id: %s", msg)
+	}
+	for _, e := range workload.All() {
+		if !strings.Contains(msg, e.ID) {
+			t.Errorf("diagnostic does not mention experiment %s: %s", e.ID, msg)
+		}
+	}
+	// The ids this PR's experiment space must include — a direct guard
+	// that e22 registered, not just whatever All() happens to return.
+	for _, id := range []string{"e1", "e21", "e22"} {
+		if !strings.Contains(msg, id) {
+			t.Errorf("diagnostic missing %s: %s", id, msg)
+		}
+	}
+}

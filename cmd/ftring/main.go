@@ -18,6 +18,8 @@
 //	ftring -n 16 -detector swim -swim-period 8ms -agreement tree -term validate-all -kill 5:recv:3
 //	ftring -elastic -seed 3                         # elastic repair demo: kill, respawn, resume
 //	ftring -elastic -obs 127.0.0.1:9464 -obs-linger 5s   # scrape respawn/shrink counters
+//	ftring -replicas 2 -seed 3                      # replication demo: a replica dies, failover is invisible
+//	ftring -replicas 2 -obs 127.0.0.1:9464 -obs-linger 5s   # scrape promotion/dedup counters
 package main
 
 import (
@@ -57,6 +59,7 @@ func main() {
 		obsAddr  = flag.String("obs", "", "serve /metrics, /debug/vars, /debug/pprof on this address (e.g. 127.0.0.1:9464)")
 		obsHold  = flag.Duration("obs-linger", 0, "keep the -obs endpoint up this long after the run (for scrapers)")
 		elastic  = flag.Bool("elastic", false, "run the elastic repair demo instead of the ring: a seeded victim dies holding the token, AutoRespawn reincarnates its slot at the next generation, the ring resumes exactly-once at full size (fixed world size; honors -seed, -obs, -stats)")
+		replicas = flag.Int("replicas", 0, "run the replication demo with this many hot replicas per logical rank: a seeded replica is killed mid-run and a standby is promoted without the fault-unaware ring ever noticing (fixed logical ring size; honors -seed, -obs, -stats; R=1 runs failure-free)")
 
 		detMode    = flag.String("detector", "oracle", "failure detection: oracle|heartbeat|swim")
 		hbInterval = flag.Duration("hb-interval", 0, "heartbeat ping interval (0 = default 2ms; with -detector heartbeat)")
@@ -145,6 +148,11 @@ func main() {
 		// the counters and histograms must be sized to match.
 		*n = workload.ElasticDemoRanks
 	}
+	if *replicas > 0 {
+		// Replication worlds meter every physical slot: logical ring size
+		// times the replication degree.
+		*n = workload.ReplicaDemoRanks * *replicas
+	}
 	mets := ftmpi.NewMetrics(*n)
 	reg := ftmpi.NewObsRegistry(*n)
 	mcfg := ftmpi.Config{
@@ -173,6 +181,10 @@ func main() {
 
 	if *elastic {
 		runElasticDemo(*seed, *n, mets, reg, *doStats, obsSrv, *obsHold)
+		return
+	}
+	if *replicas > 0 {
+		runReplicaDemo(*seed, *replicas, mets, reg, *doStats, obsSrv, *obsHold)
 		return
 	}
 
@@ -263,6 +275,42 @@ func runElasticDemo(seed int64, n int, mets *ftmpi.Metrics, reg *ftmpi.ObsRegist
 		fmt.Printf("RESULT: elastic repair FAILED: %v\n", err)
 	} else {
 		fmt.Printf("RESULT: elastic repair completed\n")
+		fmt.Print(table.Render())
+	}
+	if doStats {
+		fmt.Println("\nruntime counters:")
+		fmt.Print(mets.Render())
+		if lat := reg.Snapshot().Render(); lat != "" {
+			fmt.Println("\nlatency quantiles:")
+			fmt.Print(lat)
+		}
+	}
+	if obsSrv != nil && obsHold > 0 {
+		fmt.Printf("keeping observability endpoint up for %v\n", obsHold)
+		time.Sleep(obsHold)
+	}
+	if obsSrv != nil {
+		_ = obsSrv.Close()
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+}
+
+// runReplicaDemo drives the E22 replication protocol once (a seeded
+// replica of the R-way replicated fault-unaware ring is killed mid-run; a
+// standby is promoted and the app never sees an error) over ftring's own
+// metrics recorder and histogram registry, so -obs and -stats expose the
+// promotion/dedup counters and the replica_promotion latency family.
+func runReplicaDemo(seed int64, r int, mets *ftmpi.Metrics, reg *ftmpi.ObsRegistry,
+	doStats bool, obsSrv *ftmpi.ObsServer, obsHold time.Duration) {
+	fmt.Printf("replication demo (seed %d): %d logical ranks x %d replicas under chaos, one replica killed mid-run\n",
+		seed, workload.ReplicaDemoRanks, r)
+	table, err := workload.RunReplicaDemo(seed, r, mets, reg)
+	if err != nil {
+		fmt.Printf("RESULT: replication soak FAILED: %v\n", err)
+	} else {
+		fmt.Printf("RESULT: replication soak completed\n")
 		fmt.Print(table.Render())
 	}
 	if doStats {

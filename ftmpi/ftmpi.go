@@ -96,6 +96,31 @@ type (
 // stale-generation traffic is fenced at delivery.
 func WithElastic(opts ElasticOptions) Option { return mpi.WithElastic(opts) }
 
+// --- replication --------------------------------------------------------------
+
+// ReplicationOptions enables hot-replica fault tolerance (see
+// WithReplication): every logical rank is backed by R physical replicas
+// with transparent failover.
+type ReplicationOptions = mpi.ReplicationOptions
+
+// Replication propagation modes (ReplicationOptions.Mode).
+const (
+	// ReplFanout sends one physical copy to every live replica of the
+	// destination (the default); receivers drop duplicates by sequence.
+	ReplFanout = mpi.ReplFanout
+	// ReplChain sends one copy to the destination's primary, which relays
+	// to its standbys — cheaper uplink, but a primary dying mid-relay can
+	// lose the frame for its standbys.
+	ReplChain = mpi.ReplChain
+)
+
+// WithReplication enables replication mode: NewWorld's size parameter is
+// interpreted as the LOGICAL rank count and the world is expanded to
+// size*R physical slots. Replica deaths are absorbed by promoting a
+// standby; the application observes a failure only when a logical rank's
+// last replica dies.
+func WithReplication(opts ReplicationOptions) Option { return mpi.WithReplication(opts) }
+
 // --- fault injection hooks ---------------------------------------------------
 
 type (
@@ -191,6 +216,12 @@ const (
 	// ObsRespawnRecovery times a slot's ground-truth death to its next
 	// incarnation starting.
 	ObsRespawnRecovery = obs.RespawnRecovery
+	// ObsReplicaPromotion times a replica's ground-truth death to a
+	// standby's promotion to primary of the logical rank.
+	ObsReplicaPromotion = obs.ReplicaPromotion
+	// ObsReplicationOverhead times the extra send work replication adds:
+	// the fan-out copies beyond the first on each logical send.
+	ObsReplicationOverhead = obs.ReplicationOverhead
 )
 
 // Failure-detection modes (see WithDetector).

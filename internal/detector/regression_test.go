@@ -203,7 +203,7 @@ func TestFenceInFlightSupersedesClear(t *testing.T) {
 			clearedAfterDeath.Store(true)
 		}
 	})
-	reg.Kill(1) // the fence's effect at rank 1 (die first...)
+	reg.Kill(1)                                       // the fence's effect at rank 1 (die first...)
 	h.OnControl(1, OpFenceAck, sent[len(sent)-1].seq) // (...ack second)
 	if !reg.Confirmed(1) {
 		t.Fatal("fence ack did not confirm the death")

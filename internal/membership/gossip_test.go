@@ -127,8 +127,8 @@ func TestDecodeEnvelopeRejectsMalformed(t *testing.T) {
 	bad := [][]byte{
 		nil,
 		{},
-		{0x00},                   // wrong magic
-		good[:len(good)-1],       // truncated
+		{0x00},                                  // wrong magic
+		good[:len(good)-1],                      // truncated
 		append(append([]byte{}, good...), 0xFF), // trailing garbage
 		{envelopeMagic, 0x01, 0x02, 0x01, 0x77, 0x03, 0x04}, // unknown event kind 0x77
 		{envelopeMagic, 0x01, 0x02, 0xFF},                   // truncated varint

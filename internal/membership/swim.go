@@ -150,7 +150,7 @@ type Swim struct {
 
 	mu         sync.Mutex
 	rng        *rand.Rand
-	perm       []int   // shuffled probe order over peers
+	perm       []int // shuffled probe order over peers
 	permIdx    int
 	inc        []uint32 // highest known incarnation per rank
 	suspectInc []int64  // highest incarnation each rank was seen suspected at, -1 if never

@@ -107,6 +107,16 @@ const (
 	// StaleGenRejected counts frames rejected by the engine's generation
 	// fence: traffic stamped for (or by) a dead incarnation of a slot.
 	StaleGenRejected
+	// ReplicaSends counts physical copies fanned out (or chain-forwarded)
+	// to replicas of a logical destination beyond what a non-replicated
+	// send would have cost — the wire amplification of replication mode.
+	ReplicaSends
+	// ReplicaPromotions counts standby replicas promoted to primary after
+	// the death of a group member (transparent failover events).
+	ReplicaPromotions
+	// ReplicaDedupDrops counts fan-out duplicates suppressed by the
+	// receiver's replication-sequence tracking.
+	ReplicaDedupDrops
 	numCounters
 )
 
@@ -122,6 +132,7 @@ var counterNames = [numCounters]string{
 	"control_frames", "swim_probes", "swim_indirect_probes",
 	"swim_probe_timeouts", "gossip_events", "gossip_learns",
 	"gossip_decode_errors", "respawns", "shrinks", "stale_gen_rejected",
+	"replica_sends", "replica_promotions", "replica_dedup_drops",
 }
 
 // String returns the counter's table-column name.

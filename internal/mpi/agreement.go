@@ -120,14 +120,14 @@ func (e *engine) deliverAgreement(pkt *transport.Packet) {
 		_, haveDecision := e.agree.decisions[key]
 		switch {
 		case haveDecision:
-			reply = &agreeMsg{Type: agreeVote, Inst: msg.Inst, From: e.rank,
+			reply = &agreeMsg{Type: agreeVote, Inst: msg.Inst, From: e.arank(),
 				Failed: e.agree.decisions[key], Decided: true}
 		case e.agree.started[key] || e.preJoinLocked(key):
 			// Entered in program order, or a pre-join instance of an
 			// elastic reincarnation: either way, vote with the current
 			// failure view (the newcomer will never reach pre-join
 			// validate_all calls, so parking would starve the coordinator).
-			reply = &agreeMsg{Type: agreeVote, Inst: msg.Inst, From: e.rank,
+			reply = &agreeMsg{Type: agreeVote, Inst: msg.Inst, From: e.arank(),
 				Failed: e.knownFailedSnapshotLocked(msg.Group)}
 		default:
 			// Not in the collective yet: park the request; enterInstance
@@ -152,7 +152,7 @@ func (e *engine) deliverAgreement(pkt *transport.Packet) {
 				typ = agreeTreeDecide
 			}
 			reply = &agreeMsg{Type: typ, Inst: msg.Inst,
-				From: e.rank, Failed: d, Decided: true}
+				From: e.arank(), Failed: d, Decided: true}
 		} else if e.preJoinLocked(key) && msg.Group != nil && !e.agree.reactive[key] {
 			// Elastic corner: coordinator succession landed on this revived
 			// slot for an instance that predates its join — every other
@@ -174,7 +174,7 @@ func (e *engine) deliverAgreement(pkt *transport.Packet) {
 	case agreeTreePull:
 		if d, ok := e.agree.decisions[key]; ok {
 			reply = &agreeMsg{Type: agreeTreeDecide, Inst: msg.Inst,
-				From: e.rank, Failed: d, Decided: true}
+				From: e.arank(), Failed: d, Decided: true}
 		} else if e.agree.started[key] || e.preJoinLocked(key) {
 			reply = e.treeAggregateVoteLocked(key, msg.Group)
 		} else {
@@ -185,7 +185,10 @@ func (e *engine) deliverAgreement(pkt *transport.Packet) {
 	e.mu.Unlock()
 
 	if reply != nil {
-		e.sendAgreement(pkt.Src, pkt.Context, reply)
+		// Reply to the sender's LOGICAL rank: in replication mode the reply
+		// fans out to every replica of it, so a coordinator replica that
+		// dies before reading the reply leaves its successor holding it.
+		e.sendAgreement(e.w.logicalOf(pkt.Src), pkt.Context, reply)
 	}
 	if coordGroup != nil {
 		go e.reactiveCoordinate(key, coordGroup)
@@ -208,15 +211,36 @@ func (e *engine) reactiveCoordinate(key agreeKey, group []int) {
 	_, _ = e.coordinateInstance(key, group)
 }
 
-// sendAgreement transmits an agreement message. Errors are ignored: a
-// message to a dead rank simply vanishes, and the protocol's liveness
-// rests on the failure detector, not on delivery acknowledgements.
+// sendAgreement transmits an agreement message to a LOGICAL destination
+// rank. Errors are ignored: a message to a dead rank simply vanishes, and
+// the protocol's liveness rests on the failure detector, not on delivery
+// acknowledgements. In replication mode the message fans out to every
+// live replica of the destination (skipping the sender's own slot), so
+// vote and decision state accumulates on standbys and survives their
+// promotion.
 func (e *engine) sendAgreement(dstWorld, ctx int, msg *agreeMsg) {
 	payload, err := encodeGob(msg)
 	if err != nil {
 		return
 	}
 	e.w.metrics.Inc(e.rank, metrics.AgreementMsgs)
+	if e.w.repl != nil {
+		for _, phys := range e.w.repl.livePhys(dstWorld) {
+			if phys == e.rank {
+				continue
+			}
+			// Per-copy payload: retaining fabrics keep the slice, and the
+			// chaos layer may mutate one copy in flight.
+			pl := append([]byte(nil), payload...)
+			pkt := &transport.Packet{
+				Src: e.rank, Dst: phys, Tag: 0, Context: ctx,
+				Kind: transport.KindAgreement, Payload: pl,
+			}
+			e.stampGen(pkt)
+			_ = e.w.fabric.Send(pkt)
+		}
+		return
+	}
 	pkt := &transport.Packet{
 		Src: e.rank, Dst: dstWorld, Tag: 0, Context: ctx,
 		Kind: transport.KindAgreement, Payload: payload,
@@ -251,7 +275,7 @@ func (e *engine) setJoinInst(inst int) {
 			if req.Type == agreeTreePull {
 				vote = *e.treeAggregateVoteLocked(key, req.Group)
 			} else {
-				vote = agreeMsg{Type: agreeVote, Inst: key.inst, From: e.rank,
+				vote = agreeMsg{Type: agreeVote, Inst: key.inst, From: e.arank(),
 					Failed: e.knownFailedSnapshotLocked(req.Group)}
 			}
 			replies = append(replies, pendingReply{dst: req.From, ctx: key.ctx, msg: vote})
@@ -293,7 +317,6 @@ func (c *Comm) validateAllDriver(inst int) ([]int, error) {
 		defer func() { e.w.obs.Observe(e.rank, obs.ValidateAll, time.Since(start)) }()
 	}
 	key := agreeKey{ctx: c.ctxInternal, inst: inst}
-	reg := c.proc.w.registry
 	e.enterInstance(key, c)
 
 	if e.w.agreement == AgreementTree {
@@ -317,22 +340,26 @@ func (c *Comm) validateAllDriver(inst int) ([]int, error) {
 		}
 		e.mu.Unlock()
 
-		coord, ok := reg.LowestAliveIn(c.group)
+		coord, ok := e.w.lowestAliveIn(c.group)
 		if !ok {
 			return nil, ErrNoDecision // unreachable while the caller lives
 		}
 		if coord == c.proc.rank {
-			return c.coordinateAgreement(key)
-		}
-
-		// Push the vote to (each successive) coordinator instead of waiting
-		// to be solicited. A coordinator that solicited before this rank
-		// entered still folds the pushed vote in; and in an elastic world a
-		// coordinator seat can pass to a revived slot that will never
-		// solicit for this pre-join instance — the pushed vote (which
-		// carries the group) is what triggers its reactive coordination.
-		if coord != lastPushed {
-			vote := &agreeMsg{Type: agreeVote, Inst: key.inst, From: e.rank,
+			// Replication mode: only the group's PRIMARY replica coordinates;
+			// standbys park in the passive loop below (their votes fan out to
+			// the primary, and a promotion wakes them to take over). Two
+			// replicas coordinating the same instance would be a split brain.
+			if e.w.repl == nil || e.w.repl.isPrimary(e.rank) {
+				return c.coordinateAgreement(key)
+			}
+		} else if coord != lastPushed {
+			// Push the vote to (each successive) coordinator instead of waiting
+			// to be solicited. A coordinator that solicited before this rank
+			// entered still folds the pushed vote in; and in an elastic world a
+			// coordinator seat can pass to a revived slot that will never
+			// solicit for this pre-join instance — the pushed vote (which
+			// carries the group) is what triggers its reactive coordination.
+			vote := &agreeMsg{Type: agreeVote, Inst: key.inst, From: e.arank(),
 				Failed: e.knownFailedSnapshot(c.group), Group: c.Group()}
 			e.sendAgreement(coord, c.ctxInternal, vote)
 			lastPushed = coord
@@ -356,6 +383,9 @@ func (c *Comm) validateAllDriver(inst int) ([]int, error) {
 			}
 			if e.knownFailed[coord] {
 				break // coordinator died: re-evaluate
+			}
+			if e.w.repl != nil && coord == c.proc.rank && e.w.repl.isPrimary(e.rank) {
+				break // promoted to primary: re-evaluate and take the coordinator role
 			}
 			ch := e.agreeCh
 			e.mu.Unlock()
@@ -392,14 +422,14 @@ func (e *engine) enterInstance(key agreeKey, c *Comm) {
 			var vote agreeMsg
 			if d, ok := e.agree.decisions[key]; ok {
 				vote = agreeMsg{Type: agreeTreeDecide, Inst: key.inst,
-					From: e.rank, Failed: d, Decided: true}
+					From: e.arank(), Failed: d, Decided: true}
 			} else {
 				vote = *e.treeAggregateVoteLocked(key, req.Group)
 			}
 			replies = append(replies, pendingReply{dst: req.From, msg: vote})
 			continue
 		}
-		vote := agreeMsg{Type: agreeVote, Inst: key.inst, From: e.rank}
+		vote := agreeMsg{Type: agreeVote, Inst: key.inst, From: e.arank()}
 		if d, ok := e.agree.decisions[key]; ok {
 			vote.Failed, vote.Decided = d, true
 		} else {
@@ -425,7 +455,7 @@ func (c *Comm) coordinateAgreement(key agreeKey) ([]int, error) {
 // an elastic reincarnation can serve instances that predate its join
 // (reactiveCoordinate) without a Comm for them.
 func (e *engine) coordinateInstance(key agreeKey, group []int) ([]int, error) {
-	me := e.rank
+	me := e.arank()
 	if e.w.obs != nil {
 		start := time.Now()
 		defer func() { e.w.obs.Observe(me, obs.AgreementRound, time.Since(start)) }()
@@ -516,19 +546,25 @@ func (e *engine) coordinateInstance(key agreeKey, group []int) ([]int, error) {
 	} else {
 		decision = e.agree.decisions[key]
 	}
-	knownDead := make(map[int]bool)
-	for _, m := range group {
-		if e.knownFailed[m] {
-			knownDead[m] = true
-		}
-	}
 	e.mu.Unlock()
 
+	// Broadcast the decision to EVERY member, dead or not: a DECIDE to a
+	// corpse vanishes harmlessly, while skipping known-failed members
+	// loses the decision for an elastic reincarnation whose revive raced
+	// the broadcast (its pushed vote was already folded in, so it will
+	// never push again and would wait forever).
 	dec := &agreeMsg{Type: agreeDecide, Inst: key.inst, From: me, Failed: decision}
 	for _, m := range group {
-		if m != me && !knownDead[m] {
-			e.sendAgreement(m, key.ctx, dec)
+		if m == me {
+			if e.w.repl != nil {
+				// Own logical rank: sendAgreement's fan-out skips this physical
+				// slot, so this reaches exactly the standby siblings — a later
+				// promotion must find the decision already recorded there.
+				e.sendAgreement(me, key.ctx, dec)
+			}
+			continue
 		}
+		e.sendAgreement(m, key.ctx, dec)
 	}
 	return decision, nil
 }

@@ -226,7 +226,7 @@ func (c *Comm) RankState(commRank int) (RankInfo, error) {
 	if err != nil {
 		return RankInfo{}, c.herr(err)
 	}
-	info := RankInfo{Rank: commRank, Generation: c.proc.w.registry.Generation(wr)}
+	info := RankInfo{Rank: commRank, Generation: c.proc.w.appGeneration(wr)}
 	c.eng.mu.Lock()
 	switch {
 	case !c.eng.knownFailed[wr]:
@@ -255,7 +255,7 @@ func (c *Comm) FailedRanks() []RankInfo {
 		if c.recognized[wr] {
 			st = RankNull
 		}
-		out = append(out, RankInfo{Rank: cr, Generation: c.proc.w.registry.Generation(wr), State: st})
+		out = append(out, RankInfo{Rank: cr, Generation: c.proc.w.appGeneration(wr), State: st})
 	}
 	return out
 }

@@ -160,9 +160,19 @@ func (w *World) join(slot int) (int, *procSeed) {
 	newGen := uint32(w.registry.Generation(slot) + 1)
 
 	e2 := newEngine(w, slot, newGen)
-	for i := 0; i < w.size; i++ {
-		if i != slot && w.registry.Confirmed(i) {
-			e2.knownFailed[i] = true
+	if w.repl != nil {
+		// The failure view speaks logical ids in replication mode; a logical
+		// rank is app-failed only when its whole replica group is gone.
+		for l := 0; l < w.lsize; l++ {
+			if l != w.logicalOf(slot) && w.appFailed(l) {
+				e2.knownFailed[l] = true
+			}
+		}
+	} else {
+		for i := 0; i < w.size; i++ {
+			if i != slot && w.registry.Confirmed(i) {
+				e2.knownFailed[i] = true
+			}
 		}
 	}
 

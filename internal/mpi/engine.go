@@ -62,8 +62,19 @@ type engine struct {
 	// knownFailed is this engine's failure-notification view: which world
 	// ranks this rank has been told are dead. With zero notification delay
 	// it tracks the registry exactly; with a delay it lags, modelling
-	// detection latency.
+	// detection latency. In replication mode it is indexed by LOGICAL
+	// rank: individual replica deaths are absorbed by promotion and only a
+	// logical rank's last death is recorded here.
 	knownFailed []bool
+
+	// repSeq/repNext are replication mode's logical-channel sequence
+	// state: repSeq numbers outbound data messages per (logical dst, ctx,
+	// tag) channel — identically on every sender replica, since replicas
+	// execute identical programs — and repNext tracks the next acceptable
+	// inbound number per (logical src, ctx, tag), which is what drops the
+	// fan-out duplicates. Guarded by mu; nil maps outside replication mode.
+	repSeq  map[repChan]uint32
+	repNext map[repChan]uint32
 
 	// comms lists every communicator created by this incarnation's proc,
 	// so a peer's revival can repair recognition and collective membership
@@ -86,7 +97,18 @@ type engine struct {
 	stateSeq      uint64
 }
 
+// repChan keys the replication sequence maps: one logical data channel.
+type repChan struct {
+	peer int // logical peer (dst on send, src on receive)
+	ctx  int
+	tag  int
+}
+
 func newEngine(w *World, rank int, gen uint32) *engine {
+	nf := w.size
+	if w.repl != nil {
+		nf = w.lsize // failure view speaks logical ids in replication mode
+	}
 	e := &engine{
 		w:            w,
 		rank:         rank,
@@ -95,11 +117,33 @@ func newEngine(w *World, rank int, gen uint32) *engine {
 		agreeCh:      make(chan struct{}),
 		posted:       newPostedIndex(),
 		unexpected:   newUnexpectedIndex(),
-		knownFailed:  make([]bool, w.size),
+		knownFailed:  make([]bool, nf),
 		stateWaiters: make(map[uint64]*stateWaiter),
+	}
+	if w.repl != nil {
+		e.repSeq = make(map[repChan]uint32)
+		e.repNext = make(map[repChan]uint32)
 	}
 	e.agree.init()
 	return e
+}
+
+// arank returns this engine's application-visible rank: the logical rank
+// in replication mode, the physical rank otherwise. Protocol messages
+// that carry a rank identity in their body (agreement votes, state
+// targets) speak arank; the wire's Src/Dst stay physical.
+func (e *engine) arank() int { return e.w.logicalOf(e.rank) }
+
+// nextRepSeq assigns the replication sequence number for the next
+// outbound data message on the (logical dst, ctx, tag) channel, starting
+// at 1 (0 on the wire means "unstamped").
+func (e *engine) nextRepSeq(dst, ctx, tag int) uint32 {
+	k := repChan{peer: dst, ctx: ctx, tag: tag}
+	e.mu.Lock()
+	e.repSeq[k]++
+	s := e.repSeq[k]
+	e.mu.Unlock()
+	return s
 }
 
 // --- liveness -------------------------------------------------------------
@@ -171,7 +215,7 @@ func (e *engine) onPeerFailure(f int) {
 	// complete them — a FetchState that raced the respawn would otherwise
 	// block forever — and the app's recovery path re-issues them against
 	// the reincarnation.
-	revived := !e.w.registry.Failed(f)
+	revived := !e.w.appFailed(f)
 	if !revived {
 		e.knownFailed[f] = true
 	}
@@ -326,10 +370,36 @@ func (e *engine) deliver(pkt *transport.Packet) {
 		e.deliverState(pkt)
 		return
 	}
+	if e.w.repl != nil && e.w.repl.mode == ReplChain && pkt.RepSeq != 0 &&
+		!e.dead.Load() && e.w.repl.isPrimary(e.rank) {
+		// Chain mode: the group's primary relays the frame to its standbys
+		// before consuming its own copy. Forwards from a freshly promoted
+		// primary can duplicate the old primary's — RepSeq dedup absorbs it.
+		e.chainForward(pkt)
+	}
 	e.mu.Lock()
 	if e.dead.Load() || e.closed.Load() {
 		e.mu.Unlock()
 		return // packets to a dead rank vanish
+	}
+	if e.w.repl != nil {
+		lsrc := e.w.logicalOf(pkt.Src)
+		if pkt.RepSeq != 0 {
+			k := repChan{peer: lsrc, ctx: pkt.Context, tag: pkt.Tag}
+			if pkt.RepSeq < e.repNext[k] {
+				e.mu.Unlock()
+				e.w.metrics.Inc(e.rank, metrics.ReplicaDedupDrops)
+				return // fan-out duplicate: an earlier replica's copy won
+			}
+			e.repNext[k] = pkt.RepSeq + 1
+		}
+		// Matching (and everything above it: posted sources, statuses, the
+		// unexpected index) speaks logical ranks. Rewrite Src on a shallow
+		// clone — the reliability layer retains the original packet for
+		// retransmission bookkeeping and must not see it mutated.
+		q := *pkt
+		q.Src = lsrc
+		pkt = &q
 	}
 	if r := e.posted.match(pkt.Context, pkt.Src, pkt.Tag); r != nil {
 		e.completeRecvLocked(r, pkt)

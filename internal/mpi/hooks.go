@@ -69,11 +69,14 @@ type HookFunc func(ev HookEvent) Action
 
 // fireHook runs the configured hook and performs the kill if requested.
 // Must be called on the rank's own goroutine with no engine lock held.
-func (w *World) fireHook(rank int, ev HookEvent) {
+// It takes the calling ENGINE, not a rank index: in replication mode the
+// event's Rank is logical and several physical replicas share it, and a
+// kill must fell exactly the replica that hit the hook point.
+func (w *World) fireHook(e *engine, ev HookEvent) {
 	if w.hook == nil {
 		return
 	}
 	if w.hook(ev) == ActKill {
-		w.eng(rank).die()
+		e.die()
 	}
 }

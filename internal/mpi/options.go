@@ -126,3 +126,15 @@ func WithElastic(opts ElasticOptions) Option {
 		cfg.Elastic = &o
 	}
 }
+
+// WithReplication enables replication mode: Config.Size is interpreted as
+// the LOGICAL world size and every logical rank is backed by opts.R
+// physical replicas that all run the rank function. Replica deaths are
+// absorbed by promotion; the application sees a failure only when a
+// logical rank's last replica dies. See ReplicationOptions.
+func WithReplication(opts ReplicationOptions) Option {
+	return func(cfg *Config) {
+		o := opts
+		cfg.Replication = &o
+	}
+}

@@ -47,9 +47,19 @@ func (c *Comm) send(dst, tag, ctx int, payload []byte) error {
 		return nil // MPI_PROC_NULL semantics
 	}
 
-	c.proc.w.fireHook(c.proc.rank, HookEvent{Rank: c.proc.rank, Point: HookBeforeSend, Peer: wr, Tag: tag})
+	c.proc.w.fireHook(c.eng, HookEvent{Rank: c.proc.rank, Point: HookBeforeSend, Peer: wr, Tag: tag})
 	if failed {
 		return failStop(wr)
+	}
+	if c.proc.w.repl != nil {
+		// Replication mode: wr is a LOGICAL destination; fan the message out
+		// to its live physical replicas (replSend makes the per-copy
+		// defensive copies itself).
+		if err := c.eng.replSend(wr, tag, ctx, payload); err != nil {
+			return err
+		}
+		c.proc.w.fireHook(c.eng, HookEvent{Rank: c.proc.rank, Point: HookAfterSend, Peer: wr, Tag: tag})
+		return nil
 	}
 	// A NonRetaining fabric copies everything it needs inside Send, so the
 	// caller's payload can be handed over zero-copy. Retaining fabrics
@@ -61,13 +71,13 @@ func (c *Comm) send(dst, tag, ctx int, payload []byte) error {
 		copy(buf, payload)
 	}
 	err = c.eng.sendPacket(&transport.Packet{
-		Src: c.proc.rank, Dst: wr, Tag: tag, Context: ctx,
+		Src: c.eng.rank, Dst: wr, Tag: tag, Context: ctx,
 		Kind: transport.KindData, Payload: buf,
 	})
 	if err != nil {
 		return err
 	}
-	c.proc.w.fireHook(c.proc.rank, HookEvent{Rank: c.proc.rank, Point: HookAfterSend, Peer: wr, Tag: tag})
+	c.proc.w.fireHook(c.eng, HookEvent{Rank: c.proc.rank, Point: HookAfterSend, Peer: wr, Tag: tag})
 	return nil
 }
 

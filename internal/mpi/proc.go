@@ -21,9 +21,13 @@ type Proc struct {
 	ctxSeq int
 }
 
+// newProc builds the per-rank application handle. rank is the PHYSICAL
+// slot; in replication mode the proc presents the logical identity (its
+// Rank, Size and world-communicator group are logical) while keeping the
+// physical engine underneath.
 func newProc(w *World, rank int) *Proc {
-	p := &Proc{w: w, rank: rank, eng: w.eng(rank)}
-	group := make([]int, w.size)
+	p := &Proc{w: w, rank: w.logicalOf(rank), eng: w.eng(rank)}
+	group := make([]int, w.lsize)
 	for i := range group {
 		group[i] = i
 	}
@@ -39,8 +43,14 @@ func (p *Proc) nextCtxSeq() int {
 	return p.ctxSeq
 }
 
-// Rank returns this process's world rank.
+// Rank returns this process's world rank (the logical rank in
+// replication mode — replicas of one logical rank all report it).
 func (p *Proc) Rank() int { return p.rank }
+
+// PhysRank returns the physical slot this process occupies (equal to
+// Rank outside replication mode). Harness-level assertions use it;
+// application code should not.
+func (p *Proc) PhysRank() int { return p.eng.rank }
 
 // Gen returns this process's incarnation number (1 unless the rank was
 // respawned into an elastic world).
@@ -51,7 +61,8 @@ func (p *Proc) ID() RankID { return RankID{Slot: p.rank, Gen: int(p.eng.gen)} }
 
 // Size returns the world size (including failed ranks — fail-stop ranks
 // are never removed from the universe, per run-through stabilization).
-func (p *Proc) Size() int { return p.w.size }
+// In replication mode this is the LOGICAL size the application addresses.
+func (p *Proc) Size() int { return p.w.lsize }
 
 // World returns the world communicator (MPI_COMM_WORLD).
 func (p *Proc) World() *Comm { return p.worldComm }
@@ -77,7 +88,7 @@ func (p *Proc) Obs() *obs.Registry { return p.w.obs }
 // injector, which may fail-stop the rank exactly here.
 func (p *Proc) Checkpoint(label string) {
 	p.eng.checkAlive()
-	p.w.fireHook(p.rank, HookEvent{Rank: p.rank, Point: HookCheckpoint, Peer: -1, Label: label})
+	p.w.fireHook(p.eng, HookEvent{Rank: p.rank, Point: HookCheckpoint, Peer: -1, Label: label})
 }
 
 // Abort tears down the whole world (MPI_Abort on MPI_COMM_WORLD). It does

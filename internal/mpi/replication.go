@@ -1,0 +1,407 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Replication mode: the second fault-tolerance strategy, opposite in
+// philosophy to the paper's ABFT ring. Instead of the application
+// recognizing failures and repairing its own protocol (re-entry,
+// validate_all, counter repair), every logical rank is backed by R
+// physical replicas that all execute the rank function. Sends fan out to
+// every live replica of the destination (or travel via the primary in
+// chain mode), receivers drop the duplicates by a replication sequence
+// number, and a replica's death is absorbed by promoting a standby —
+// the application never observes a failure until a logical rank's LAST
+// replica dies, at which point the normal fail-stop path takes over.
+//
+// Physical layout is prefix-striped: a world of L logical ranks at
+// replication degree R has N = L*R physical slots, and logical rank l is
+// backed by physical slots {l, l+L, l+2L, ...}. Replica 0 of every
+// logical rank therefore occupies the physical slot with the same index,
+// which keeps logical ids valid indices into every physical-sized table.
+const (
+	// ReplFanout sends one physical copy to every live replica of the
+	// destination (the default). No loss window: any surviving replica has
+	// every message the sender produced.
+	ReplFanout = "fanout"
+	// ReplChain sends one copy to the destination's primary, which
+	// forwards to its standbys. Cheaper on the sender's uplink, but a
+	// primary that acknowledges a frame and dies before forwarding loses
+	// it for the standbys — chain mode trades a loss window for bandwidth.
+	ReplChain = "chain"
+)
+
+// ReplicationOptions configures replication mode (WithReplication).
+type ReplicationOptions struct {
+	// R is the replication degree: physical replicas per logical rank.
+	// 1 is a valid (if pointless) degree and matches the unreplicated
+	// baseline for overhead measurements.
+	R int
+	// Mode selects the propagation shape: ReplFanout (default, also
+	// selected by "") or ReplChain.
+	Mode string
+}
+
+// replGroup is the live view of one logical rank's replica set.
+type replGroup struct {
+	members []int        // backing physical slots, replica index order (fixed)
+	live    map[int]bool // members still alive
+	primary int          // current primary physical slot (-1 when all dead)
+	epoch   uint32       // bumped on every membership change, stamped on the wire
+}
+
+// replState tracks every replica group of a replicated world. Lock
+// ordering: replState.mu may be taken while holding no engine lock, or
+// under an engine's mu (read accessors called from delivery paths);
+// methods holding mu therefore never call into an engine.
+type replState struct {
+	w     *World
+	r     int    // replication degree
+	mode  string // ReplFanout or ReplChain
+	lsize int    // logical world size
+
+	mu     sync.Mutex
+	groups []replGroup
+}
+
+// newReplState lays out lsize replica groups of degree r over the
+// physical slot table.
+func newReplState(w *World, lsize, r int, mode string) *replState {
+	if mode == "" {
+		mode = ReplFanout
+	}
+	s := &replState{w: w, r: r, mode: mode, lsize: lsize}
+	s.groups = make([]replGroup, lsize)
+	for l := 0; l < lsize; l++ {
+		g := &s.groups[l]
+		g.members = make([]int, 0, r)
+		g.live = make(map[int]bool, r)
+		for i := 0; i < r; i++ {
+			p := l + i*lsize
+			g.members = append(g.members, p)
+			g.live[p] = true
+		}
+		g.primary = l // replica 0
+	}
+	return s
+}
+
+// handleDeath offers a confirmed physical death to the replica-group
+// state. It reports true when the death was absorbed (the logical rank
+// still has a live replica — a standby was promoted if the primary died)
+// and false when the group is now empty and the death must escalate to
+// the app-visible fail-stop path. Idempotent: a second notification for
+// the same slot reports the group's current fate without re-promoting.
+func (s *replState) handleDeath(f int) bool {
+	l := f % s.lsize
+	s.mu.Lock()
+	g := &s.groups[l]
+	if g.live[f] {
+		delete(g.live, f)
+		g.epoch++
+	}
+	if len(g.live) == 0 {
+		g.primary = -1
+		s.mu.Unlock()
+		return false
+	}
+	promoted := -1
+	if g.primary == f {
+		// Promote the lowest-index live replica: deterministic, so every
+		// observer that consults the group agrees on the new primary.
+		for _, m := range g.members {
+			if g.live[m] {
+				g.primary = m
+				promoted = m
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	if promoted >= 0 {
+		w := s.w
+		w.metrics.Inc(promoted, metrics.ReplicaPromotions)
+		if lat, ok := w.registry.SinceDeath(f); ok {
+			w.obs.Observe(promoted, obs.ReplicaPromotion, lat)
+		}
+		w.tracer.Record(promoted, trace.Promoted, f, -1, -1,
+			fmt.Sprintf("primary of logical %d (replacing %d)", l, f))
+		// A standby that just became primary may be parked in a passive
+		// agreement loop waiting to take over the coordinator or tree-root
+		// role; roll every engine's agreement channel so it re-evaluates.
+		for i := 0; i < w.size; i++ {
+			e := w.eng(i)
+			e.mu.Lock()
+			e.agreeBumpLocked()
+			e.mu.Unlock()
+		}
+	}
+	return true
+}
+
+// onRevive re-admits a respawned physical slot to its replica group
+// (elastic worlds: Spawn refills a depleted group).
+func (s *replState) onRevive(p int) {
+	l := p % s.lsize
+	s.mu.Lock()
+	g := &s.groups[l]
+	if !g.live[p] {
+		g.live[p] = true
+		g.epoch++
+		if g.primary < 0 {
+			g.primary = p
+		}
+	}
+	s.mu.Unlock()
+}
+
+// livePhys returns the live physical replicas of logical rank l in
+// replica-index order.
+func (s *replState) livePhys(l int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := &s.groups[l]
+	out := make([]int, 0, len(g.live))
+	for _, m := range g.members {
+		if g.live[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// sendTargets returns the physical destinations one logical send must
+// reach: every live replica in fanout mode, just the primary in chain
+// mode (it forwards to the standbys).
+func (s *replState) sendTargets(l int) []int {
+	if s.mode == ReplChain {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if p := s.groups[l].primary; p >= 0 {
+			return []int{p}
+		}
+		return nil
+	}
+	return s.livePhys(l)
+}
+
+// primaryPhys returns the current primary physical slot of logical rank
+// l (-1 when the whole group is dead).
+func (s *replState) primaryPhys(l int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.groups[l].primary
+}
+
+// isPrimary reports whether physical slot p currently leads its group.
+func (s *replState) isPrimary(p int) bool {
+	l := p % s.lsize
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.groups[l].primary == p
+}
+
+// liveSiblings returns the live physical replicas sharing p's logical
+// rank, excluding p itself (the chain-forward targets).
+func (s *replState) liveSiblings(p int) []int {
+	l := p % s.lsize
+	var out []int
+	s.mu.Lock()
+	g := &s.groups[l]
+	for _, m := range g.members {
+		if m != p && g.live[m] {
+			out = append(out, m)
+		}
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// epochOf returns the replica-set epoch of logical rank l, the value
+// stamped into Packet.RepEpoch (diagnostic: dedup is by RepSeq alone).
+func (s *replState) epochOf(l int) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.groups[l].epoch
+}
+
+// groupDead reports whether logical rank l has no live replica left.
+func (s *replState) groupDead(l int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.groups[l].live) == 0
+}
+
+// --- world-level logical views ----------------------------------------------
+
+// logicalOf maps a physical slot to its logical rank (identity outside
+// replication mode).
+func (w *World) logicalOf(p int) int {
+	if w.repl == nil {
+		return p
+	}
+	return p % w.lsize
+}
+
+// LogicalSize returns the number of application-visible ranks: Size()/R
+// in replication mode, Size() otherwise.
+func (w *World) LogicalSize() int { return w.lsize }
+
+// appFailed reports whether logical rank l is failed from the
+// application's point of view: its registry slot outside replication
+// mode, its whole replica group within it.
+func (w *World) appFailed(l int) bool {
+	if w.repl == nil {
+		return w.registry.Failed(l)
+	}
+	return w.repl.groupDead(l)
+}
+
+// appGeneration returns the incarnation generation the application
+// observes for logical rank l: the primary replica's generation while
+// one lives, the replica-0 slot's otherwise.
+func (w *World) appGeneration(l int) int {
+	if w.repl == nil {
+		return w.registry.Generation(l)
+	}
+	if p := w.repl.primaryPhys(l); p >= 0 {
+		return w.registry.Generation(p)
+	}
+	return w.registry.Generation(l)
+}
+
+// lowestAliveIn returns the lowest logical rank in group that the
+// application still observes as alive.
+func (w *World) lowestAliveIn(group []int) (int, bool) {
+	if w.repl == nil {
+		return w.registry.LowestAliveIn(group)
+	}
+	best, ok := -1, false
+	for _, l := range group {
+		if !w.appFailed(l) && (!ok || l < best) {
+			best, ok = l, true
+		}
+	}
+	return best, ok
+}
+
+// notifyFailure routes a confirmed physical death into the engines'
+// failure views. In replication mode the death is first offered to the
+// replica-group state: while the logical rank still has a live replica,
+// the failure is absorbed by promotion and no engine's app-visible view
+// changes. Only the last replica's death escalates, and it escalates
+// under the LOGICAL rank id, because that is the identity every engine's
+// failure view speaks in replication mode.
+func (w *World) notifyFailure(f int) {
+	if w.repl == nil {
+		for i := 0; i < w.size; i++ {
+			if i != f {
+				w.eng(i).onPeerFailure(f)
+			}
+		}
+		return
+	}
+	if w.repl.handleDeath(f) {
+		return
+	}
+	lf := w.logicalOf(f)
+	for i := 0; i < w.size; i++ {
+		if w.logicalOf(i) != lf {
+			w.eng(i).onPeerFailure(lf)
+		}
+	}
+}
+
+// notifyRevive routes a registry revival into the engines' views (the
+// logical-id counterpart of notifyFailure).
+func (w *World) notifyRevive(slot int) {
+	if w.repl == nil {
+		for i := 0; i < w.size; i++ {
+			if i != slot {
+				w.eng(i).onPeerRevive(slot)
+			}
+		}
+		return
+	}
+	w.repl.onRevive(slot)
+	ls := w.logicalOf(slot)
+	for i := 0; i < w.size; i++ {
+		if w.logicalOf(i) != ls {
+			w.eng(i).onPeerRevive(ls)
+		}
+	}
+}
+
+// replSend fans one logical data message out to the physical replicas
+// of logical destination ldst: every live replica in fanout mode, the
+// primary in chain mode. Each copy carries the same replication sequence
+// number — sender replicas execute identical programs and stamp
+// identical sequences, so receivers drop the duplicates by RepSeq alone.
+// Must be called with no engine lock held.
+func (e *engine) replSend(ldst, tag, ctx int, payload []byte) error {
+	w := e.w
+	targets := w.repl.sendTargets(ldst)
+	if len(targets) == 0 {
+		return failStop(ldst)
+	}
+	seq := e.nextRepSeq(ldst, ctx, tag)
+	epoch := w.repl.epochOf(ldst)
+	var start time.Time
+	var firstErr error
+	for i, phys := range targets {
+		buf := payload
+		if !w.nonRetaining {
+			// Retaining fabrics (Local, and anything layered on it) keep the
+			// payload pointer, so every physical copy needs its own buffer.
+			buf = make([]byte, len(payload))
+			copy(buf, payload)
+		}
+		if i == 1 && w.obs != nil {
+			start = time.Now() // overhead clock: copies beyond the first
+		}
+		pkt := &transport.Packet{
+			Src: e.rank, Dst: phys, Tag: tag, Context: ctx,
+			Kind: transport.KindData, Payload: buf,
+			RepSeq: seq, RepEpoch: epoch,
+		}
+		if err := e.sendPacket(pkt); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if i > 0 {
+			w.metrics.Inc(e.rank, metrics.ReplicaSends)
+		}
+	}
+	if len(targets) > 1 && w.obs != nil {
+		w.obs.Observe(e.rank, obs.ReplicationOverhead, time.Since(start))
+	}
+	return firstErr
+}
+
+// chainForward relays a chain-mode data frame from the group's primary
+// to its live standbys, preserving the original sender's identity and
+// generation stamp (re-stamping with the forwarder's would trip the
+// receiver's generation fence against the true source). Runs on the
+// delivery goroutine with no engine lock held.
+func (e *engine) chainForward(pkt *transport.Packet) {
+	w := e.w
+	for _, sib := range w.repl.liveSiblings(e.rank) {
+		fwd := *pkt
+		fwd.Dst = sib
+		fwd.DstGen = w.genOf(sib)
+		if !w.nonRetaining && pkt.Payload != nil {
+			fwd.Payload = make([]byte, len(pkt.Payload))
+			copy(fwd.Payload, pkt.Payload)
+		}
+		_ = w.fabric.Send(&fwd)
+		w.metrics.Inc(e.rank, metrics.ReplicaSends)
+	}
+}

@@ -269,7 +269,7 @@ func (r *Request) Wait() (Status, error) {
 		e.w.obs.Observe(e.rank, obs.RecvWait, time.Since(waitStart))
 	}
 	if observed && st.Source != ProcNull {
-		e.w.fireHook(e.rank, HookEvent{Rank: e.rank, Point: HookAfterRecv, Peer: r.srcWorld, Tag: st.Tag})
+		e.w.fireHook(e, HookEvent{Rank: e.arank(), Point: HookAfterRecv, Peer: r.srcWorld, Tag: st.Tag})
 	}
 	return st, err
 }
@@ -294,7 +294,7 @@ func (r *Request) Test() (bool, Status, error) {
 	}
 	e.mu.Unlock()
 	if observed && st.Source != ProcNull {
-		e.w.fireHook(e.rank, HookEvent{Rank: e.rank, Point: HookAfterRecv, Peer: r.srcWorld, Tag: st.Tag})
+		e.w.fireHook(e, HookEvent{Rank: e.arank(), Point: HookAfterRecv, Peer: r.srcWorld, Tag: st.Tag})
 	}
 	return true, st, err
 }
@@ -368,7 +368,7 @@ func Waitany(reqs ...*Request) (int, Status, error) {
 			}
 			e.mu.Unlock()
 			if observed && st.Source != ProcNull {
-				e.w.fireHook(e.rank, HookEvent{Rank: e.rank, Point: HookAfterRecv, Peer: r.srcWorld, Tag: st.Tag})
+				e.w.fireHook(e, HookEvent{Rank: e.arank(), Point: HookAfterRecv, Peer: r.srcWorld, Tag: st.Tag})
 			}
 			return best, st, err
 		}
@@ -439,7 +439,7 @@ func Testany(reqs ...*Request) (ok bool, idx int, st Status, err error) {
 	}
 	e.mu.Unlock()
 	if observed && st.Source != ProcNull {
-		e.w.fireHook(e.rank, HookEvent{Rank: e.rank, Point: HookAfterRecv, Peer: r.srcWorld, Tag: st.Tag})
+		e.w.fireHook(e, HookEvent{Rank: e.arank(), Point: HookAfterRecv, Peer: r.srcWorld, Tag: st.Tag})
 	}
 	return true, best, st, err
 }

@@ -52,13 +52,13 @@ func (p *Proc) SetStateProvider(fn func() []byte) {
 }
 
 // FetchState pulls the serialized application state of an alive peer
-// (world rank). It blocks until the reply arrives, the peer is reported
-// failed (fail-stop error), or the world aborts. ErrNoState reports an
-// alive peer without a provider.
+// (world rank — logical in replication mode). It blocks until the reply
+// arrives, the peer is reported failed (fail-stop error), or the world
+// aborts. ErrNoState reports an alive peer without a provider.
 func (p *Proc) FetchState(peer int) ([]byte, error) {
 	e := p.eng
 	e.checkAlive()
-	if peer < 0 || peer >= p.w.size || peer == p.rank {
+	if peer < 0 || peer >= p.w.lsize || peer == p.rank {
 		return nil, fmt.Errorf("%w: FetchState(%d)", ErrInvalidRank, peer)
 	}
 	e.mu.Lock()
@@ -72,16 +72,37 @@ func (p *Proc) FetchState(peer int) ([]byte, error) {
 	e.stateWaiters[id] = waiter
 	e.mu.Unlock()
 
-	pkt := &transport.Packet{
-		Src: p.rank, Dst: peer, Tag: int(id),
-		Context: ctxStateReq, Kind: transport.KindState,
+	// In replication mode the request fans out to every live replica of
+	// the logical peer: asking only the primary would hang if the primary
+	// dies while a standby survives (the group death never escalates, so
+	// onPeerFailure would never fail the waiter). Duplicate replies are
+	// dropped by the waiter-removal path below.
+	targets := []int{peer}
+	if p.w.repl != nil {
+		targets = p.w.repl.livePhys(peer)
+		if len(targets) == 0 {
+			e.mu.Lock()
+			delete(e.stateWaiters, id)
+			e.mu.Unlock()
+			return nil, failStop(peer)
+		}
 	}
-	e.stampGen(pkt)
-	if err := e.w.fabric.Send(pkt); err != nil {
+	var sendErr error
+	for _, t := range targets {
+		pkt := &transport.Packet{
+			Src: e.rank, Dst: t, Tag: int(id),
+			Context: ctxStateReq, Kind: transport.KindState,
+		}
+		e.stampGen(pkt)
+		if err := e.w.fabric.Send(pkt); err != nil && sendErr == nil {
+			sendErr = err
+		}
+	}
+	if sendErr != nil {
 		e.mu.Lock()
 		delete(e.stateWaiters, id)
 		e.mu.Unlock()
-		return nil, err
+		return nil, sendErr
 	}
 
 	select {
@@ -127,7 +148,10 @@ func (e *engine) deliverState(pkt *transport.Packet) {
 	case ctxStateRep:
 		e.mu.Lock()
 		waiter := e.stateWaiters[uint64(pkt.Tag)]
-		if waiter != nil && waiter.target == pkt.Src {
+		// The waiter's target is a logical rank; in replication mode any of
+		// the peer's replicas may answer, and the first reply wins (later
+		// duplicates find the waiter already removed).
+		if waiter != nil && waiter.target == e.w.logicalOf(pkt.Src) {
 			delete(e.stateWaiters, uint64(pkt.Tag))
 		} else {
 			waiter = nil

@@ -120,7 +120,7 @@ func treeChildren(view []int, r int) []int {
 // subtree vote into (covered set, failed union). If any recorded vote
 // carries a prior decision, it is surfaced for verbatim adoption.
 func (e *engine) treeAggregateLocked(key agreeKey, group []int) (covered, failed map[int]bool, adopted []int, haveAdopted bool) {
-	covered = map[int]bool{e.rank: true}
+	covered = map[int]bool{e.arank(): true}
 	failed = map[int]bool{}
 	for _, f := range e.knownFailedSnapshotLocked(group) {
 		failed[f] = true
@@ -145,7 +145,7 @@ func (e *engine) treeAggregateLocked(key agreeKey, group []int) (covered, failed
 // message (used for pull replies; the driver builds its own).
 func (e *engine) treeAggregateVoteLocked(key agreeKey, group []int) *agreeMsg {
 	covered, failed, adopted, haveAdopted := e.treeAggregateLocked(key, group)
-	msg := &agreeMsg{Type: agreeTreeVote, Inst: key.inst, From: e.rank,
+	msg := &agreeMsg{Type: agreeTreeVote, Inst: key.inst, From: e.arank(),
 		Covered: sortedKeys(covered)}
 	if haveAdopted {
 		msg.Failed, msg.Decided = adopted, true
@@ -231,7 +231,13 @@ func (c *Comm) treeAgreementDriver(key agreeKey) ([]int, error) {
 				e.agree.decisions[key] = adopted
 				decision, decided = adopted, true
 				e.agreeBumpLocked()
-			case len(view) > 0 && view[0] == me:
+			// Replication mode: only the PRIMARY replica of the root's
+			// logical rank acts as root; its standbys fall through to the
+			// default case where treeParent reports no parent, so they park
+			// until a decision (or their own promotion) bumps agreeCh and
+			// this condition is recomputed.
+			case len(view) > 0 && view[0] == me &&
+				(e.w.repl == nil || e.w.repl.isPrimary(e.rank)):
 				if covers(covered, view) {
 					decision = sortedKeys(failedU)
 					e.agree.decisions[key] = decision
@@ -306,7 +312,9 @@ func (e *engine) fingerprintView(view []int) [3]int {
 	sum, gsum := 0, 0
 	for _, m := range view {
 		sum += m
-		gsum += int(e.w.genOf(m))
+		// appGeneration speaks the view's identity space: physical slots
+		// normally, the primary replica's generation in replication mode.
+		gsum += e.w.appGeneration(m)
 	}
 	return [3]int{len(view), sum, gsum}
 }

@@ -84,7 +84,7 @@ func (c *Comm) applyValidateDecision(decision []int) {
 		// (onPeerRevive cannot repair retroactively), so agreed failures
 		// apply only while the registry still reports the slot dead.
 		// Checked under eng.mu, where onPeerRevive's repair serializes.
-		if !c.proc.w.registry.Failed(f) {
+		if !c.proc.w.appFailed(f) {
 			continue
 		}
 		c.recognized[f] = true

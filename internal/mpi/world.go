@@ -82,6 +82,12 @@ type Config struct {
 	// automatically, when Elastic.AutoRespawn is set). Nil keeps the
 	// classic fixed-membership semantics where death is forever.
 	Elastic *ElasticOptions
+	// Replication enables hot-replica mode: Size is interpreted as the
+	// LOGICAL rank count and the world is expanded to Size*R physical
+	// slots, each logical rank backed by R replicas with transparent
+	// failover. Nil keeps the one-slot-per-rank semantics. See
+	// replication.go.
+	Replication *ReplicationOptions
 }
 
 // World is one MPI universe: a set of rank slots, a fabric, and the
@@ -93,24 +99,26 @@ type Config struct {
 // reincarnates a dead slot at the next generation. Readers always see a
 // complete incarnation, never a half-rebuilt one.
 type World struct {
-	size     int
-	registry *detector.Registry
-	fabric   transport.Fabric
-	engines  []atomic.Pointer[engine]
-	procs    []atomic.Pointer[Proc]
-	tracer   *trace.Recorder
-	metrics  *metrics.World
-	obs      *obs.Registry
-	hook     HookFunc
-	deadline time.Duration
-	reliable  *reliable.Fabric               // non-nil when the reliability sublayer is on
+	size      int
+	registry  *detector.Registry
+	fabric    transport.Fabric
+	engines   []atomic.Pointer[engine]
+	procs     []atomic.Pointer[Proc]
+	tracer    *trace.Recorder
+	metrics   *metrics.World
+	obs       *obs.Registry
+	hook      HookFunc
+	deadline  time.Duration
+	reliable  *reliable.Fabric                     // non-nil when the reliability sublayer is on
 	hb        []atomic.Pointer[detector.Heartbeat] // per-rank heartbeat monitors; nil unless heartbeat mode
 	sw        []atomic.Pointer[membership.Swim]    // per-rank SWIM monitors; nil unless swim mode
-	hbOpts    detector.HeartbeatOptions      // retained to build replacement monitors at respawn
+	hbOpts    detector.HeartbeatOptions            // retained to build replacement monitors at respawn
 	swOpts    membership.Options
 	swConv    *convTracker // gossip-convergence probe shared across incarnations
 	agreement string       // validate_all topology (AgreementCoordinator / AgreementTree)
 	elastic   *ElasticOptions
+	lsize     int        // logical rank count (== size unless replicated)
+	repl      *replState // replica-group state; nil outside replication mode
 
 	// nonRetaining records that the fabric copies everything it needs
 	// inside Send (transport.NonRetaining), so the p2p send path may hand
@@ -194,6 +202,23 @@ func newWorldFromConfig(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("%w: unknown agreement mode %q (want %q or %q)",
 			ErrInvalidArg, cfg.Agreement, AgreementCoordinator, AgreementTree)
 	}
+	lsize := cfg.Size
+	if cfg.Replication != nil {
+		if cfg.Replication.R < 1 {
+			return nil, fmt.Errorf("%w: replication degree %d (want >= 1)",
+				ErrInvalidArg, cfg.Replication.R)
+		}
+		switch cfg.Replication.Mode {
+		case "", ReplFanout, ReplChain:
+		default:
+			return nil, fmt.Errorf("%w: unknown replication mode %q (want %q or %q)",
+				ErrInvalidArg, cfg.Replication.Mode, ReplFanout, ReplChain)
+		}
+		// Size is the logical rank count; the physical world is R times
+		// larger. Everything below (registry, engines, monitors, fabric
+		// delivery) is sized physically.
+		cfg.Size = lsize * cfg.Replication.R
+	}
 	fabric := cfg.Fabric
 	if fabric == nil {
 		fabric = transport.NewLocal()
@@ -230,6 +255,10 @@ func newWorldFromConfig(cfg Config) (*World, error) {
 		abortCh:      make(chan struct{}),
 		elastic:      cfg.Elastic,
 		spawning:     make(map[int]bool),
+		lsize:        lsize,
+	}
+	if cfg.Replication != nil {
+		w.repl = newReplState(w, lsize, cfg.Replication.R, cfg.Replication.Mode)
 	}
 	w.agreement = cfg.Agreement
 	if w.agreement == "" {
@@ -318,7 +347,9 @@ func (w *World) onReliableEvent(e reliable.Event) {
 	}
 }
 
-// Size returns the number of ranks in the world (alive or failed).
+// Size returns the number of PHYSICAL rank slots in the world (alive or
+// failed). In replication mode this is LogicalSize()*R; the application
+// sees LogicalSize() ranks.
 func (w *World) Size() int { return w.size }
 
 // Registry exposes the ground-truth failure registry (the perfect
@@ -452,11 +483,7 @@ func (w *World) Run(fn func(p *Proc) error) (*RunResult, error) {
 				if w.reliable != nil {
 					w.reliable.PeerDown(f)
 				}
-				for i := 0; i < w.size; i++ {
-					if i != f {
-						w.eng(i).onPeerFailure(f)
-					}
-				}
+				w.notifyFailure(f)
 			})
 			w.startMonitors()
 		} else {
@@ -468,21 +495,13 @@ func (w *World) Run(fn func(p *Proc) error) (*RunResult, error) {
 					w.reliable.PeerDown(f)
 				}
 				w.eng(f).markDead()
-				for i := 0; i < w.size; i++ {
-					if i != f {
-						w.eng(i).onPeerFailure(f)
-					}
-				}
+				w.notifyFailure(f)
 			})
 		}
 		// Elastic worlds: every survivor learns of revivals, and (when
 		// configured) a confirmed death schedules its own replacement.
 		w.registry.SubscribeRevive(func(slot, gen int) {
-			for i := 0; i < w.size; i++ {
-				if i != slot {
-					w.eng(i).onPeerRevive(slot)
-				}
-			}
+			w.notifyRevive(slot)
 		})
 		if w.elastic != nil && w.elastic.AutoRespawn {
 			w.registry.Subscribe(func(f int) {

@@ -56,6 +56,14 @@ const (
 	// death to its reincarnation rejoining the world at the next
 	// generation.
 	RespawnRecovery
+	// ReplicaPromotion times transparent failover in replication mode: a
+	// replica's ground-truth death to a surviving standby taking over as
+	// primary of the logical rank.
+	ReplicaPromotion
+	// ReplicationOverhead times the extra fabric work a replicated send
+	// pays beyond its first physical copy (the fan-out or chain-forward
+	// cost, the failure-free price of replication).
+	ReplicationOverhead
 	numFamilies
 )
 
@@ -63,7 +71,8 @@ var familyNames = [numFamilies]string{
 	"send_complete", "recv_wait", "validate_all", "agreement_round",
 	"election", "retry_backoff", "chaos_delay", "notify_latency",
 	"suspicion_latency", "fence_rtt", "swim_probe_rtt", "gossip_convergence",
-	"shrink_latency", "respawn_recovery",
+	"shrink_latency", "respawn_recovery", "replica_promotion",
+	"replication_overhead",
 }
 
 // String returns the family's exposition name (the Prometheus metric is

@@ -100,6 +100,9 @@ const (
 	Respawned
 	// ShrinkDone marks a completed Comm.Shrink on the recording rank.
 	ShrinkDone
+	// Promoted marks a standby replica taking over as primary of its
+	// logical rank after the previous primary died (replication mode).
+	Promoted
 	// Note is a free-form annotation.
 	Note
 )
@@ -141,6 +144,7 @@ var kindNames = map[Kind]string{
 	StaleGenDrop:   "stale-gen-drop",
 	Respawned:      "respawned",
 	ShrinkDone:     "shrink-done",
+	Promoted:       "promoted",
 	Note:           "note",
 }
 

@@ -11,7 +11,7 @@ import (
 
 // Binary wire format for the TCP fabric (CodecBinary).
 //
-// Every packet is one frame: a fixed 50-byte little-endian header followed
+// Every packet is one frame: a fixed 58-byte little-endian header followed
 // by the raw payload bytes. The header carries every Packet field plus the
 // payload length, so a frame is self-delimiting and decodable with exactly
 // two reads (header, payload) into caller-provided buffers — no reflection
@@ -19,11 +19,12 @@ import (
 // of magnitude cheaper than the gob stream it replaces. Version 3 added
 // the two generation stamps for elastic worlds (src gen, dst gen) so
 // stale-incarnation fencing survives a real wire, not just the in-memory
-// fabric.
+// fabric. Version 4 added the replication stamps (rep seq, rep epoch) so
+// fan-out dedup survives a real wire too.
 //
 //	offset size field
 //	0      4    magic   (0x46544D50, "FTMP")
-//	4      1    version (3)
+//	4      1    version (4)
 //	5      1    kind
 //	6      4    src     (int32)
 //	10     4    dst     (int32)
@@ -33,9 +34,11 @@ import (
 //	26     4    dst gen (uint32)
 //	30     8    seq     (uint64)
 //	38     4    payload crc (Packet.Crc, end-to-end; carried verbatim)
-//	42     4    payload length (uint32)
-//	46     4    frame crc (CRC-32C over header[0:46] + payload)
-//	50     ...  payload
+//	42     4    rep seq (uint32, replication logical-channel sequence)
+//	46     4    rep epoch (uint32, sender replica-group epoch; diagnostic)
+//	50     4    payload length (uint32)
+//	54     4    frame crc (CRC-32C over header[0:54] + payload)
+//	58     ...  payload
 //
 // Two CRCs with different jobs: the frame CRC is wire-level integrity —
 // computed at encode time, verified by ReadFrame, so a frame mangled in
@@ -48,16 +51,16 @@ import (
 // bits, which the corruption fuzz test relies on.
 const (
 	// FrameHeaderSize is the fixed size of the binary frame header.
-	FrameHeaderSize = 50
+	FrameHeaderSize = 58
 	// MaxFramePayload bounds a frame's payload length; decoders reject
 	// larger lengths rather than trusting the wire with the allocation.
 	MaxFramePayload = 1 << 27
 
 	frameMagic   uint32 = 0x46544D50 // "FTMP"
-	frameVersion byte   = 3
+	frameVersion byte   = 4
 
 	// frameCrcOffset is where the frame CRC lives; it covers [0, frameCrcOffset).
-	frameCrcOffset = 46
+	frameCrcOffset = 54
 )
 
 // crcTable is the Castagnoli polynomial table shared by both CRCs.
@@ -103,7 +106,9 @@ func AppendFrame(dst []byte, pkt *Packet) ([]byte, error) {
 	binary.LittleEndian.PutUint32(hdr[26:30], pkt.DstGen)
 	binary.LittleEndian.PutUint64(hdr[30:38], pkt.Seq)
 	binary.LittleEndian.PutUint32(hdr[38:42], pkt.Crc)
-	binary.LittleEndian.PutUint32(hdr[42:46], uint32(len(pkt.Payload)))
+	binary.LittleEndian.PutUint32(hdr[42:46], pkt.RepSeq)
+	binary.LittleEndian.PutUint32(hdr[46:50], pkt.RepEpoch)
+	binary.LittleEndian.PutUint32(hdr[50:54], uint32(len(pkt.Payload)))
 	fcrc := crc32.Checksum(hdr[:frameCrcOffset], crcTable)
 	fcrc = crc32.Update(fcrc, crcTable, pkt.Payload)
 	binary.LittleEndian.PutUint32(hdr[frameCrcOffset:FrameHeaderSize], fcrc)
@@ -128,20 +133,22 @@ func ReadFrame(r io.Reader, hdr []byte) (*Packet, error) {
 	if hdr[4] != frameVersion {
 		return nil, fmt.Errorf("%w: unknown version %d", ErrFrameCorrupt, hdr[4])
 	}
-	plen := binary.LittleEndian.Uint32(hdr[42:46])
+	plen := binary.LittleEndian.Uint32(hdr[50:54])
 	if plen > MaxFramePayload {
 		return nil, fmt.Errorf("%w: payload length %d exceeds limit %d", ErrFrameCorrupt, plen, MaxFramePayload)
 	}
 	pkt := &Packet{
-		Kind:    Kind(hdr[5]),
-		Src:     int(int32(binary.LittleEndian.Uint32(hdr[6:10]))),
-		Dst:     int(int32(binary.LittleEndian.Uint32(hdr[10:14]))),
-		Tag:     int(int32(binary.LittleEndian.Uint32(hdr[14:18]))),
-		Context: int(int32(binary.LittleEndian.Uint32(hdr[18:22]))),
-		SrcGen:  binary.LittleEndian.Uint32(hdr[22:26]),
-		DstGen:  binary.LittleEndian.Uint32(hdr[26:30]),
-		Seq:     binary.LittleEndian.Uint64(hdr[30:38]),
-		Crc:     binary.LittleEndian.Uint32(hdr[38:42]),
+		Kind:     Kind(hdr[5]),
+		Src:      int(int32(binary.LittleEndian.Uint32(hdr[6:10]))),
+		Dst:      int(int32(binary.LittleEndian.Uint32(hdr[10:14]))),
+		Tag:      int(int32(binary.LittleEndian.Uint32(hdr[14:18]))),
+		Context:  int(int32(binary.LittleEndian.Uint32(hdr[18:22]))),
+		SrcGen:   binary.LittleEndian.Uint32(hdr[22:26]),
+		DstGen:   binary.LittleEndian.Uint32(hdr[26:30]),
+		Seq:      binary.LittleEndian.Uint64(hdr[30:38]),
+		Crc:      binary.LittleEndian.Uint32(hdr[38:42]),
+		RepSeq:   binary.LittleEndian.Uint32(hdr[42:46]),
+		RepEpoch: binary.LittleEndian.Uint32(hdr[46:50]),
 	}
 	if plen > 0 {
 		pkt.Payload = make([]byte, plen)

@@ -15,15 +15,17 @@ import (
 // payloads.
 func randomPacket(rng *rand.Rand) *Packet {
 	p := &Packet{
-		Src:     rng.Intn(1 << 20),
-		Dst:     rng.Intn(1 << 20),
-		Tag:     rng.Intn(1<<16) - 1<<15,
-		Context: rng.Intn(1 << 10),
-		Kind:    Kind(rng.Intn(2)),
-		SrcGen:  rng.Uint32(),
-		DstGen:  rng.Uint32(),
-		Seq:     rng.Uint64(),
-		Crc:     rng.Uint32(),
+		Src:      rng.Intn(1 << 20),
+		Dst:      rng.Intn(1 << 20),
+		Tag:      rng.Intn(1<<16) - 1<<15,
+		Context:  rng.Intn(1 << 10),
+		Kind:     Kind(rng.Intn(2)),
+		SrcGen:   rng.Uint32(),
+		DstGen:   rng.Uint32(),
+		Seq:      rng.Uint64(),
+		Crc:      rng.Uint32(),
+		RepSeq:   rng.Uint32(),
+		RepEpoch: rng.Uint32(),
 	}
 	if n := rng.Intn(512); n > 0 {
 		p.Payload = make([]byte, n)
@@ -126,17 +128,23 @@ func TestReadFrameRejectsCorruption(t *testing.T) {
 	if err := corrupt(func(b []byte) { b[4] = 99 }); err == nil {
 		t.Fatal("bad version accepted")
 	}
-	if err := corrupt(func(b []byte) { b[34], b[35], b[36], b[37] = 0xff, 0xff, 0xff, 0xff }); err == nil {
+	if err := corrupt(func(b []byte) { b[50], b[51], b[52], b[53] = 0xff, 0xff, 0xff, 0xff }); err == nil {
 		t.Fatal("oversized payload length accepted")
 	}
-	if err := corrupt(func(b []byte) { b[34] = 1 }); err == nil {
+	if err := corrupt(func(b []byte) { b[50] = 1 }); err == nil {
 		t.Fatal("shrunk payload length accepted")
 	}
-	if err := corrupt(func(b []byte) { b[30] ^= 0x01 }); err == nil {
+	if err := corrupt(func(b []byte) { b[38] ^= 0x01 }); err == nil {
 		t.Fatal("flipped payload-crc field accepted")
 	}
-	if err := corrupt(func(b []byte) { b[22] ^= 0x80 }); err == nil {
+	if err := corrupt(func(b []byte) { b[30] ^= 0x80 }); err == nil {
 		t.Fatal("flipped seq bit accepted")
+	}
+	if err := corrupt(func(b []byte) { b[42] ^= 0x01 }); err == nil {
+		t.Fatal("flipped rep-seq field accepted")
+	}
+	if err := corrupt(func(b []byte) { b[46] ^= 0x01 }); err == nil {
+		t.Fatal("flipped rep-epoch field accepted")
 	}
 	if err := corrupt(func(b []byte) { b[FrameHeaderSize] ^= 0x04 }); err == nil {
 		t.Fatal("flipped payload bit accepted")

@@ -10,9 +10,9 @@
 //   - TCP: real loopback sockets, one listener per rank. It exercises the
 //     same engine code over an actual network stack and backs the E15
 //     transport-comparison experiment. Packets travel as length-prefixed
-//     binary frames: a fixed 50-byte little-endian header (magic,
+//     binary frames: a fixed 58-byte little-endian header (magic,
 //     version, kind, src, dst, tag, context, srcgen, dstgen, seq,
-//     payload crc, payload
+//     payload crc, repseq, repepoch, payload
 //     length, frame crc — see codec.go) followed by the raw payload,
 //     encoded with encoding/binary
 //     into sync.Pool-backed buffers so the steady-state send path does
@@ -105,7 +105,16 @@ type Packet struct {
 	DstGen  uint32 // generation of the intended destination incarnation (0 = unstamped)
 	Seq     uint64 // per-(src,dst) sequence number, assigned by the reliability sublayer
 	Crc     uint32 // end-to-end CRC-32C of Payload (0 = unchecked); see PayloadCrc
-	Payload []byte
+	// RepSeq is the replication-mode logical-channel sequence number,
+	// stamped identically by every sender replica on each data message of a
+	// (logical dst, context, tag) channel so receivers can drop the fan-out
+	// duplicates. 0 means "unstamped" (non-replicated traffic).
+	RepSeq uint32
+	// RepEpoch is the sender's replica-group epoch at stamp time. It is
+	// diagnostic only: dedup is by RepSeq alone, because a promoted survivor
+	// continues the old sequence numbering under the new epoch.
+	RepEpoch uint32
+	Payload  []byte
 }
 
 // Clone returns a deep copy of the packet. Fabrics that buffer packets

@@ -11,19 +11,28 @@ import (
 )
 
 // TestCollectorCoversAllFamilies is the observability-plumbing gate: one
-// swim-mode detection world absorbed into a Collector must surface EVERY
-// histogram family and EVERY counter in the -json output — the schema is
-// complete and stable — and the families this PR added (swim_probe_rtt,
-// gossip_convergence) must carry real samples, proving the new hooks flow
-// end to end through obs -> World -> Collector -> JSON.
+// swim-mode detection world plus one replication world absorbed into a
+// Collector must surface EVERY histogram family and EVERY counter in the
+// -json output — the schema is complete and stable — and the families
+// recent PRs added (swim_probe_rtt, gossip_convergence, and now
+// replica_promotion, replication_overhead) must carry real samples,
+// proving the new hooks flow end to end through obs -> World ->
+// Collector -> JSON.
 func TestCollectorCoversAllFamilies(t *testing.T) {
 	c := NewCollector()
 	opt := Options{Quick: true, Seed: 1, Collector: c}
 	if _, err := runDetectionWorld(opt, 16, mpi.DetectorSwim); err != nil {
 		t.Fatal(err)
 	}
-	if c.Runs() == 0 {
-		t.Fatal("collector absorbed no worlds")
+	// Seed 1 kills physical slot 1 — a primary, so the run exercises a
+	// promotion and its latency sample, not just the fan-out counters.
+	rcfg := replicaCfg{r: 2, mode: mpi.ReplFanout, kill: true,
+		laps: replicaBaseLaps, chaos: true}
+	if _, err := runReplicaWorld(opt, rcfg, 1, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Runs() < 2 {
+		t.Fatalf("collector absorbed %d worlds, want 2", c.Runs())
 	}
 
 	var buf bytes.Buffer
@@ -52,15 +61,17 @@ func TestCollectorCoversAllFamilies(t *testing.T) {
 		}
 	}
 
-	// The families and counters this detector mode must actually light up.
-	for _, name := range []string{"swim_probe_rtt", "gossip_convergence", "suspicion_latency"} {
+	// The families and counters these worlds must actually light up.
+	for _, name := range []string{"swim_probe_rtt", "gossip_convergence", "suspicion_latency",
+		"replica_promotion", "replication_overhead"} {
 		if out.Histograms[name].Count == 0 {
-			t.Errorf("family %q has no samples after a swim detection run\n%s", name, buf.String())
+			t.Errorf("family %q has no samples after the swim + replication runs\n%s", name, buf.String())
 		}
 	}
-	for _, name := range []string{"control_frames", "swim_probes", "gossip_events", "gossip_learns"} {
+	for _, name := range []string{"control_frames", "swim_probes", "gossip_events", "gossip_learns",
+		"replica_sends", "replica_promotions", "replica_dedup_drops"} {
 		if out.Counters[name] == 0 {
-			t.Errorf("counter %q is zero after a swim detection run", name)
+			t.Errorf("counter %q is zero after the swim + replication runs", name)
 		}
 	}
 	if out.Counters["gossip_decode_errors"] != 0 {

@@ -39,11 +39,11 @@ func All() []Experiment {
 	return []Experiment{
 		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(),
 		e9(), e10(), e11(), e12(), e13(), e14(), e15(), e16(), e17(),
-		e18(), e19(), e20(), e21(),
+		e18(), e19(), e20(), e21(), e22(),
 	}
 }
 
-// ByID finds an experiment by its identifier ("e1".."e21").
+// ByID finds an experiment by its identifier ("e1".."e22").
 func ByID(id string) (Experiment, bool) {
 	for _, e := range All() {
 		if e.ID == id {
@@ -467,6 +467,15 @@ func e21() Experiment {
 		ID: "e21", Title: "Elastic shrink/respawn soak", PaperRef: "beyond run-through: ULFM-style repair",
 		Run: func(opt Options) ([]*Table, error) {
 			return runElasticSoak(opt)
+		},
+	}
+}
+
+func e22() Experiment {
+	return Experiment{
+		ID: "e22", Title: "Replication soak: transparent failover", PaperRef: "the other FT strategy: hot replicas vs ABFT",
+		Run: func(opt Options) ([]*Table, error) {
+			return runReplicaSoak(opt)
 		},
 	}
 }

@@ -42,8 +42,8 @@ func TestAllHaveMetadata(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	if len(ids) != 21 {
-		t.Fatalf("have %d experiments, want 21", len(ids))
+	if len(ids) != 22 {
+		t.Fatalf("have %d experiments, want 22", len(ids))
 	}
 }
 
@@ -205,6 +205,59 @@ func TestElasticSoak(t *testing.T) {
 	if len(victims) < 2 {
 		t.Fatalf("seeds covered only victim(s) %v — the sweep is not exercising ring positions\n%s",
 			victims, tables[0].Render())
+	}
+}
+
+// TestReplicaSoak is the acceptance gate for replication mode: every
+// seeded E22 run must absorb its injected replica kill with ZERO recovery
+// protocol in the application — the fault-unaware ring completes every
+// lap exactly once, no rank function ever observes an error, the
+// validates/resends counters stay at zero, and a promotion happens
+// exactly when the victim was a primary. The sweep must cover both roles
+// and the overhead table must show R=2 costing more than the R=1
+// baseline (replication is not free — that is the trade E22 documents).
+// -short and race builds shrink the sweep from 20 seeds to 6.
+func TestReplicaSoak(t *testing.T) {
+	opt := Options{Quick: testing.Short() || raceEnabled, Seed: 1}
+	tables, err := runReplicaSoak(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSeeds := 20
+	if opt.Quick {
+		wantSeeds = 6
+	}
+	rows := tables[0].Rows
+	if len(rows) != wantSeeds {
+		t.Fatalf("want %d seed rows, got %d\n%s", wantSeeds, len(rows), tables[0].Render())
+	}
+	roles := map[string]bool{}
+	for _, row := range rows {
+		roles[row[2]] = true
+	}
+	if !roles["primary"] || !roles["standby"] {
+		t.Fatalf("seeds covered only role(s) %v — the sweep must kill both primaries and standbys\n%s",
+			roles, tables[0].Render())
+	}
+	// Overhead table: baseline first, then R=2 rows with overhead-x > 1.
+	ov := tables[1].Rows
+	if len(ov) != 3 || !strings.Contains(ov[0][0], "R=1") {
+		t.Fatalf("overhead table should be R=1 baseline + two R=2 rows\n%s", tables[1].Render())
+	}
+	for _, row := range ov[1:] {
+		if row[6] == "0" {
+			t.Fatalf("config %q recorded no replica sends\n%s", row[0], tables[1].Render())
+		}
+	}
+	// Promotion latency must have reached the quantile table.
+	families := map[string]bool{}
+	for _, row := range tables[2].Rows {
+		families[row[0]] = true
+	}
+	for _, want := range []string{"replica_promotion", "replication_overhead"} {
+		if !families[want] {
+			t.Fatalf("family %q missing from latency table\n%s", want, tables[2].Render())
+		}
 	}
 }
 
