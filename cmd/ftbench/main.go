@@ -11,6 +11,7 @@
 //	ftbench -exp e20 -quick               # SWIM scaling soak, CI sizes
 //	ftbench -exp e21 -quick               # elastic shrink/respawn soak
 //	ftbench -exp e22 -quick               # replication soak: transparent failover
+//	ftbench -exp e23 -quick               # recovery forensics: traced phase decomposition
 //	ftbench -exp e1 -detector swim -agreement tree   # gossip detection + tree votes
 package main
 
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "run a single experiment (e1..e22)")
+		exp     = flag.String("exp", "", "run a single experiment (e1..e23)")
 		quick   = flag.Bool("quick", false, "shrink sweeps for a fast pass")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		seed    = flag.Int64("seed", 1, "seed for randomized failure schedules")

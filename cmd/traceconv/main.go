@@ -1,10 +1,21 @@
-// Command traceconv converts a JSONL event stream captured with
-// ftring -trace-out into Chrome trace-event JSON, viewable in Perfetto
-// (ui.perfetto.dev) or chrome://tracing with one lane per rank.
+// Command traceconv converts and analyzes JSONL event streams captured
+// with ftring -trace-out.
+//
+// Conversion renders Chrome trace-event JSON, viewable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing with one lane per rank
+// incarnation (elastic replacements get their own generation lanes).
+// Analysis modes read the causal stamps the v5 frame header carries — a
+// hybrid logical clock and a per-message token — to reconstruct
+// cross-rank message lifecycles, recovery timelines, and a message
+// conservation audit.
 //
 //	ftring -n 8 -chaos -trace-out ring.jsonl
 //	traceconv -in ring.jsonl -out ring.trace.json
 //	traceconv -check ring.trace.json     # validate a converted file
+//	traceconv -check ring.jsonl          # validate causal-clock sanity
+//	traceconv -causal ring.jsonl -top 5  # slowest message lifecycles
+//	traceconv -recovery ring.jsonl       # per-incident recovery forensics
+//	traceconv -audit ring.jsonl          # conservation audit (non-zero on loss)
 package main
 
 import (
@@ -18,54 +29,168 @@ import (
 
 func main() {
 	var (
-		in    = flag.String("in", "", "input JSONL event stream (from ftring -trace-out)")
-		out   = flag.String("out", "", "output Chrome trace JSON file (\"-\" = stdout)")
-		check = flag.String("check", "", "validate a Chrome trace JSON file and exit")
+		in       = flag.String("in", "", "input JSONL event stream (from ftring -trace-out)")
+		out      = flag.String("out", "", "output Chrome trace JSON file (\"-\" = stdout)")
+		check    = flag.String("check", "", "validate a trace file (Chrome JSON shape, or JSONL causal sanity) and exit")
+		causal   = flag.String("causal", "", "JSONL stream: show the slowest message lifecycles with per-hop causal deltas")
+		recovery = flag.String("recovery", "", "JSONL stream: reconstruct per-incident recovery timelines (one phase table per death)")
+		audit    = flag.String("audit", "", "JSONL stream: run the message-conservation audit; exit non-zero on unaccounted loss")
+		top      = flag.Int("top", 3, "lifecycles to show with -causal")
 	)
 	flag.Parse()
 
-	if *check != "" {
-		if err := checkTrace(*check); err != nil {
+	switch {
+	case *check != "":
+		if err := checkFile(*check); err != nil {
 			fatal(err)
 		}
-		return
+	case *causal != "":
+		if err := causalReport(*causal, *top); err != nil {
+			fatal(err)
+		}
+	case *recovery != "":
+		if err := recoveryReport(*recovery); err != nil {
+			fatal(err)
+		}
+	case *audit != "":
+		if err := auditReport(*audit); err != nil {
+			fatal(err)
+		}
+	case *in != "":
+		if err := convert(*in, *out); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("missing -in FILE.jsonl (or -check/-causal/-recovery/-audit FILE)"))
 	}
-	if *in == "" {
-		fatal(fmt.Errorf("missing -in FILE.jsonl (or -check FILE.json)"))
-	}
+}
 
-	f, err := os.Open(*in)
+// convert renders the JSONL stream as Chrome trace-event JSON.
+func convert(in, out string) error {
+	events, err := readEvents(in)
 	if err != nil {
-		fatal(err)
-	}
-	events, err := ftmpi.ReadTraceJSONL(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
+		return err
 	}
 	blob, err := ftmpi.ChromeTrace(events)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	if *out == "" || *out == "-" {
+	if out == "" || out == "-" {
 		os.Stdout.Write(blob)
 		os.Stdout.Write([]byte("\n"))
-		return
+		return nil
 	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		fatal(err)
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
 	}
-	fmt.Printf("converted %d events -> %s\n", len(events), *out)
+	fmt.Printf("converted %d events -> %s\n", len(events), out)
+	return nil
 }
 
-// checkTrace validates the Chrome trace-event shape traceconv produces:
-// a traceEvents array whose entries carry the required phase fields, with
-// at least one rank lane (thread_name metadata) and one instant event.
-func checkTrace(path string) error {
+// readEvents loads a JSONL event stream.
+func readEvents(path string) ([]ftmpi.TraceEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ftmpi.ReadTraceJSONL(f)
+}
+
+// causalReport prints the slowest delivered lifecycles with per-hop
+// causal deltas — the trace's critical messages.
+func causalReport(path string, top int) error {
+	events, err := readEvents(path)
+	if err != nil {
+		return err
+	}
+	spans := ftmpi.SlowestTraceSpans(events, top)
+	if len(spans) == 0 {
+		fmt.Println("no delivered message lifecycles in trace")
+		return nil
+	}
+	all := ftmpi.AssembleTraceSpans(events)
+	fmt.Printf("%d message lifecycles; %d slowest by end-to-end causal latency:\n\n",
+		len(all), len(spans))
+	for _, sp := range spans {
+		fmt.Println(ftmpi.RenderTraceSpan(sp))
+	}
+	return nil
+}
+
+// recoveryReport prints one phase table per death incident.
+func recoveryReport(path string) error {
+	events, err := readEvents(path)
+	if err != nil {
+		return err
+	}
+	incidents := ftmpi.TraceRecoveries(events)
+	if len(incidents) == 0 {
+		fmt.Println("no rank deaths in trace")
+		return nil
+	}
+	fmt.Printf("%d recovery incident(s):\n\n", len(incidents))
+	for _, in := range incidents {
+		fmt.Println(ftmpi.RenderTraceIncident(in))
+	}
+	return nil
+}
+
+// auditReport runs the conservation audit and exits non-zero when any
+// send is unaccounted for.
+func auditReport(path string) error {
+	events, err := readEvents(path)
+	if err != nil {
+		return err
+	}
+	rep := ftmpi.AuditTrace(events)
+	fmt.Println(rep)
+	if !rep.Clean() {
+		return fmt.Errorf("audit failed: %d unaccounted message(s), %d orphan delivery(ies)",
+			len(rep.Unaccounted), len(rep.OrphanDelivers))
+	}
+	return nil
+}
+
+// checkFile dispatches on the file's shape: a Chrome trace JSON object is
+// validated structurally, a JSONL event stream is validated for
+// causal-clock sanity (per-rank HLC uniqueness, send-before-deliver per
+// token, and token closure). Both fail non-zero on violation.
+func checkFile(path string) error {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
+	var probe struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &probe); err == nil && probe.TraceEvents != nil {
+		return checkChrome(path, blob)
+	}
+	return checkCausal(path)
+}
+
+// checkCausal validates a JSONL stream's causal stamps.
+func checkCausal(path string) error {
+	events, err := readEvents(path)
+	if err != nil {
+		return err
+	}
+	violations := ftmpi.CheckTraceCausal(events)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "violation:", v)
+		}
+		return fmt.Errorf("%s: %d causal violation(s)", path, len(violations))
+	}
+	fmt.Printf("%s: OK (%d events, causally consistent)\n", path, len(events))
+	return nil
+}
+
+// checkChrome validates the Chrome trace-event shape traceconv produces:
+// a traceEvents array whose entries carry the required phase fields, with
+// at least one rank lane (thread_name metadata) and one instant event.
+func checkChrome(path string, blob []byte) error {
 	var tf struct {
 		TraceEvents []struct {
 			Name string `json:"name"`

@@ -164,6 +164,14 @@ type (
 	// TraceJSONLWriter streams recorded events as line-delimited JSON
 	// (see NewTraceJSONLWriter).
 	TraceJSONLWriter = trace.JSONLWriter
+	// TraceSpan is one message lifecycle reassembled from events sharing a
+	// causal token (see AssembleTraceSpans).
+	TraceSpan = trace.Span
+	// TraceAuditReport is the message-conservation verdict of AuditTrace.
+	TraceAuditReport = trace.AuditReport
+	// TraceIncident is one recovery timeline (death -> suspect -> confirm
+	// -> repair -> resume) reconstructed by TraceRecoveries.
+	TraceIncident = trace.Incident
 )
 
 // --- constants ---------------------------------------------------------------
@@ -222,6 +230,13 @@ const (
 	// ObsReplicationOverhead times the extra send work replication adds:
 	// the fan-out copies beyond the first on each logical send.
 	ObsReplicationOverhead = obs.ReplicationOverhead
+	// ObsMessageE2ELatency times a data message from its origin's HLC send
+	// stamp to its acceptance by the destination matching layer.
+	ObsMessageE2ELatency = obs.MessageE2ELatency
+	// ObsRecoveryTotal times one recovery incident end to end: ground-truth
+	// death to the repair restoring service (promotion, respawn, or
+	// validate_all concluding on the failure).
+	ObsRecoveryTotal = obs.RecoveryTotal
 )
 
 // Failure-detection modes (see WithDetector).
@@ -447,5 +462,45 @@ func NewTraceJSONLWriter(w io.Writer) *trace.JSONLWriter { return trace.NewJSONL
 func ReadTraceJSONL(r io.Reader) ([]TraceEvent, error) { return trace.ReadJSONL(r) }
 
 // ChromeTrace converts recorded events to Chrome trace-event JSON (one
-// lane per rank), viewable at ui.perfetto.dev or chrome://tracing.
+// lane per rank incarnation: elastic replacements and replica occupants
+// get their own generation-labelled lanes), viewable at ui.perfetto.dev
+// or chrome://tracing.
 func ChromeTrace(events []TraceEvent) ([]byte, error) { return trace.ChromeTrace(events) }
+
+// --- causal trace analysis ---------------------------------------------------
+
+// AssembleTraceSpans groups events by causal token and orders each group
+// by hybrid logical clock: one Span per message lifecycle, across every
+// rank the message touched.
+func AssembleTraceSpans(events []TraceEvent) []*TraceSpan { return trace.AssembleSpans(events) }
+
+// AuditTrace runs the message-conservation audit: every tokened send must
+// reconcile to a delivery or a deliberate, accounted loss (chaos drop,
+// dedup, stale-generation fence, dead destination, purge). Anything else
+// is a runtime bug.
+func AuditTrace(events []TraceEvent) *TraceAuditReport { return trace.Audit(events) }
+
+// CheckTraceCausal validates causal-clock sanity: per-rank HLC stamp
+// uniqueness, send-before-deliver ordering per token, and token closure
+// (every delivery has a matching send). It returns one message per
+// violation, empty when the trace is causally consistent.
+func CheckTraceCausal(events []TraceEvent) []string { return trace.CheckCausal(events) }
+
+// TraceRecoveries reconstructs per-incident recovery timelines from a
+// trace: for each rank death, the suspect/confirm/repair/resume anchors
+// and the phase decomposition between them.
+func TraceRecoveries(events []TraceEvent) []*TraceIncident { return trace.Recoveries(events) }
+
+// SlowestTraceSpans returns the k delivered message lifecycles with the
+// highest end-to-end latency, slowest first — the trace's critical
+// messages.
+func SlowestTraceSpans(events []TraceEvent, k int) []*TraceSpan {
+	return trace.SlowestSpans(events, k)
+}
+
+// RenderTraceSpan formats one lifecycle as a per-hop table with causal
+// deltas.
+func RenderTraceSpan(sp *TraceSpan) string { return trace.RenderSpan(sp) }
+
+// RenderTraceIncident formats one recovery timeline as a phase table.
+func RenderTraceIncident(in *TraceIncident) string { return in.Render() }

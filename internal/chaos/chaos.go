@@ -131,6 +131,10 @@ type Event struct {
 	Dst   int
 	Seq   uint64 // the packet's reliability sequence number (0 if unsequenced)
 	Frame uint64 // link-local send ordinal, 1-based
+	// Token is the packet's causal message token (0 if unstamped), so the
+	// trace layer's conservation audit can attribute the fault to the
+	// message it hit.
+	Token uint64
 	// Delay is the injected hold time for EvDelay events (zero otherwise),
 	// so observers can histogram the jitter actually applied.
 	Delay time.Duration
@@ -320,6 +324,9 @@ func (f *Fabric) emit(e Event) {
 // reports injected loss as an error — a chaotic network fails silently.
 func (f *Fabric) Send(pkt *transport.Packet) error {
 	if f.closed.Load() {
+		// The link died under the frame: account the loss so the trace
+		// audit never sees a send silently vanish at teardown.
+		f.emit(Event{Kind: EvDrop, Src: pkt.Src, Dst: pkt.Dst, Seq: pkt.Seq, Token: pkt.Token})
 		return nil
 	}
 	l := f.linkFor(pkt.Src, pkt.Dst)
@@ -330,7 +337,7 @@ func (f *Fabric) Send(pkt *transport.Packet) error {
 	prevHeld := l.held
 	l.held = nil
 
-	ev := Event{Src: pkt.Src, Dst: pkt.Dst, Seq: pkt.Seq, Frame: frame}
+	ev := Event{Src: pkt.Src, Dst: pkt.Dst, Seq: pkt.Seq, Frame: frame, Token: pkt.Token}
 	for _, part := range f.plan.parts {
 		if part.matches(pkt.Src, pkt.Dst, frame) {
 			l.mu.Unlock()
@@ -408,8 +415,12 @@ func (f *Fabric) Send(pkt *transport.Packet) error {
 				l.held = nil
 			}
 			l.mu.Unlock()
-			if still && !f.closed.Load() {
-				_ = f.inner.Send(held)
+			if still {
+				if f.closed.Load() {
+					f.emit(Event{Kind: EvDrop, Src: held.Src, Dst: held.Dst, Seq: held.Seq, Token: held.Token})
+				} else {
+					_ = f.inner.Send(held)
+				}
 			}
 		})
 		return f.flushHeld(prevHeld)
@@ -431,7 +442,9 @@ func (f *Fabric) Send(pkt *transport.Packet) error {
 		f.pending.Add(1)
 		time.AfterFunc(delay, func() {
 			defer f.pending.Done()
-			if !f.closed.Load() {
+			if f.closed.Load() {
+				f.emit(Event{Kind: EvDrop, Src: late.Src, Dst: late.Dst, Seq: late.Seq, Token: late.Token})
+			} else {
 				_ = f.inner.Send(late)
 			}
 		})
@@ -453,7 +466,11 @@ func (f *Fabric) Send(pkt *transport.Packet) error {
 // flushHeld releases a frame that was held for reordering, after the
 // current frame has been handled — completing the adjacent swap.
 func (f *Fabric) flushHeld(held *transport.Packet) error {
-	if held == nil || f.closed.Load() {
+	if held == nil {
+		return nil
+	}
+	if f.closed.Load() {
+		f.emit(Event{Kind: EvDrop, Src: held.Src, Dst: held.Dst, Seq: held.Seq, Token: held.Token})
 		return nil
 	}
 	return f.inner.Send(held)

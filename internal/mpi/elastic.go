@@ -123,7 +123,10 @@ func (w *World) Spawn(slot int) (int, error) {
 
 	w.metrics.Inc(slot, metrics.Respawns)
 	w.obs.Observe(slot, obs.RespawnRecovery, sinceDeath)
-	w.tracer.Record(slot, trace.Respawned, -1, -1, -1,
+	// Respawn IS the repair in elastic mode: the same death-to-service
+	// latency feeds the cross-mode recovery family.
+	w.obs.Observe(slot, obs.RecoveryTotal, sinceDeath)
+	w.tracer.RecordMsg(slot, trace.Respawned, -1, -1, -1, gen, 0, 0,
 		fmt.Sprintf("generation %d after %v dead", gen, sinceDeath.Round(time.Microsecond)))
 	return gen, nil
 }

@@ -346,7 +346,7 @@ func (e *engine) deliver(pkt *transport.Packet) {
 	// from an old incarnation can never confirm the live new one.
 	if stale, why := e.staleGen(pkt); stale {
 		e.w.metrics.Inc(e.rank, metrics.StaleGenRejected)
-		e.w.tracer.Record(e.rank, trace.StaleGenDrop, pkt.Src, pkt.Tag, -1, why)
+		e.w.tracer.RecordMsg(e.rank, trace.StaleGenDrop, pkt.Src, pkt.Tag, -1, int(e.gen), pkt.Token, 0, why)
 		return
 	}
 	if pkt.Kind == transport.KindControl {
@@ -380,6 +380,11 @@ func (e *engine) deliver(pkt *transport.Packet) {
 	e.mu.Lock()
 	if e.dead.Load() || e.closed.Load() {
 		e.mu.Unlock()
+		if pkt.Token != 0 {
+			// Accounted loss: mail to a dead letterbox. Without this the
+			// conservation audit would flag every frame that raced a death.
+			e.w.tracer.RecordMsg(e.rank, trace.DeadDrop, pkt.Src, pkt.Tag, -1, int(e.gen), pkt.Token, 0, "")
+		}
 		return // packets to a dead rank vanish
 	}
 	if e.w.repl != nil {
@@ -389,6 +394,7 @@ func (e *engine) deliver(pkt *transport.Packet) {
 			if pkt.RepSeq < e.repNext[k] {
 				e.mu.Unlock()
 				e.w.metrics.Inc(e.rank, metrics.ReplicaDedupDrops)
+				e.w.tracer.RecordMsg(e.rank, trace.ReplicaDedup, pkt.Src, pkt.Tag, -1, int(e.gen), pkt.Token, 0, "")
 				return // fan-out duplicate: an earlier replica's copy won
 			}
 			e.repNext[k] = pkt.RepSeq + 1
@@ -407,6 +413,20 @@ func (e *engine) deliver(pkt *transport.Packet) {
 		e.unexpected.add(pkt)
 	}
 	e.mu.Unlock()
+	if pkt.Token != 0 {
+		// The message reached this incarnation's matching layer: merge the
+		// sender's HLC stamp (deliver orders causally after send) and close
+		// the conservation-audit span. Recorded outside mu so the tracer's
+		// sink never runs under the matching lock.
+		hlc := e.w.clockOf(e.rank).Observe(pkt.HLC)
+		e.w.tracer.RecordMsg(e.rank, trace.Delivered, pkt.Src, pkt.Tag, -1, int(e.gen), pkt.Token, hlc, "")
+		if pkt.HLC != 0 && e.w.obs != nil {
+			e2e := time.Duration(trace.HLCPhysical(hlc)-trace.HLCPhysical(pkt.HLC)) * time.Microsecond
+			if e2e >= 0 {
+				e.w.obs.Observe(e.rank, obs.MessageE2ELatency, e2e)
+			}
+		}
+	}
 }
 
 // completeRecvLocked finishes a receive with the packet's payload.
@@ -476,11 +496,22 @@ func (e *engine) stampGen(pkt *transport.Packet) {
 
 // sendPacket hands a fully addressed packet to the fabric, tracing and
 // counting it. Must be called with no engine lock held.
+//
+// This is where a data message acquires its causal identity: a token
+// (origin rank + per-origin sequence, owned by the World so reincarnations
+// never reuse a predecessor's tokens) and the sender's HLC stamp. Both
+// ride the v5 frame header, so every later event — retransmit, chaos
+// fault, fan-out copy, delivery — carries the same identity. Replication
+// pre-assigns one token for a whole fan-out (Token != 0 is preserved).
 func (e *engine) sendPacket(pkt *transport.Packet) error {
 	e.stampGen(pkt)
+	if pkt.Kind == transport.KindData && pkt.Token == 0 {
+		pkt.Token = transport.MakeToken(e.rank, e.w.nextTokenSeq(e.rank))
+	}
+	pkt.HLC = e.w.clockOf(e.rank).Now()
 	e.w.metrics.Inc(e.rank, metrics.Sends)
 	e.w.metrics.Add(e.rank, metrics.BytesSent, int64(len(pkt.Payload)))
-	e.w.tracer.Record(e.rank, trace.SendPosted, pkt.Dst, pkt.Tag, -1, "")
+	e.w.tracer.RecordMsg(e.rank, trace.SendPosted, pkt.Dst, pkt.Tag, -1, int(e.gen), pkt.Token, pkt.HLC, "")
 	if e.w.obs == nil {
 		return e.w.fabric.Send(pkt)
 	}

@@ -132,8 +132,11 @@ func (s *replState) handleDeath(f int) bool {
 		w.metrics.Inc(promoted, metrics.ReplicaPromotions)
 		if lat, ok := w.registry.SinceDeath(f); ok {
 			w.obs.Observe(promoted, obs.ReplicaPromotion, lat)
+			// Promotion IS the repair in replication mode: the same death-to
+			// -service-restored latency feeds the cross-mode recovery family.
+			w.obs.Observe(promoted, obs.RecoveryTotal, lat)
 		}
-		w.tracer.Record(promoted, trace.Promoted, f, -1, -1,
+		w.tracer.RecordMsg(promoted, trace.Promoted, f, -1, -1, int(w.genOf(promoted)), 0, 0,
 			fmt.Sprintf("primary of logical %d (replacing %d)", l, f))
 		// A standby that just became primary may be parked in a passive
 		// agreement loop waiting to take over the coordinator or tree-root
@@ -355,6 +358,11 @@ func (e *engine) replSend(ldst, tag, ctx int, payload []byte) error {
 	}
 	seq := e.nextRepSeq(ldst, ctx, tag)
 	epoch := w.repl.epochOf(ldst)
+	// One causal token for the whole fan-out: every physical copy is the
+	// same logical message, so the deduplicated losers and the delivered
+	// winner reconcile to one identity in the conservation audit.
+	// (sendPacket assigns tokens only when unset, so this survives it.)
+	tok := transport.MakeToken(e.rank, w.nextTokenSeq(e.rank))
 	var start time.Time
 	var firstErr error
 	for i, phys := range targets {
@@ -371,7 +379,7 @@ func (e *engine) replSend(ldst, tag, ctx int, payload []byte) error {
 		pkt := &transport.Packet{
 			Src: e.rank, Dst: phys, Tag: tag, Context: ctx,
 			Kind: transport.KindData, Payload: buf,
-			RepSeq: seq, RepEpoch: epoch,
+			RepSeq: seq, RepEpoch: epoch, Token: tok,
 		}
 		if err := e.sendPacket(pkt); err != nil && firstErr == nil {
 			firstErr = err

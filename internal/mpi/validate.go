@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -77,6 +78,7 @@ func (c *Comm) nextValidateInst() int {
 func (c *Comm) applyValidateDecision(decision []int) {
 	c.eng.mu.Lock()
 	dec := make(map[int]bool, len(decision))
+	var newly []int
 	for _, f := range decision {
 		// An agreement can conclude across a revive boundary, in which
 		// case the decision names an incarnation that is already gone.
@@ -86,6 +88,9 @@ func (c *Comm) applyValidateDecision(decision []int) {
 		// Checked under eng.mu, where onPeerRevive's repair serializes.
 		if !c.proc.w.appFailed(f) {
 			continue
+		}
+		if !c.recognized[f] {
+			newly = append(newly, f)
 		}
 		c.recognized[f] = true
 		dec[f] = true
@@ -105,6 +110,19 @@ func (c *Comm) applyValidateDecision(decision []int) {
 	// failed collective epoch may have consumed different tag counts.
 	c.collSeq = c.validateEpoch * collSeqEpochStride
 	c.eng.mu.Unlock()
-	c.proc.w.metrics.Inc(c.proc.rank, metrics.Validates)
-	c.proc.w.tracer.Record(c.proc.rank, trace.ValidateDone, -1, -1, -1, "")
+	w := c.proc.w
+	w.metrics.Inc(c.proc.rank, metrics.Validates)
+	w.tracer.Record(c.proc.rank, trace.ValidateDone, -1, -1, -1, "")
+	if w.repl == nil {
+		// ABFT repair: the agreement concluding on a newly recognized
+		// failure is the moment run-through stabilization restores service
+		// for this rank, so it closes the cross-mode recovery clock.
+		// (Replication mode observes at promotion instead; elastic at
+		// respawn. Decision ids are physical ranks outside replication.)
+		for _, f := range newly {
+			if lat, ok := w.registry.SinceDeath(f); ok {
+				w.obs.Observe(c.proc.rank, obs.RecoveryTotal, lat)
+			}
+		}
+	}
 }

@@ -120,6 +120,14 @@ type World struct {
 	lsize     int        // logical rank count (== size unless replicated)
 	repl      *replState // replica-group state; nil outside replication mode
 
+	// Causal tracing state, owned by the World (not the engine) so it
+	// survives elastic reincarnation: a respawned slot inherits its
+	// predecessor's hybrid logical clock (per-rank HLC monotonicity holds
+	// across generations) and its token counter (a replacement never
+	// reissues a dead incarnation's message identities).
+	clocks  []trace.HLC
+	tokSeqs []atomic.Uint64
+
 	// nonRetaining records that the fabric copies everything it needs
 	// inside Send (transport.NonRetaining), so the p2p send path may hand
 	// the caller's payload to Send without a defensive copy.
@@ -150,6 +158,14 @@ type World struct {
 
 // eng returns the slot's current engine.
 func (w *World) eng(i int) *engine { return w.engines[i].Load() }
+
+// clockOf returns the slot's hybrid logical clock (shared across
+// incarnations).
+func (w *World) clockOf(i int) *trace.HLC { return &w.clocks[i] }
+
+// nextTokenSeq issues the slot's next per-origin message sequence for
+// causal-token assignment.
+func (w *World) nextTokenSeq(i int) uint64 { return w.tokSeqs[i].Add(1) }
 
 // genOf returns the generation of the slot's current incarnation.
 func (w *World) genOf(i int) uint32 { return w.engines[i].Load().gen }
@@ -256,6 +272,8 @@ func newWorldFromConfig(cfg Config) (*World, error) {
 		elastic:      cfg.Elastic,
 		spawning:     make(map[int]bool),
 		lsize:        lsize,
+		clocks:       make([]trace.HLC, cfg.Size),
+		tokSeqs:      make([]atomic.Uint64, cfg.Size),
 	}
 	if cfg.Replication != nil {
 		w.repl = newReplState(w, lsize, cfg.Replication.R, cfg.Replication.Mode)
@@ -315,7 +333,7 @@ func (w *World) onChaosEvent(e chaos.Event) {
 		return
 	}
 	w.metrics.Inc(e.Src, counter)
-	w.tracer.Record(e.Src, kind, e.Dst, -1, -1,
+	w.tracer.RecordMsg(e.Src, kind, e.Dst, -1, -1, 0, e.Token, 0,
 		fmt.Sprintf("frame=%d seq=%d", e.Frame, e.Seq))
 	if e.Kind == chaos.EvDelay {
 		w.obs.Observe(e.Src, obs.ChaosDelay, e.Delay)
@@ -329,21 +347,27 @@ func (w *World) onReliableEvent(e reliable.Event) {
 	switch e.Kind {
 	case reliable.EvRetry:
 		w.metrics.Inc(e.Src, metrics.FramesRetried)
-		w.tracer.Record(e.Src, trace.FrameRetry, e.Dst, -1, -1,
+		w.tracer.RecordMsg(e.Src, trace.FrameRetry, e.Dst, -1, -1, 0, e.Token, 0,
 			fmt.Sprintf("seq=%d attempt=%d", e.Seq, e.Attempt))
 		w.obs.Observe(e.Src, obs.RetryBackoff, e.Backoff)
 	case reliable.EvReject:
 		w.metrics.Inc(e.Dst, metrics.FramesRejected)
-		w.tracer.Record(e.Dst, trace.FrameReject, e.Src, -1, -1,
+		w.tracer.RecordMsg(e.Dst, trace.FrameReject, e.Src, -1, -1, 0, e.Token, 0,
 			fmt.Sprintf("seq=%d crc mismatch", e.Seq))
 	case reliable.EvDedup:
 		w.metrics.Inc(e.Dst, metrics.FramesDeduped)
-		w.tracer.Record(e.Dst, trace.FrameDedup, e.Src, -1, -1,
+		w.tracer.RecordMsg(e.Dst, trace.FrameDedup, e.Src, -1, -1, 0, e.Token, 0,
 			fmt.Sprintf("seq=%d", e.Seq))
 	case reliable.EvEscalate:
 		w.metrics.Inc(e.Src, metrics.LinkEscalations)
-		w.tracer.Record(e.Src, trace.LinkEscalated, e.Dst, -1, -1,
+		w.tracer.RecordMsg(e.Src, trace.LinkEscalated, e.Dst, -1, -1, 0, e.Token, 0,
 			fmt.Sprintf("seq=%d retries exhausted after %d attempts", e.Seq, e.Attempt-1))
+	case reliable.EvDeadDrop:
+		w.tracer.RecordMsg(e.Src, trace.DeadDrop, e.Dst, -1, -1, 0, e.Token, 0,
+			"dead destination")
+	case reliable.EvPurged:
+		w.tracer.RecordMsg(e.Src, trace.FramePurged, e.Dst, -1, -1, 0, e.Token, 0,
+			fmt.Sprintf("seq=%d", e.Seq))
 	}
 }
 
@@ -476,7 +500,7 @@ func (w *World) Run(fn func(p *Proc) error) (*RunResult, error) {
 			// peers believe — while the survivors' notifications wait for
 			// the detection/fencing pipeline to Confirm the failure.
 			w.registry.OnDeath(func(f int) {
-				w.tracer.Record(f, trace.Killed, -1, -1, -1, "fail-stop")
+				w.tracer.RecordMsg(f, trace.Killed, -1, -1, -1, int(w.genOf(f)), 0, 0, "fail-stop")
 				w.eng(f).markDead()
 			})
 			w.registry.Subscribe(func(f int) {
@@ -488,7 +512,7 @@ func (w *World) Run(fn func(p *Proc) error) (*RunResult, error) {
 			w.startMonitors()
 		} else {
 			w.registry.Subscribe(func(f int) {
-				w.tracer.Record(f, trace.Killed, -1, -1, -1, "fail-stop")
+				w.tracer.RecordMsg(f, trace.Killed, -1, -1, -1, int(w.genOf(f)), 0, 0, "fail-stop")
 				if w.reliable != nil {
 					// Stop retransmitting toward the dead rank before the
 					// engines learn of the failure: fail-stop, not lossy.

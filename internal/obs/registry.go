@@ -64,6 +64,18 @@ const (
 	// pays beyond its first physical copy (the fan-out or chain-forward
 	// cost, the failure-free price of replication).
 	ReplicationOverhead
+	// MessageE2ELatency times one data message from its origin's send
+	// stamp to its acceptance by the destination matching layer, computed
+	// from the hybrid-logical-clock physical components carried in the v5
+	// frame header — the per-message causal latency the tracing layer
+	// measures.
+	MessageE2ELatency
+	// RecoveryTotal times one complete recovery incident: a rank's
+	// ground-truth death to the repair action restoring service (replica
+	// promotion, elastic respawn, or validate_all completing after a
+	// recognized failure) — the end-to-end timeline traceconv -recovery
+	// decomposes into phases.
+	RecoveryTotal
 	numFamilies
 )
 
@@ -72,7 +84,7 @@ var familyNames = [numFamilies]string{
 	"election", "retry_backoff", "chaos_delay", "notify_latency",
 	"suspicion_latency", "fence_rtt", "swim_probe_rtt", "gossip_convergence",
 	"shrink_latency", "respawn_recovery", "replica_promotion",
-	"replication_overhead",
+	"replication_overhead", "message_e2e_latency", "recovery_total",
 }
 
 // String returns the family's exposition name (the Prometheus metric is

@@ -72,10 +72,19 @@ const (
 	// EvEscalate is a link whose retry budget was exhausted: the peer is
 	// reported to the detector as failed.
 	EvEscalate
+	// EvDeadDrop is a frame silently dropped because its destination is
+	// already marked fail-stop: the loss is deliberate (dead peers receive
+	// nothing) and the event is what lets the trace audit account for it.
+	EvDeadDrop
+	// EvPurged is an inflight or partially resequenced frame abandoned when
+	// a peer's link state was purged (PeerDown, PeerUp, escalation, or
+	// fabric Close) — the other deliberate loss the audit must see.
+	EvPurged
 )
 
 var eventNames = map[EventKind]string{
 	EvRetry: "retry", EvReject: "reject", EvDedup: "dedup", EvEscalate: "escalate",
+	EvDeadDrop: "dead-drop", EvPurged: "purged",
 }
 
 // String returns the event-kind name.
@@ -96,6 +105,10 @@ type Event struct {
 	Dst     int
 	Seq     uint64
 	Attempt int
+	// Token is the affected frame's causal message token (0 if unstamped),
+	// threading the trace layer's message identity through every ARQ
+	// action so lifecycles and the conservation audit line up.
+	Token uint64
 	// Backoff is the retransmission backoff applied for EvRetry events
 	// (zero otherwise), so observers can histogram the ARQ's pacing.
 	Backoff time.Duration
@@ -189,11 +202,51 @@ func (f *Fabric) Start(deliver transport.DeliverFunc) error {
 }
 
 // Close stops the retransmission loop (abandoning unacknowledged frames)
-// and closes the wrapped fabric.
+// and closes the wrapped fabric. Every abandoned frame is reported as
+// purged so the trace audit can account for sends the shutdown stranded.
 func (f *Fabric) Close() error {
 	f.closing.Do(func() { close(f.done) })
 	f.wg.Wait()
+	f.mu.Lock()
+	var purged []Event
+	for key, tx := range f.tx {
+		purged = f.appendTxPurges(purged, key, tx)
+		delete(f.tx, key)
+	}
+	for key, rx := range f.rx {
+		purged = f.appendRxPurges(purged, key, rx)
+		delete(f.rx, key)
+	}
+	f.mu.Unlock()
+	for _, ev := range purged {
+		f.emit(ev)
+	}
 	return f.inner.Close()
+}
+
+// appendTxPurges collects one EvPurged per unacknowledged frame of a tx
+// link being discarded. Callers hold f.mu; the events must be emitted
+// after it is released.
+func (f *Fabric) appendTxPurges(evs []Event, key [2]int, tx *txLink) []Event {
+	for seq, p := range tx.inflight {
+		evs = append(evs, Event{
+			Kind: EvPurged, Src: key[0], Dst: key[1],
+			Seq: seq, Attempt: p.attempts, Token: p.pkt.Token,
+		})
+	}
+	return evs
+}
+
+// appendRxPurges collects one EvPurged per acknowledged-but-undelivered
+// frame of an rx link being discarded (held for resequencing when the
+// link state died). Callers hold f.mu.
+func (f *Fabric) appendRxPurges(evs []Event, key [2]int, rx *rxLink) []Event {
+	for seq, p := range rx.held {
+		evs = append(evs, Event{
+			Kind: EvPurged, Src: key[0], Dst: key[1], Seq: seq, Token: p.Token,
+		})
+	}
+	return evs
 }
 
 // emit reports a reliability event to the observer.
@@ -213,17 +266,23 @@ func (f *Fabric) emit(e Event) {
 func (f *Fabric) PeerDown(rank int) {
 	f.mu.Lock()
 	f.dead[rank] = true
-	for key := range f.tx {
+	var purged []Event
+	for key, tx := range f.tx {
 		if key[1] == rank || key[0] == rank {
+			purged = f.appendTxPurges(purged, key, tx)
 			delete(f.tx, key)
 		}
 	}
-	for key := range f.rx {
+	for key, rx := range f.rx {
 		if key[0] == rank {
+			purged = f.appendRxPurges(purged, key, rx)
 			delete(f.rx, key)
 		}
 	}
 	f.mu.Unlock()
+	for _, ev := range purged {
+		f.emit(ev)
+	}
 }
 
 // PeerUp reverses PeerDown for a revived peer: the dead flag is cleared
@@ -241,17 +300,23 @@ func (f *Fabric) PeerDown(rank int) {
 func (f *Fabric) PeerUp(rank int) {
 	f.mu.Lock()
 	delete(f.dead, rank)
-	for key := range f.tx {
+	var purged []Event
+	for key, tx := range f.tx {
 		if key[0] == rank || key[1] == rank {
+			purged = f.appendTxPurges(purged, key, tx)
 			delete(f.tx, key)
 		}
 	}
-	for key := range f.rx {
+	for key, rx := range f.rx {
 		if key[0] == rank || key[1] == rank {
+			purged = f.appendRxPurges(purged, key, rx)
 			delete(f.rx, key)
 		}
 	}
 	f.mu.Unlock()
+	for _, ev := range purged {
+		f.emit(ev)
+	}
 }
 
 // Send stamps the packet with the link's next sequence number and its
@@ -275,7 +340,11 @@ func (f *Fabric) Send(pkt *transport.Packet) error {
 	f.mu.Lock()
 	if f.dead[pkt.Dst] {
 		f.mu.Unlock()
-		return nil // fail-stop peer: silent drop per the Fabric contract
+		// Fail-stop peer: silent drop per the Fabric contract, but
+		// observable — the trace audit accounts the message as mail to a
+		// known-dead destination rather than an unexplained loss.
+		f.emit(Event{Kind: EvDeadDrop, Src: pkt.Src, Dst: pkt.Dst, Token: pkt.Token})
+		return nil
 	}
 	key := [2]int{pkt.Src, pkt.Dst}
 	tx := f.tx[key]
@@ -320,7 +389,7 @@ func (f *Fabric) onDeliver(dst int, pkt *transport.Packet) {
 	if transport.PayloadCrc(pkt.Payload) != pkt.Crc {
 		// Corrupted above the wire codec (or a codec-less fabric). No ack:
 		// the sender's retransmission carries the intact original.
-		f.emit(Event{Kind: EvReject, Src: pkt.Src, Dst: dst, Seq: pkt.Seq})
+		f.emit(Event{Kind: EvReject, Src: pkt.Src, Dst: dst, Seq: pkt.Seq, Token: pkt.Token})
 		return
 	}
 	f.mu.Lock()
@@ -345,7 +414,7 @@ func (f *Fabric) onDeliver(dst int, pkt *transport.Packet) {
 	}
 	if pkt.Seq < rx.next || rx.held[pkt.Seq] != nil {
 		f.mu.Unlock()
-		f.emit(Event{Kind: EvDedup, Src: pkt.Src, Dst: dst, Seq: pkt.Seq})
+		f.emit(Event{Kind: EvDedup, Src: pkt.Src, Dst: dst, Seq: pkt.Seq, Token: pkt.Token})
 		return
 	}
 	rx.held[pkt.Seq] = pkt
@@ -384,6 +453,7 @@ func (f *Fabric) retryLoop() {
 			var resend []*transport.Packet
 			var retryEvs []Event
 			var escalations []Event
+			var purged []Event
 			f.mu.Lock()
 			for key, tx := range f.tx {
 				exhausted := false
@@ -396,7 +466,7 @@ func (f *Fabric) retryLoop() {
 						exhausted = true
 						escalations = append(escalations, Event{
 							Kind: EvEscalate, Src: key[0], Dst: key[1],
-							Seq: seq, Attempt: p.attempts,
+							Seq: seq, Attempt: p.attempts, Token: p.pkt.Token,
 						})
 						break
 					}
@@ -408,13 +478,16 @@ func (f *Fabric) retryLoop() {
 					resend = append(resend, p.pkt)
 					retryEvs = append(retryEvs, Event{
 						Kind: EvRetry, Src: key[0], Dst: key[1],
-						Seq: seq, Attempt: p.attempts, Backoff: backoff,
+						Seq: seq, Attempt: p.attempts, Token: p.pkt.Token, Backoff: backoff,
 					})
 				}
 				if exhausted {
 					// The peer is being demoted to fail-stop: every frame
 					// to it is undeliverable, not just the overdue one.
+					// Account the abandoned inflight frames before the link
+					// state vanishes (PeerDown below purges the rest).
 					f.dead[key[1]] = true
+					purged = f.appendTxPurges(purged, key, tx)
 					delete(f.tx, key)
 				}
 			}
@@ -422,6 +495,9 @@ func (f *Fabric) retryLoop() {
 			for i, pkt := range resend {
 				_ = f.inner.Send(pkt)
 				f.emit(retryEvs[i])
+			}
+			for _, ev := range purged {
+				f.emit(ev)
 			}
 			for _, ev := range escalations {
 				f.PeerDown(ev.Dst) // purge every link touching the demoted peer

@@ -6,10 +6,17 @@ import (
 	"sort"
 )
 
-// Chrome trace-event conversion: one lane per rank, viewable in Perfetto
-// (ui.perfetto.dev) or chrome://tracing. Every trace event becomes an
-// instant event ("ph":"i") on the thread whose tid is the rank, so the
-// viewer renders the same per-process lanes as the paper's figures.
+// Chrome trace-event conversion: one lane per rank INCARNATION, viewable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. Every trace event
+// becomes an instant event ("ph":"i") on the thread whose tid encodes
+// (rank, generation), so an elastic world's dead incarnation and its
+// replacement — or a replicated slot's successive occupants — render as
+// separate labelled lanes instead of being merged into one.
+
+// chromeGenLanes bounds the generations given distinct lanes per rank;
+// generations at or above the bound share the last lane (tid arithmetic
+// must stay collision-free across ranks).
+const chromeGenLanes = 32
 
 // chromeEvent is one entry of the Chrome trace-event JSON array.
 type chromeEvent struct {
@@ -30,11 +37,25 @@ type chromeTraceFile struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
+// chromeTID maps a (rank, generation) pair to a stable thread id. Events
+// recorded without a generation stamp (Gen 0, i.e. world-level observers)
+// land on the rank's first-generation lane.
+func chromeTID(rank, gen int) int {
+	if gen <= 1 {
+		gen = 1
+	}
+	if gen >= chromeGenLanes {
+		gen = chromeGenLanes - 1
+	}
+	return rank*chromeGenLanes + (gen - 1)
+}
+
 // ChromeTrace converts recorded events to Chrome trace-event JSON. Events
 // are sorted by Seq; timestamps are microseconds relative to the earliest
 // event (events without wall-clock timestamps fall back to Seq-as-µs so
-// ordering survives). Thread-name metadata gives each rank a labelled
-// lane.
+// ordering survives). Thread-name metadata labels each incarnation's
+// lane: "rank 3" for the first generation, "rank 3 gen 2" for its elastic
+// replacement.
 func ChromeTrace(events []Event) ([]byte, error) {
 	sorted := make([]Event, len(events))
 	copy(sorted, events)
@@ -42,33 +63,45 @@ func ChromeTrace(events []Event) ([]byte, error) {
 
 	var baseNS int64
 	haveBase := false
-	ranks := map[int]bool{}
+	lanes := map[int][2]int{} // tid -> (rank, gen)
 	for _, e := range sorted {
-		ranks[e.Rank] = true
+		tid := chromeTID(e.Rank, e.Gen)
+		gen := e.Gen
+		if gen <= 1 {
+			gen = 1
+		}
+		if cur, ok := lanes[tid]; !ok || gen > cur[1] {
+			lanes[tid] = [2]int{e.Rank, gen}
+		}
 		if !e.At.IsZero() && (!haveBase || e.At.UnixNano() < baseNS) {
 			baseNS = e.At.UnixNano()
 			haveBase = true
 		}
 	}
 
-	rankList := make([]int, 0, len(ranks))
-	for r := range ranks {
-		rankList = append(rankList, r)
+	tidList := make([]int, 0, len(lanes))
+	for tid := range lanes {
+		tidList = append(tidList, tid)
 	}
-	sort.Ints(rankList)
+	sort.Ints(tidList)
 
 	out := chromeTraceFile{
-		TraceEvents:     make([]chromeEvent, 0, len(sorted)+len(rankList)+1),
+		TraceEvents:     make([]chromeEvent, 0, len(sorted)+len(tidList)+1),
 		DisplayTimeUnit: "ms",
 	}
 	out.TraceEvents = append(out.TraceEvents, chromeEvent{
 		Name: "process_name", Phase: "M", PID: 0, TID: 0,
 		Args: map[string]any{"name": "ftmpi ring"},
 	})
-	for _, r := range rankList {
+	for _, tid := range tidList {
+		rank, gen := lanes[tid][0], lanes[tid][1]
+		name := fmt.Sprintf("rank %d", rank)
+		if gen > 1 {
+			name = fmt.Sprintf("rank %d gen %d", rank, gen)
+		}
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
-			Name: "thread_name", Phase: "M", PID: 0, TID: r,
-			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+			Name: "thread_name", Phase: "M", PID: 0, TID: tid,
+			Args: map[string]any{"name": name},
 		})
 	}
 	for _, e := range sorted {
@@ -86,11 +119,20 @@ func ChromeTrace(events []Event) ([]byte, error) {
 		if e.Iter >= 0 {
 			args["iter"] = e.Iter
 		}
+		if e.Gen > 0 {
+			args["gen"] = e.Gen
+		}
+		if e.Tok != 0 {
+			args["tok"] = FormatTok(e.Tok)
+		}
+		if e.HLC != 0 {
+			args["hlc"] = e.HLC
+		}
 		if e.Note != "" {
 			args["note"] = e.Note
 		}
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
-			Name: e.Kind.String(), Phase: "i", TS: ts, PID: 0, TID: e.Rank,
+			Name: e.Kind.String(), Phase: "i", TS: ts, PID: 0, TID: chromeTID(e.Rank, e.Gen),
 			Scope: "t", Cat: category(e.Kind), Args: args,
 		})
 	}
@@ -104,6 +146,8 @@ func category(k Kind) string {
 		return "chaos"
 	case FrameRetry, FrameReject, FrameDedup, LinkEscalated:
 		return "reliable"
+	case StaleGenDrop, DeadDrop, ReplicaDedup, FramePurged:
+		return "loss"
 	case Killed, OpFailed, Elected, ValidateDone:
 		return "failure"
 	case TermSent, TermRecv, IterDone:

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHLCNowStrictlyIncreases(t *testing.T) {
+	var c HLC
+	prev := c.Now()
+	for i := 0; i < 10000; i++ {
+		cur := c.Now()
+		if cur <= prev {
+			t.Fatalf("Now not strictly increasing: %d after %d", cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestHLCObserveDominatesBothClocks(t *testing.T) {
+	var c HLC
+	local := c.Now()
+	// A remote clock running far ahead of physical time: the merge must
+	// land strictly after it, and the local clock must stay there.
+	remote := (uint64(time.Now().Add(time.Hour).UnixMicro()) << hlcLogicalBits) | 7
+	got := c.Observe(remote)
+	if got <= remote || got <= local {
+		t.Fatalf("Observe(%d) = %d, not strictly after remote and local %d", remote, got, local)
+	}
+	if n := c.Now(); n <= got {
+		t.Fatalf("Now()=%d regressed below the merged stamp %d", n, got)
+	}
+	// A zero remote stamp (unstamped traffic) still advances.
+	if z := c.Observe(0); z <= got {
+		t.Fatalf("Observe(0)=%d did not advance past %d", z, got)
+	}
+}
+
+func TestHLCNilIsInert(t *testing.T) {
+	var c *HLC
+	if c.Now() != 0 || c.Observe(42) != 0 {
+		t.Fatal("nil clock must return 0")
+	}
+}
+
+func TestHLCConcurrentStampsUnique(t *testing.T) {
+	var c HLC
+	const goroutines, per = 8, 2000
+	out := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			stamps := make([]uint64, per)
+			for i := range stamps {
+				stamps[i] = c.Now()
+			}
+			out[g] = stamps
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, goroutines*per)
+	for g, stamps := range out {
+		prev := uint64(0)
+		for i, s := range stamps {
+			if s <= prev {
+				t.Fatalf("goroutine %d stamp %d: %d not above previous %d", g, i, s, prev)
+			}
+			prev = s
+			if seen[s] {
+				t.Fatalf("duplicate stamp %d across goroutines", s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestHLCFieldHelpers(t *testing.T) {
+	phys := int64(1_700_000_000_000_000) // µs
+	ts := uint64(phys)<<hlcLogicalBits | 9
+	if HLCPhysical(ts) != phys {
+		t.Fatalf("physical %d want %d", HLCPhysical(ts), phys)
+	}
+	if HLCLogical(ts) != 9 {
+		t.Fatalf("logical %d want 9", HLCLogical(ts))
+	}
+	if !HLCTime(ts).Equal(time.UnixMicro(phys)) {
+		t.Fatalf("time %v want %v", HLCTime(ts), time.UnixMicro(phys))
+	}
+}

@@ -19,6 +19,9 @@ type jsonEvent struct {
 	Peer int    `json:"peer,omitempty"`
 	Tag  int    `json:"tag,omitempty"`
 	Iter int    `json:"iter,omitempty"`
+	Gen  int    `json:"gen,omitempty"`
+	Tok  uint64 `json:"tok,omitempty"`
+	HLC  uint64 `json:"hlc,omitempty"`
 	Note string `json:"note,omitempty"`
 }
 
@@ -26,7 +29,8 @@ type jsonEvent struct {
 func (e Event) MarshalJSON() ([]byte, error) {
 	je := jsonEvent{
 		Seq: e.Seq, Rank: e.Rank, Kind: e.Kind.String(),
-		Peer: e.Peer, Tag: e.Tag, Iter: e.Iter, Note: e.Note,
+		Peer: e.Peer, Tag: e.Tag, Iter: e.Iter,
+		Gen: e.Gen, Tok: e.Tok, HLC: e.HLC, Note: e.Note,
 	}
 	if !e.At.IsZero() {
 		je.At = e.At.UnixNano()
@@ -44,7 +48,8 @@ func (e *Event) UnmarshalJSON(data []byte) error {
 	if !ok {
 		return fmt.Errorf("trace: unknown event kind %q", je.Kind)
 	}
-	*e = Event{Seq: je.Seq, Rank: je.Rank, Kind: k, Peer: je.Peer, Tag: je.Tag, Iter: je.Iter, Note: je.Note}
+	*e = Event{Seq: je.Seq, Rank: je.Rank, Kind: k, Peer: je.Peer, Tag: je.Tag, Iter: je.Iter,
+		Gen: je.Gen, Tok: je.Tok, HLC: je.HLC, Note: je.Note}
 	if je.At != 0 {
 		e.At = time.Unix(0, je.At)
 	}

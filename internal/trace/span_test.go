@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// genLifecycles builds nmsg synthetic message lifecycles stamped by one
+// shared HLC (so the causal order across all events is total and known),
+// returning the combined event list and the expected per-token kind
+// sequence. Lifecycles mix clean deliveries, retried deliveries, and
+// accounted losses, across several ranks.
+func genLifecycles(rng *rand.Rand, nmsg int) ([]Event, map[uint64][]Kind) {
+	var clock HLC
+	var all []Event
+	want := make(map[uint64][]Kind, nmsg)
+	seq := 0
+	emit := func(rank int, k Kind, tok uint64) {
+		all = append(all, Event{Seq: seq, Rank: rank, Kind: k,
+			Peer: -1, Tag: -1, Iter: -1, Tok: tok, HLC: clock.Now()})
+		seq++
+	}
+	for m := 0; m < nmsg; m++ {
+		origin := rng.Intn(4)
+		dest := (origin + 1 + rng.Intn(3)) % 4
+		tok := uint64(origin)<<tokenBits | uint64(m+1)
+		kinds := []Kind{SendPosted}
+		for r := rng.Intn(3); r > 0; r-- {
+			kinds = append(kinds, FrameRetry)
+		}
+		if rng.Intn(4) == 0 {
+			kinds = append(kinds, ChaosDrop)
+		} else {
+			kinds = append(kinds, Delivered)
+		}
+		for i, k := range kinds {
+			rank := origin
+			if i == len(kinds)-1 && k == Delivered {
+				rank = dest
+			}
+			emit(rank, k, tok)
+		}
+		want[tok] = kinds
+	}
+	// Untokened control traffic must be invisible to span assembly.
+	emit(0, IterDone, 0)
+	emit(1, Confirmed, 0)
+	return all, want
+}
+
+// TestSpanAssemblyReassemblesRandomInterleavings is the property test of
+// span assembly: however the per-rank event streams interleave in the
+// recorded log, grouping by token and sorting causally must reconstruct
+// each message's original lifecycle exactly.
+func TestSpanAssemblyReassemblesRandomInterleavings(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		nmsg := 1 + rng.Intn(8)
+		all, want := genLifecycles(rng, nmsg)
+		shuffled := append([]Event(nil), all...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		spans := AssembleSpans(shuffled)
+		if len(spans) != nmsg {
+			t.Fatalf("trial %d: %d spans, want %d", trial, len(spans), nmsg)
+		}
+		for _, sp := range spans {
+			kinds := want[sp.Tok]
+			if kinds == nil {
+				t.Fatalf("trial %d: span for unknown token %s", trial, FormatTok(sp.Tok))
+			}
+			if len(sp.Events) != len(kinds) {
+				t.Fatalf("trial %d tok %s: %d events, want %d",
+					trial, FormatTok(sp.Tok), len(sp.Events), len(kinds))
+			}
+			for i, e := range sp.Events {
+				if e.Kind != kinds[i] {
+					t.Fatalf("trial %d tok %s event %d: %v, want %v (order not reconstructed)",
+						trial, FormatTok(sp.Tok), i, e.Kind, kinds[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAuditReconcilesGeneratedLifecycles checks the conservation audit on
+// the same generated streams: every send is either delivered or carries
+// an accounted loss, so the audit must come back clean — and stripping a
+// loss event must surface exactly that token as unaccounted.
+func TestAuditReconcilesGeneratedLifecycles(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		all, want := genLifecycles(rng, 1+rng.Intn(8))
+		rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		rep := Audit(all)
+		if !rep.Clean() {
+			t.Fatalf("trial %d: audit not clean: %d unaccounted, %d orphans",
+				trial, len(rep.Unaccounted), len(rep.OrphanDelivers))
+		}
+		if rep.Sends != len(want) {
+			t.Fatalf("trial %d: %d sends audited, want %d", trial, rep.Sends, len(want))
+		}
+
+		// Remove one lossy message's loss event: conservation must break
+		// for that token and no other.
+		victim := uint64(0)
+		for tok, kinds := range want {
+			if kinds[len(kinds)-1] == ChaosDrop {
+				victim = tok
+				break
+			}
+		}
+		if victim == 0 {
+			continue // all-delivered trial
+		}
+		var pruned []Event
+		for _, e := range all {
+			if e.Tok == victim && e.Kind == ChaosDrop {
+				continue
+			}
+			pruned = append(pruned, e)
+		}
+		rep = Audit(pruned)
+		if len(rep.Unaccounted) != 1 || rep.Unaccounted[0] != victim {
+			t.Fatalf("trial %d: pruned audit unaccounted=%v, want exactly token %s",
+				trial, rep.Unaccounted, FormatTok(victim))
+		}
+	}
+}
+
+// TestCheckCausalFlagsViolations drives the validator with a healthy
+// stream, then with the two violation classes it must catch.
+func TestCheckCausalFlagsViolations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	all, _ := genLifecycles(rng, 6)
+	if v := CheckCausal(all); len(v) != 0 {
+		t.Fatalf("healthy stream flagged: %v", v)
+	}
+
+	// Duplicate HLC stamp on one rank.
+	dup := append([]Event(nil), all...)
+	dup = append(dup, Event{Seq: 9000, Rank: all[0].Rank, Kind: Note,
+		Peer: -1, Tag: -1, Iter: -1, HLC: all[0].HLC})
+	if v := CheckCausal(dup); len(v) == 0 {
+		t.Fatal("duplicate per-rank HLC stamp not flagged")
+	}
+
+	// A delivery whose token was never sent.
+	orphan := append([]Event(nil), all...)
+	orphan = append(orphan, Event{Seq: 9001, Rank: 2, Kind: Delivered,
+		Peer: -1, Tag: -1, Iter: -1, Tok: uint64(3)<<tokenBits | 999, HLC: ^uint64(0) - 1})
+	if v := CheckCausal(orphan); len(v) == 0 {
+		t.Fatal("delivery without a send not flagged")
+	}
+}

@@ -103,6 +103,22 @@ const (
 	// Promoted marks a standby replica taking over as primary of its
 	// logical rank after the previous primary died (replication mode).
 	Promoted
+	// Delivered marks a data message completing a receive on the
+	// destination rank (matched against a posted or later-arriving
+	// receive). Together with SendPosted and the accounted-loss kinds it
+	// is one side of the conservation audit: every tokened send must end
+	// in a Delivered or an accounted loss.
+	Delivered
+	// DeadDrop marks a frame vanishing at a dead or closed destination
+	// engine — the fail-stop analogue of mail to a dead letterbox.
+	DeadDrop
+	// ReplicaDedup marks a replication fan-out duplicate suppressed by
+	// the logical-channel sequence (RepSeq) below the matching layer.
+	ReplicaDedup
+	// FramePurged marks an inflight frame abandoned by the reliability
+	// sublayer when its link was torn down (peer death, peer reset, or
+	// fabric close) — an accounted loss, not a silent one.
+	FramePurged
 	// Note is a free-form annotation.
 	Note
 )
@@ -145,6 +161,10 @@ var kindNames = map[Kind]string{
 	Respawned:      "respawned",
 	ShrinkDone:     "shrink-done",
 	Promoted:       "promoted",
+	Delivered:      "delivered",
+	DeadDrop:       "dead-drop",
+	ReplicaDedup:   "replica-dedup",
+	FramePurged:    "frame-purged",
 	Note:           "note",
 }
 
@@ -174,6 +194,13 @@ func ParseKind(s string) (Kind, bool) {
 // Event is one recorded occurrence. Peer is the other rank involved (-1
 // when not applicable); Iter is the ring iteration marker (-1 when not
 // applicable).
+//
+// Gen, Tok and HLC are the causal-tracing fields (zero when not
+// applicable): Gen is the recording rank's incarnation, Tok the message
+// identity shared by every event touching one data message on any rank
+// (transport.Packet.Token layout: origin rank << 48 | per-origin seq),
+// and HLC the hybrid-logical-clock stamp ordering events causally across
+// ranks (see HLC).
 type Event struct {
 	Seq  int
 	At   time.Time
@@ -182,6 +209,9 @@ type Event struct {
 	Peer int
 	Tag  int
 	Iter int
+	Gen  int
+	Tok  uint64
+	HLC  uint64
 	Note string
 }
 
@@ -194,6 +224,10 @@ func (e Event) String() string {
 	}
 	if e.Iter >= 0 {
 		fmt.Fprintf(&b, " iter=%d", e.Iter)
+	}
+	if e.Tok != 0 {
+		// Token layout: origin rank << 48 | per-origin sequence.
+		fmt.Fprintf(&b, " tok=%d.%d", e.Tok>>48, e.Tok&(1<<48-1))
 	}
 	if e.Note != "" {
 		fmt.Fprintf(&b, " %s", e.Note)
@@ -319,6 +353,14 @@ func (r *Recorder) shardFor(rank int) *shard {
 // Record appends an event. Safe for concurrent use; a nil recorder drops
 // the event.
 func (r *Recorder) Record(rank int, kind Kind, peer, tag, iter int, note string) {
+	r.RecordMsg(rank, kind, peer, tag, iter, 0, 0, 0, note)
+}
+
+// RecordMsg appends an event carrying the causal-tracing fields: the
+// recording incarnation's generation, the message token, and the HLC
+// stamp. The runtime's message-lifecycle taps use it; Record remains the
+// entry point for events with no message identity.
+func (r *Recorder) RecordMsg(rank int, kind Kind, peer, tag, iter, gen int, tok, hlc uint64, note string) {
 	if r == nil {
 		return
 	}
@@ -330,6 +372,9 @@ func (r *Recorder) Record(rank int, kind Kind, peer, tag, iter int, note string)
 		Peer: peer,
 		Tag:  tag,
 		Iter: iter,
+		Gen:  gen,
+		Tok:  tok,
+		HLC:  hlc,
 		Note: note,
 	}
 	s := r.shardFor(rank)

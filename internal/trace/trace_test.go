@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -227,11 +228,13 @@ type noopCloser struct{ *strings.Builder }
 
 func (n *noopCloser) Close() error { return nil }
 
-func TestChromeTraceOneLanePerRank(t *testing.T) {
+func TestChromeTraceOneLanePerIncarnation(t *testing.T) {
 	r := New(0)
 	r.Record(0, SendPosted, 1, 0, 0, "")
 	r.Record(1, RecvCompleted, 0, 0, 0, "")
 	r.Record(2, Killed, -1, -1, -1, "")
+	// A respawned incarnation of rank 2 must get its own labelled lane.
+	r.RecordMsg(2, Respawned, -1, -1, -1, 2, 0, 0, "generation 2")
 	b, err := ChromeTrace(r.Events())
 	if err != nil {
 		t.Fatal(err)
@@ -242,24 +245,28 @@ func TestChromeTraceOneLanePerRank(t *testing.T) {
 	if err := json.Unmarshal(b, &doc); err != nil {
 		t.Fatalf("chrome output does not parse: %v", err)
 	}
-	lanes := map[float64]bool{}
+	lanes := map[float64]string{}
 	instants := 0
 	for _, ev := range doc.TraceEvents {
 		switch ev["ph"] {
 		case "M":
 			if ev["name"] == "thread_name" {
-				lanes[ev["tid"].(float64)] = true
+				lanes[ev["tid"].(float64)] = ev["args"].(map[string]any)["name"].(string)
 			}
 		case "i":
 			instants++
 		}
 	}
-	for _, want := range []float64{0, 1, 2} {
-		if !lanes[want] {
-			t.Fatalf("missing lane metadata for rank %v; lanes=%v", want, lanes)
+	for rank := 0; rank < 3; rank++ {
+		tid := float64(chromeTID(rank, 1))
+		if want := fmt.Sprintf("rank %d", rank); lanes[tid] != want {
+			t.Fatalf("lane %v = %q want %q; lanes=%v", tid, lanes[tid], want, lanes)
 		}
 	}
-	if instants != 3 {
-		t.Fatalf("instant events %d want 3", instants)
+	if tid := float64(chromeTID(2, 2)); lanes[tid] != "rank 2 gen 2" {
+		t.Fatalf("gen-2 lane %v = %q want %q; lanes=%v", tid, lanes[tid], "rank 2 gen 2", lanes)
+	}
+	if instants != 4 {
+		t.Fatalf("instant events %d want 4", instants)
 	}
 }

@@ -11,7 +11,7 @@ import (
 
 // Binary wire format for the TCP fabric (CodecBinary).
 //
-// Every packet is one frame: a fixed 58-byte little-endian header followed
+// Every packet is one frame: a fixed 74-byte little-endian header followed
 // by the raw payload bytes. The header carries every Packet field plus the
 // payload length, so a frame is self-delimiting and decodable with exactly
 // two reads (header, payload) into caller-provided buffers — no reflection
@@ -20,11 +20,14 @@ import (
 // the two generation stamps for elastic worlds (src gen, dst gen) so
 // stale-incarnation fencing survives a real wire, not just the in-memory
 // fabric. Version 4 added the replication stamps (rep seq, rep epoch) so
-// fan-out dedup survives a real wire too.
+// fan-out dedup survives a real wire too. Version 5 added the causal
+// tracing stamps: the sender's hybrid-logical-clock timestamp and the
+// origin token that identifies one message across every rank that
+// touches it (see internal/trace and Packet.Token).
 //
 //	offset size field
 //	0      4    magic   (0x46544D50, "FTMP")
-//	4      1    version (4)
+//	4      1    version (5)
 //	5      1    kind
 //	6      4    src     (int32)
 //	10     4    dst     (int32)
@@ -36,9 +39,11 @@ import (
 //	38     4    payload crc (Packet.Crc, end-to-end; carried verbatim)
 //	42     4    rep seq (uint32, replication logical-channel sequence)
 //	46     4    rep epoch (uint32, sender replica-group epoch; diagnostic)
-//	50     4    payload length (uint32)
-//	54     4    frame crc (CRC-32C over header[0:54] + payload)
-//	58     ...  payload
+//	50     8    hlc     (uint64, sender hybrid-logical-clock stamp)
+//	58     8    token   (uint64, causal origin token: rank<<48 | seq)
+//	66     4    payload length (uint32)
+//	70     4    frame crc (CRC-32C over header[0:70] + payload)
+//	74     ...  payload
 //
 // Two CRCs with different jobs: the frame CRC is wire-level integrity —
 // computed at encode time, verified by ReadFrame, so a frame mangled in
@@ -51,16 +56,16 @@ import (
 // bits, which the corruption fuzz test relies on.
 const (
 	// FrameHeaderSize is the fixed size of the binary frame header.
-	FrameHeaderSize = 58
+	FrameHeaderSize = 74
 	// MaxFramePayload bounds a frame's payload length; decoders reject
 	// larger lengths rather than trusting the wire with the allocation.
 	MaxFramePayload = 1 << 27
 
 	frameMagic   uint32 = 0x46544D50 // "FTMP"
-	frameVersion byte   = 4
+	frameVersion byte   = 5
 
 	// frameCrcOffset is where the frame CRC lives; it covers [0, frameCrcOffset).
-	frameCrcOffset = 54
+	frameCrcOffset = 70
 )
 
 // crcTable is the Castagnoli polynomial table shared by both CRCs.
@@ -108,7 +113,9 @@ func AppendFrame(dst []byte, pkt *Packet) ([]byte, error) {
 	binary.LittleEndian.PutUint32(hdr[38:42], pkt.Crc)
 	binary.LittleEndian.PutUint32(hdr[42:46], pkt.RepSeq)
 	binary.LittleEndian.PutUint32(hdr[46:50], pkt.RepEpoch)
-	binary.LittleEndian.PutUint32(hdr[50:54], uint32(len(pkt.Payload)))
+	binary.LittleEndian.PutUint64(hdr[50:58], pkt.HLC)
+	binary.LittleEndian.PutUint64(hdr[58:66], pkt.Token)
+	binary.LittleEndian.PutUint32(hdr[66:70], uint32(len(pkt.Payload)))
 	fcrc := crc32.Checksum(hdr[:frameCrcOffset], crcTable)
 	fcrc = crc32.Update(fcrc, crcTable, pkt.Payload)
 	binary.LittleEndian.PutUint32(hdr[frameCrcOffset:FrameHeaderSize], fcrc)
@@ -133,7 +140,7 @@ func ReadFrame(r io.Reader, hdr []byte) (*Packet, error) {
 	if hdr[4] != frameVersion {
 		return nil, fmt.Errorf("%w: unknown version %d", ErrFrameCorrupt, hdr[4])
 	}
-	plen := binary.LittleEndian.Uint32(hdr[50:54])
+	plen := binary.LittleEndian.Uint32(hdr[66:70])
 	if plen > MaxFramePayload {
 		return nil, fmt.Errorf("%w: payload length %d exceeds limit %d", ErrFrameCorrupt, plen, MaxFramePayload)
 	}
@@ -149,6 +156,8 @@ func ReadFrame(r io.Reader, hdr []byte) (*Packet, error) {
 		Crc:      binary.LittleEndian.Uint32(hdr[38:42]),
 		RepSeq:   binary.LittleEndian.Uint32(hdr[42:46]),
 		RepEpoch: binary.LittleEndian.Uint32(hdr[46:50]),
+		HLC:      binary.LittleEndian.Uint64(hdr[50:58]),
+		Token:    binary.LittleEndian.Uint64(hdr[58:66]),
 	}
 	if plen > 0 {
 		pkt.Payload = make([]byte, plen)

@@ -26,6 +26,8 @@ func randomPacket(rng *rand.Rand) *Packet {
 		Crc:      rng.Uint32(),
 		RepSeq:   rng.Uint32(),
 		RepEpoch: rng.Uint32(),
+		HLC:      rng.Uint64(),
+		Token:    rng.Uint64(),
 	}
 	if n := rng.Intn(512); n > 0 {
 		p.Payload = make([]byte, n)
@@ -128,10 +130,10 @@ func TestReadFrameRejectsCorruption(t *testing.T) {
 	if err := corrupt(func(b []byte) { b[4] = 99 }); err == nil {
 		t.Fatal("bad version accepted")
 	}
-	if err := corrupt(func(b []byte) { b[50], b[51], b[52], b[53] = 0xff, 0xff, 0xff, 0xff }); err == nil {
+	if err := corrupt(func(b []byte) { b[66], b[67], b[68], b[69] = 0xff, 0xff, 0xff, 0xff }); err == nil {
 		t.Fatal("oversized payload length accepted")
 	}
-	if err := corrupt(func(b []byte) { b[50] = 1 }); err == nil {
+	if err := corrupt(func(b []byte) { b[66] = 1 }); err == nil {
 		t.Fatal("shrunk payload length accepted")
 	}
 	if err := corrupt(func(b []byte) { b[38] ^= 0x01 }); err == nil {
@@ -145,6 +147,12 @@ func TestReadFrameRejectsCorruption(t *testing.T) {
 	}
 	if err := corrupt(func(b []byte) { b[46] ^= 0x01 }); err == nil {
 		t.Fatal("flipped rep-epoch field accepted")
+	}
+	if err := corrupt(func(b []byte) { b[50] ^= 0x01 }); err == nil {
+		t.Fatal("flipped hlc field accepted")
+	}
+	if err := corrupt(func(b []byte) { b[58] ^= 0x01 }); err == nil {
+		t.Fatal("flipped token field accepted")
 	}
 	if err := corrupt(func(b []byte) { b[FrameHeaderSize] ^= 0x04 }); err == nil {
 		t.Fatal("flipped payload bit accepted")
@@ -182,11 +190,11 @@ func TestClonePooledRelease(t *testing.T) {
 // FuzzFrameRoundTrip fuzzes the encode/decode pair over the header fields
 // and payload.
 func FuzzFrameRoundTrip(f *testing.F) {
-	f.Add(0, 1, 5, 7, uint8(0), uint64(3), uint32(0), []byte("payload"))
-	f.Add(3, 0, -2, 0, uint8(1), uint64(0), uint32(1), []byte(nil))
-	f.Add(1<<19, 1<<19, -(1 << 14), 1<<9, uint8(7), ^uint64(0), ^uint32(0), []byte{0})
-	f.Fuzz(func(t *testing.T, src, dst, tag, ctx int, kind uint8, seq uint64, crc uint32, payload []byte) {
-		p := &Packet{Src: src, Dst: dst, Tag: tag, Context: ctx, Kind: Kind(kind), Seq: seq, Crc: crc}
+	f.Add(0, 1, 5, 7, uint8(0), uint64(3), uint32(0), uint64(0), uint64(0), []byte("payload"))
+	f.Add(3, 0, -2, 0, uint8(1), uint64(0), uint32(1), uint64(1)<<12, uint64(3)<<TokenBits|9, []byte(nil))
+	f.Add(1<<19, 1<<19, -(1 << 14), 1<<9, uint8(7), ^uint64(0), ^uint32(0), ^uint64(0), ^uint64(0), []byte{0})
+	f.Fuzz(func(t *testing.T, src, dst, tag, ctx int, kind uint8, seq uint64, crc uint32, hlc, tok uint64, payload []byte) {
+		p := &Packet{Src: src, Dst: dst, Tag: tag, Context: ctx, Kind: Kind(kind), Seq: seq, Crc: crc, HLC: hlc, Token: tok}
 		if len(payload) > 0 {
 			p.Payload = payload
 		}
@@ -236,7 +244,7 @@ func FuzzFrameCorruption(f *testing.F) {
 			off = -off
 		}
 		off %= len(frame) - 3 // keep the 4-byte window inside the frame
-		if off < 38 && off+4 > 34 {
+		if off < 70 && off+4 > 66 {
 			t.Skip() // burst overlaps the payload-length field
 		}
 		var m [4]byte

@@ -10,9 +10,9 @@
 //   - TCP: real loopback sockets, one listener per rank. It exercises the
 //     same engine code over an actual network stack and backs the E15
 //     transport-comparison experiment. Packets travel as length-prefixed
-//     binary frames: a fixed 58-byte little-endian header (magic,
+//     binary frames: a fixed 74-byte little-endian header (magic,
 //     version, kind, src, dst, tag, context, srcgen, dstgen, seq,
-//     payload crc, repseq, repepoch, payload
+//     payload crc, repseq, repepoch, hlc, token, payload
 //     length, frame crc — see codec.go) followed by the raw payload,
 //     encoded with encoding/binary
 //     into sync.Pool-backed buffers so the steady-state send path does
@@ -114,8 +114,36 @@ type Packet struct {
 	// diagnostic only: dedup is by RepSeq alone, because a promoted survivor
 	// continues the old sequence numbering under the new epoch.
 	RepEpoch uint32
-	Payload  []byte
+	// HLC is the sender's hybrid-logical-clock stamp at send time
+	// (internal/trace.HLC encoding: physical µs << 12 | logical). The
+	// receiving engine merges it into its own clock, so deliver stamps are
+	// numerically after send stamps without synchronized clocks. 0 means
+	// "unstamped".
+	HLC uint64
+	// Token is the causal message identity: origin physical rank << 48 |
+	// per-origin sequence, assigned ONCE where a data message enters the
+	// runtime and preserved verbatim across retransmits, replication
+	// fan-out copies and chain forwards — every trace event on any rank
+	// that touches this message carries the same token. 0 means
+	// "untracked" (control/ack/agreement/state traffic).
+	Token   uint64
+	Payload []byte
 }
+
+// TokenBits is the per-origin sequence width of Packet.Token; the origin
+// physical rank occupies the bits above it.
+const TokenBits = 48
+
+// MakeToken composes a causal token from an origin rank and sequence.
+func MakeToken(origin int, seq uint64) uint64 {
+	return uint64(origin)<<TokenBits | seq&(1<<TokenBits-1)
+}
+
+// TokenOrigin extracts the origin physical rank of a causal token.
+func TokenOrigin(tok uint64) int { return int(tok >> TokenBits) }
+
+// TokenSeq extracts the per-origin sequence of a causal token.
+func TokenSeq(tok uint64) uint64 { return tok & (1<<TokenBits - 1) }
 
 // Clone returns a deep copy of the packet. Fabrics that buffer packets
 // (latency, TCP) use it so callers may reuse payload buffers.

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Collector aggregates observability across every world an experiment
@@ -21,9 +22,20 @@ type Collector struct {
 	runs     int
 	counters map[string]int64
 	families map[string]obs.HistSnapshot
+	audit    auditTotals
 
 	liveMets atomic.Pointer[metrics.World]
 	liveObs  atomic.Pointer[obs.Registry]
+}
+
+// auditTotals sums trace conservation audits over every audited run.
+type auditTotals struct {
+	audited     int // runs that contributed an audit
+	sends       int
+	delivers    int
+	accounted   int
+	unaccounted int
+	orphans     int
 }
 
 // NewCollector creates an empty collector.
@@ -68,6 +80,23 @@ func (c *Collector) Absorb(mets *metrics.World, reg *obs.Registry) {
 	}
 }
 
+// AbsorbAudit folds one run's trace conservation audit into the
+// aggregate, so ftbench -json reports message conservation across the
+// whole sweep.
+func (c *Collector) AbsorbAudit(rep *trace.AuditReport) {
+	if c == nil || rep == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.audit.audited++
+	c.audit.sends += rep.Sends
+	c.audit.delivers += rep.Delivers
+	c.audit.accounted += rep.Accounted
+	c.audit.unaccounted += len(rep.Unaccounted)
+	c.audit.orphans += len(rep.OrphanDelivers)
+}
+
 // Source returns the live view for obs.Serve: the most recently attached
 // world's counters and histograms.
 func (c *Collector) Source() obs.Source {
@@ -97,12 +126,23 @@ type histJSON struct {
 	MaxNS  int64   `json:"max_ns"`
 }
 
+// auditJSON is the JSON shape of the aggregated conservation audit.
+type auditJSON struct {
+	AuditedRuns int `json:"audited_runs"`
+	Sends       int `json:"sends"`
+	Delivers    int `json:"delivers"`
+	Accounted   int `json:"accounted_losses"`
+	Unaccounted int `json:"unaccounted"`
+	Orphans     int `json:"orphan_delivers"`
+}
+
 // collectorJSON is the machine-readable run summary ftbench -json emits.
 type collectorJSON struct {
 	GeneratedAt string              `json:"generated_at"`
 	Runs        int                 `json:"runs"`
 	Counters    map[string]int64    `json:"counters"`
 	Histograms  map[string]histJSON `json:"histograms"`
+	Audit       *auditJSON          `json:"audit,omitempty"`
 }
 
 // WriteJSON emits the aggregate as indented JSON: every counter total and
@@ -126,6 +166,16 @@ func (c *Collector) WriteJSON(w io.Writer) error {
 				Count: s.Count, MeanNS: s.Mean(),
 				P50NS: s.Quantile(0.50), P95NS: s.Quantile(0.95), P99NS: s.Quantile(0.99),
 				MaxNS: s.Max,
+			}
+		}
+		if c.audit.audited > 0 {
+			out.Audit = &auditJSON{
+				AuditedRuns: c.audit.audited,
+				Sends:       c.audit.sends,
+				Delivers:    c.audit.delivers,
+				Accounted:   c.audit.accounted,
+				Unaccounted: c.audit.unaccounted,
+				Orphans:     c.audit.orphans,
 			}
 		}
 		c.mu.Unlock()

@@ -8,6 +8,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // TestCollectorCoversAllFamilies is the observability-plumbing gate: one
@@ -62,8 +63,11 @@ func TestCollectorCoversAllFamilies(t *testing.T) {
 	}
 
 	// The families and counters these worlds must actually light up.
+	// message_e2e_latency comes from the HLC stamps every tokened data
+	// message carries; recovery_total from the kill -> promotion incident.
 	for _, name := range []string{"swim_probe_rtt", "gossip_convergence", "suspicion_latency",
-		"replica_promotion", "replication_overhead"} {
+		"replica_promotion", "replication_overhead",
+		"message_e2e_latency", "recovery_total"} {
 		if out.Histograms[name].Count == 0 {
 			t.Errorf("family %q has no samples after the swim + replication runs\n%s", name, buf.String())
 		}
@@ -76,5 +80,41 @@ func TestCollectorCoversAllFamilies(t *testing.T) {
 	}
 	if out.Counters["gossip_decode_errors"] != 0 {
 		t.Errorf("%d gossip decode errors on a clean fabric", out.Counters["gossip_decode_errors"])
+	}
+}
+
+// TestCollectorEmitsAuditBlock: the -json audit summary appears exactly
+// when a run contributed a conservation audit, with the totals summed.
+func TestCollectorEmitsAuditBlock(t *testing.T) {
+	c := NewCollector()
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Audit *auditJSON `json:"audit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Audit != nil {
+		t.Fatal("audit block must be omitted when no run was audited")
+	}
+
+	c.AbsorbAudit(&trace.AuditReport{Sends: 10, Delivers: 8, Accounted: 2})
+	c.AbsorbAudit(&trace.AuditReport{Sends: 5, Delivers: 5, Unaccounted: []uint64{7}})
+	buf.Reset()
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Audit == nil {
+		t.Fatal("audit block missing after AbsorbAudit")
+	}
+	want := auditJSON{AuditedRuns: 2, Sends: 15, Delivers: 13, Accounted: 2, Unaccounted: 1}
+	if *out.Audit != want {
+		t.Fatalf("audit block %+v, want %+v", *out.Audit, want)
 	}
 }

@@ -81,6 +81,30 @@ type replicaCfg struct {
 	kill  bool   // kill one seeded replica mid-run
 	laps  int
 	chaos bool
+	// waitRepair parks the logical-0 replicas between the base and the
+	// final verify laps until the detector has confirmed the kill and any
+	// due promotion has landed. With real (non-oracle) detectors the
+	// unaware ring can outrun detection entirely; E23's forensics need
+	// the repair — and a post-repair delivery — inside the run.
+	waitRepair bool
+}
+
+// replicaWaitLaps is how many laps run after the repair wait-point when
+// waitRepair is set: they traverse the repaired world, giving the trace
+// its post-repair deliveries.
+const replicaWaitLaps = 2
+
+// waitForRepair polls the world counters until the kill is confirmed
+// (and, when the victim was a primary, until the standby promotion
+// landed), bounded well inside the world deadline. A timeout falls
+// through: the promotion assertions after the run report the failure.
+func waitForRepair(mets *metrics.World, needProm bool) {
+	for end := time.Now().Add(30 * time.Second); time.Now().Before(end); time.Sleep(2 * time.Millisecond) {
+		if mets.Total(metrics.Confirms) >= 1 &&
+			(!needProm || mets.Total(metrics.ReplicaPromotions) >= 1) {
+			return
+		}
+	}
 }
 
 // replicaRun is the measured outcome of one seeded E22 world.
@@ -134,6 +158,15 @@ func runReplicaWorld(opt Options, cfg replicaCfg, seed int64, mets *metrics.Worl
 	if cfg.chaos {
 		wopts = append(wopts, mpi.WithChaos(chaos.NewPlan(seed).Default(replicaRates())))
 	}
+	if opt.Tracer != nil {
+		wopts = append(wopts, mpi.WithTracer(opt.Tracer))
+	}
+	switch opt.Detector {
+	case mpi.DetectorHeartbeat:
+		wopts = append(wopts, mpi.WithHeartbeat(opt.Heartbeat))
+	case mpi.DetectorSwim:
+		wopts = append(wopts, mpi.WithSwim(opt.Swim))
+	}
 	w, err := mpi.NewWorld(lsize, wopts...)
 	if err != nil {
 		return nil, err
@@ -156,6 +189,9 @@ func runReplicaWorld(opt Options, cfg replicaCfg, seed int64, mets *metrics.Worl
 		for lap := 0; lap < cfg.laps; lap++ {
 			if cfg.kill && phys == run.victim && lap == run.killLap {
 				p.Die()
+			}
+			if cfg.waitRepair && me == 0 && lap == cfg.laps-replicaWaitLaps {
+				waitForRepair(mets, run.role == "primary")
 			}
 			if me == 0 {
 				binary.LittleEndian.PutUint64(buf, uint64(lap))

@@ -13,6 +13,7 @@ import (
 	"repro/internal/detector"
 	"repro/internal/membership"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Table is an ordered result table for one experiment.
@@ -99,6 +100,10 @@ type Options struct {
 	// Agreement selects the validate_all topology for the generic ring
 	// worlds ("" keeps the coordinator default).
 	Agreement string
+	// Tracer, when non-nil, records every world's causal event stream
+	// (E23's recovery forensics run one recorder per seeded world and
+	// audit it for message conservation).
+	Tracer *trace.Recorder
 }
 
 // obsMaxRanks caps the world size that gets a histogram registry: each

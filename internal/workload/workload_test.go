@@ -42,8 +42,8 @@ func TestAllHaveMetadata(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	if len(ids) != 22 {
-		t.Fatalf("have %d experiments, want 22", len(ids))
+	if len(ids) != 23 {
+		t.Fatalf("have %d experiments, want 23", len(ids))
 	}
 }
 
