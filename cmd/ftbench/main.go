@@ -1,4 +1,4 @@
-// Command ftbench runs the experiment suite (DESIGN.md E1-E22) and prints
+// Command ftbench runs the experiment suite (DESIGN.md E1-E24) and prints
 // the result tables recorded in EXPERIMENTS.md.
 //
 //	ftbench                # full suite
@@ -12,6 +12,8 @@
 //	ftbench -exp e21 -quick               # elastic shrink/respawn soak
 //	ftbench -exp e22 -quick               # replication soak: transparent failover
 //	ftbench -exp e23 -quick               # recovery forensics: traced phase decomposition
+//	ftbench -exp e24 -quick               # durability soak: tail-acks, auto re-replication
+//	ftbench -exp e22 -rep-mode chain      # replication kill sweep over the chain relay
 //	ftbench -exp e1 -detector swim -agreement tree   # gossip detection + tree votes
 package main
 
@@ -29,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "run a single experiment (e1..e23)")
+		exp     = flag.String("exp", "", "run a single experiment (e1..e24)")
 		quick   = flag.Bool("quick", false, "shrink sweeps for a fast pass")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		seed    = flag.Int64("seed", 1, "seed for randomized failure schedules")
@@ -42,8 +44,16 @@ func main() {
 		swPeriod   = flag.Duration("swim-period", 0, "SWIM protocol period (0 = default; with -detector swim)")
 		swIndirect = flag.Int("swim-indirect", 0, "SWIM indirect-probe fanout k (0 = default; with -detector swim)")
 		agreeMode  = flag.String("agreement", "", "validate_all topology for the generic ring worlds: coordinator|tree (\"\" = coordinator)")
+		repMode    = flag.String("rep-mode", "", "replication propagation mode for the E22 kill sweep: fanout|chain (\"\" = fanout; E24 always runs both)")
 	)
 	flag.Parse()
+	switch *repMode {
+	case "", ftmpi.ReplFanout, ftmpi.ReplChain:
+	default:
+		fmt.Fprintf(os.Stderr, "ftbench: unknown -rep-mode %q: valid modes are %q, %q\n",
+			*repMode, ftmpi.ReplFanout, ftmpi.ReplChain)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range workload.All() {
@@ -70,6 +80,7 @@ func main() {
 		Heartbeat: ftmpi.HeartbeatOptions{Interval: *hbInterval, Timeout: *hbTimeout},
 		Swim:      ftmpi.SwimOptions{Period: *swPeriod, IndirectK: *swIndirect},
 		Agreement: *agreeMode,
+		RepMode:   *repMode,
 	}
 	if *jsonOut != "" || *obsAddr != "" {
 		opt.Collector = workload.NewCollector()

@@ -117,6 +117,17 @@ const (
 	// ReplicaDedupDrops counts fan-out duplicates suppressed by the
 	// receiver's replication-sequence tracking.
 	ReplicaDedupDrops
+	// ReplicaRefills counts replica-group slots automatically respawned by
+	// the world after a detector confirm dropped the group below R
+	// (re-replication events, as opposed to app-requested Spawns).
+	ReplicaRefills
+	// ChainResends counts chain-outbox entries re-sent to a freshly
+	// promoted primary because the old primary died before every group
+	// member confirmed receipt — the tail-ack protocol's repair action.
+	ChainResends
+	// ChainAcks counts chain-mode receipt confirmations (KindChainAck
+	// frames) sent by replicas back to the original sender.
+	ChainAcks
 	numCounters
 )
 
@@ -133,6 +144,7 @@ var counterNames = [numCounters]string{
 	"swim_probe_timeouts", "gossip_events", "gossip_learns",
 	"gossip_decode_errors", "respawns", "shrinks", "stale_gen_rejected",
 	"replica_sends", "replica_promotions", "replica_dedup_drops",
+	"replica_refills", "chain_resends", "chain_acks",
 }
 
 // String returns the counter's table-column name.

@@ -178,6 +178,12 @@ func (w *World) join(slot int) (int, *procSeed) {
 			}
 		}
 	}
+	if w.repl != nil {
+		// Replication sequence state seeds from a surviving sibling before
+		// the engine is published, so no inbound frame can race it: stale
+		// forwards for consumed history dedup-drop instead of matching.
+		w.repl.seedRepState(slot, e2)
+	}
 
 	for i := 0; i < w.size; i++ {
 		if i == slot || w.registry.Failed(i) {

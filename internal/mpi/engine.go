@@ -76,6 +76,13 @@ type engine struct {
 	repSeq  map[repChan]uint32
 	repNext map[repChan]uint32
 
+	// chainPend is the chain-mode tail-ack outbox: every chain send this
+	// engine originated that some live replica of the destination group
+	// has not yet confirmed (KindChainAck). A primary death re-sends the
+	// surviving entries to the promoted successor. Guarded by mu; nil
+	// outside chain mode.
+	chainPend map[chainKey]*chainPending
+
 	// comms lists every communicator created by this incarnation's proc,
 	// so a peer's revival can repair recognition and collective membership
 	// on all of them. Guarded by mu.
@@ -123,6 +130,9 @@ func newEngine(w *World, rank int, gen uint32) *engine {
 	if w.repl != nil {
 		e.repSeq = make(map[repChan]uint32)
 		e.repNext = make(map[repChan]uint32)
+		if w.repl.mode == ReplChain {
+			e.chainPend = make(map[chainKey]*chainPending)
+		}
 	}
 	e.agree.init()
 	return e
@@ -347,6 +357,10 @@ func (e *engine) deliver(pkt *transport.Packet) {
 	if stale, why := e.staleGen(pkt); stale {
 		e.w.metrics.Inc(e.rank, metrics.StaleGenRejected)
 		e.w.tracer.RecordMsg(e.rank, trace.StaleGenDrop, pkt.Src, pkt.Tag, -1, int(e.gen), pkt.Token, 0, why)
+		// A gate-deferred hop ack for this frame must still be released:
+		// the drop is deliberate and accounted, and leaving the sender's
+		// ARQ retrying a fenced frame would escalate an innocent link.
+		e.w.releaseChainAck(e.rank, pkt)
 		return
 	}
 	if pkt.Kind == transport.KindControl {
@@ -370,12 +384,30 @@ func (e *engine) deliver(pkt *transport.Packet) {
 		e.deliverState(pkt)
 		return
 	}
-	if e.w.repl != nil && e.w.repl.mode == ReplChain && pkt.RepSeq != 0 &&
-		!e.dead.Load() && e.w.repl.isPrimary(e.rank) {
-		// Chain mode: the group's primary relays the frame to its standbys
-		// before consuming its own copy. Forwards from a freshly promoted
-		// primary can duplicate the old primary's — RepSeq dedup absorbs it.
-		e.chainForward(pkt)
+	if pkt.Kind == transport.KindChainAck {
+		e.onChainAck(pkt)
+		return
+	}
+	if e.w.repl != nil && e.w.repl.mode == ReplChain &&
+		pkt.Kind == transport.KindData && pkt.RepSeq != 0 && !e.dead.Load() {
+		if e.w.repl.isPrimary(e.rank) {
+			// Chain mode: the group's primary relays the frame to its standbys
+			// before consuming its own copy. Forwards from a freshly promoted
+			// primary can duplicate the old primary's — RepSeq dedup absorbs it.
+			e.chainForward(pkt)
+		}
+		if !e.dead.Load() {
+			// Tail-ack protocol: every replica — primary or forwarded-to
+			// standby — confirms its own receipt to the origin sender, even
+			// for a copy the RepSeq dedup below will drop (the re-send may
+			// exist precisely because the previous confirmation was lost).
+			// Only then is the hop's gate-deferred ARQ ack released: the
+			// frame has been forwarded, so the ack no longer understates
+			// chain durability. A death inside chainForward skips both —
+			// the sender's outbox and ARQ keep racing the corpse honestly.
+			e.sendChainAck(pkt)
+			e.w.releaseChainAck(e.rank, pkt)
+		}
 	}
 	e.mu.Lock()
 	if e.dead.Load() || e.closed.Load() {

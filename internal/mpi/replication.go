@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -48,6 +49,45 @@ type ReplicationOptions struct {
 	// Mode selects the propagation shape: ReplFanout (default, also
 	// selected by "") or ReplChain.
 	Mode string
+	// AutoRefill makes the world heal depleted replica groups itself:
+	// every detector-confirmed replica death schedules a Spawn-driven
+	// reincarnation of the slot (at the next generation, with replication
+	// sequence state seeded from a surviving sibling) so groups return to
+	// R live members with zero app-level Spawn calls. Implies elastic
+	// worlds: a nil Config.Elastic is upgraded to the zero ElasticOptions.
+	// The refilled incarnation joins as a warm standby — it cannot replay
+	// history its group already consumed, so rank functions should park
+	// reincarnations (Proc.Gen() > 1) rather than re-run the protocol.
+	AutoRefill bool
+	// RefillDelay is how long after the confirmed death the first refill
+	// attempt fires. Zero refills as soon as the notification lands.
+	RefillDelay time.Duration
+	// RefillBackoff is the initial retry backoff when a refill attempt is
+	// refused (racing kill, in-flight Spawn); it doubles per retry up to
+	// 500ms. Zero means 2ms.
+	RefillBackoff time.Duration
+	// MaxRefills caps automatic refills per run; 0 means unlimited.
+	MaxRefills int
+}
+
+// chainKey identifies one chain-outbox entry: a logical data message the
+// sender must see confirmed by every live replica of the destination
+// group before it can forget the payload.
+type chainKey struct {
+	ldst   int // logical destination rank
+	ctx    int
+	tag    int
+	repSeq uint32
+}
+
+// chainPending is one unconfirmed chain-mode send: the payload kept for a
+// promotion-triggered re-send, the causal token that keeps the re-send
+// the SAME message for the conservation audit, and the set of physical
+// replicas whose receipt confirmation (KindChainAck) is still owed.
+type chainPending struct {
+	payload []byte
+	tok     uint64
+	waiting map[int]struct{}
 }
 
 // replGroup is the live view of one logical rank's replica set.
@@ -67,18 +107,21 @@ type replState struct {
 	r     int    // replication degree
 	mode  string // ReplFanout or ReplChain
 	lsize int    // logical world size
+	opts  ReplicationOptions
 
-	mu     sync.Mutex
-	groups []replGroup
+	mu      sync.Mutex
+	groups  []replGroup
+	refills int // automatic refills launched (budget bookkeeping)
 }
 
-// newReplState lays out lsize replica groups of degree r over the
+// newReplState lays out lsize replica groups of degree opts.R over the
 // physical slot table.
-func newReplState(w *World, lsize, r int, mode string) *replState {
+func newReplState(w *World, lsize int, opts ReplicationOptions) *replState {
+	r, mode := opts.R, opts.Mode
 	if mode == "" {
 		mode = ReplFanout
 	}
-	s := &replState{w: w, r: r, mode: mode, lsize: lsize}
+	s := &replState{w: w, r: r, mode: mode, lsize: lsize, opts: opts}
 	s.groups = make([]replGroup, lsize)
 	for l := 0; l < lsize; l++ {
 		g := &s.groups[l]
@@ -111,6 +154,8 @@ func (s *replState) handleDeath(f int) bool {
 	if len(g.live) == 0 {
 		g.primary = -1
 		s.mu.Unlock()
+		s.pruneChainAcks(f)
+		s.scheduleRefill(f)
 		return false
 	}
 	promoted := -1
@@ -126,6 +171,10 @@ func (s *replState) handleDeath(f int) bool {
 		}
 	}
 	s.mu.Unlock()
+
+	// Drop the corpse from every sender's chain-outbox wait sets first, so
+	// the promotion re-send below skips entries the survivors already hold.
+	s.pruneChainAcks(f)
 
 	if promoted >= 0 {
 		w := s.w
@@ -147,7 +196,12 @@ func (s *replState) handleDeath(f int) bool {
 			e.agreeBumpLocked()
 			e.mu.Unlock()
 		}
+		// Tail-ack repair: any chain frame the dead primary accepted (or
+		// was sent) but whose group-wide receipt is still unconfirmed is
+		// re-sent to the new primary, which re-forwards down the chain.
+		s.resendChainPending(l, promoted)
 	}
+	s.scheduleRefill(f)
 	return true
 }
 
@@ -363,6 +417,12 @@ func (e *engine) replSend(ldst, tag, ctx int, payload []byte) error {
 	// winner reconcile to one identity in the conservation audit.
 	// (sendPacket assigns tokens only when unset, so this survives it.)
 	tok := transport.MakeToken(e.rank, w.nextTokenSeq(e.rank))
+	if w.repl.mode == ReplChain {
+		// Record the outbox entry BEFORE the copy enters the fabric: over
+		// the synchronous Local fabric the chain-acks can arrive inside the
+		// Send call below, and they must find the entry to retire.
+		e.recordChainPending(ldst, ctx, tag, seq, tok, payload)
+	}
 	var start time.Time
 	var firstErr error
 	for i, phys := range targets {
@@ -402,6 +462,19 @@ func (e *engine) replSend(ldst, tag, ctx int, payload []byte) error {
 func (e *engine) chainForward(pkt *transport.Packet) {
 	w := e.w
 	for _, sib := range w.repl.liveSiblings(e.rank) {
+		if w.hook != nil && w.hook(HookEvent{
+			Rank: e.arank(), Point: HookChainForward, Peer: w.logicalOf(sib), Tag: pkt.Tag,
+		}) == ActKill {
+			// The injected death lands INSIDE the forward window: the frame
+			// is accepted here but not (fully) forwarded — the loss the
+			// tail-ack protocol repairs. fireHook's die() would panic the
+			// delivering goroutine, which is not this rank's own, so the
+			// kill goes through the registry instead.
+			w.registry.Kill(e.rank)
+		}
+		if e.dead.Load() {
+			return // died mid-forward: remaining standbys rely on the re-send
+		}
 		fwd := *pkt
 		fwd.Dst = sib
 		fwd.DstGen = w.genOf(sib)
@@ -412,4 +485,256 @@ func (e *engine) chainForward(pkt *transport.Packet) {
 		_ = w.fabric.Send(&fwd)
 		w.metrics.Inc(e.rank, metrics.ReplicaSends)
 	}
+}
+
+// --- chain tail-acks ---------------------------------------------------------
+//
+// Chain mode's documented loss window: the primary's ARQ ack (and its
+// RepSeq acceptance) used to commit a frame the standbys might never see
+// if the primary died before chainForward completed. The tail-ack
+// protocol closes it sender-side: every chain send is held in a per
+// -sender outbox until EVERY live replica of the destination group has
+// confirmed receipt with a KindChainAck frame; a primary death re-sends
+// the unconfirmed entries (same RepSeq, same causal token) to the
+// promoted survivor, which re-forwards down the chain. The reliability
+// layer's ack gate complements this by keeping the hop-level ARQ ack
+// honest (withheld until the frame is forwarded), so the sender's
+// retransmission machinery also keeps racing a mid-forward death.
+
+// recordChainPending registers one chain-mode send in the sender's
+// outbox, awaiting receipt confirmation from every live member of the
+// destination group. Called with no engine lock held, before the first
+// physical copy enters the fabric.
+func (e *engine) recordChainPending(ldst, ctx, tag int, seq uint32, tok uint64, payload []byte) {
+	members := e.w.repl.livePhys(ldst)
+	if len(members) == 0 {
+		return
+	}
+	waiting := make(map[int]struct{}, len(members))
+	for _, m := range members {
+		waiting[m] = struct{}{}
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	k := chainKey{ldst: ldst, ctx: ctx, tag: tag, repSeq: seq}
+	e.mu.Lock()
+	e.chainPend[k] = &chainPending{payload: cp, tok: tok, waiting: waiting}
+	e.mu.Unlock()
+}
+
+// sendChainAck confirms receipt of a chain data frame to its ORIGINAL
+// sender (pkt.Src survives the chain forward untouched). The ack is
+// ARQ-sequenced — it must survive the same chaos the data did — but
+// carries no causal token: it is protocol overhead, like the ARQ acks,
+// not a message the conservation audit tracks.
+func (e *engine) sendChainAck(pkt *transport.Packet) {
+	w := e.w
+	ack := &transport.Packet{
+		Src: e.rank, Dst: pkt.Src, Tag: pkt.Tag, Context: pkt.Context,
+		Kind: transport.KindChainAck, RepSeq: pkt.RepSeq,
+		SrcGen: e.gen, DstGen: w.genOf(pkt.Src),
+	}
+	_ = w.fabric.Send(ack)
+	w.metrics.Inc(e.rank, metrics.ChainAcks)
+}
+
+// onChainAck retires one replica's receipt confirmation from the
+// matching outbox entry; the entry itself is released once every awaited
+// replica has confirmed.
+func (e *engine) onChainAck(pkt *transport.Packet) {
+	k := chainKey{
+		ldst: e.w.logicalOf(pkt.Src), ctx: pkt.Context,
+		tag: pkt.Tag, repSeq: pkt.RepSeq,
+	}
+	e.mu.Lock()
+	if ent := e.chainPend[k]; ent != nil {
+		delete(ent.waiting, pkt.Src)
+		if len(ent.waiting) == 0 {
+			delete(e.chainPend, k)
+		}
+	}
+	e.mu.Unlock()
+}
+
+// pruneChainAcks removes a dead physical slot from every sender's
+// chain-outbox wait sets (a corpse will never confirm), releasing entries
+// it was the last holdout of. No-op outside chain mode.
+func (s *replState) pruneChainAcks(f int) {
+	if s.mode != ReplChain {
+		return
+	}
+	w := s.w
+	for i := 0; i < w.size; i++ {
+		e := w.eng(i)
+		e.mu.Lock()
+		for k, ent := range e.chainPend {
+			if _, ok := ent.waiting[f]; ok {
+				delete(ent.waiting, f)
+				if len(ent.waiting) == 0 {
+					delete(e.chainPend, k)
+				}
+			}
+		}
+		e.mu.Unlock()
+	}
+}
+
+// resendChainPending re-sends every still-unconfirmed chain-outbox entry
+// addressed to logical rank l to its freshly promoted primary, in RepSeq
+// order per channel (a standby that accepted X+1 would dedup-drop a
+// later-arriving X). The re-send reuses the original causal token — it
+// is the same message, and the audit reconciles all copies to one span —
+// and the promoted primary re-forwards it chain-style, which also covers
+// standbys that missed the old primary's forward. Replicas that already
+// hold the frame dedup-drop it and re-confirm. Called with no locks held.
+func (s *replState) resendChainPending(l, promoted int) {
+	if s.mode != ReplChain {
+		return
+	}
+	w := s.w
+	epoch := s.epochOf(l)
+	for i := 0; i < w.size; i++ {
+		e := w.eng(i)
+		if e.dead.Load() {
+			continue
+		}
+		type item struct {
+			k   chainKey
+			ent *chainPending
+		}
+		var items []item
+		e.mu.Lock()
+		for k, ent := range e.chainPend {
+			if k.ldst == l {
+				items = append(items, item{k, ent})
+			}
+		}
+		e.mu.Unlock()
+		if len(items) == 0 {
+			continue
+		}
+		sort.Slice(items, func(a, b int) bool {
+			ka, kb := items[a].k, items[b].k
+			if ka.ctx != kb.ctx {
+				return ka.ctx < kb.ctx
+			}
+			if ka.tag != kb.tag {
+				return ka.tag < kb.tag
+			}
+			return ka.repSeq < kb.repSeq
+		})
+		for _, it := range items {
+			// Fresh payload copy per re-send: the fabric (and ultimately the
+			// application) may retain and mutate delivered buffers, and the
+			// outbox copy must stay intact for a second promotion.
+			cp := make([]byte, len(it.ent.payload))
+			copy(cp, it.ent.payload)
+			pkt := &transport.Packet{
+				Src: e.rank, Dst: promoted, Tag: it.k.tag, Context: it.k.ctx,
+				Kind: transport.KindData, Payload: cp,
+				RepSeq: it.k.repSeq, RepEpoch: epoch, Token: it.ent.tok,
+			}
+			_ = e.sendPacket(pkt)
+			w.metrics.Inc(e.rank, metrics.ChainResends)
+		}
+	}
+}
+
+// --- automatic re-replication ------------------------------------------------
+
+// refillAttempts bounds one refill goroutine's Spawn retries; combined
+// with the backoff doubling it spans several seconds of transient
+// refusals (racing kills, in-flight Spawns) before giving up.
+const refillAttempts = 10
+
+// scheduleRefill launches the Spawn-driven group refill for a confirmed
+// -dead replica slot, subject to the AutoRefill budget. Runs on the
+// failure-notification path with no locks held; the refill itself runs
+// on its own goroutine.
+func (s *replState) scheduleRefill(slot int) {
+	if !s.opts.AutoRefill {
+		return
+	}
+	s.mu.Lock()
+	if s.opts.MaxRefills > 0 && s.refills >= s.opts.MaxRefills {
+		s.mu.Unlock()
+		return
+	}
+	s.refills++
+	s.mu.Unlock()
+	go s.refill(slot, time.Now())
+}
+
+// refill retries Spawn(slot) with backoff until the slot is reoccupied,
+// someone else revived it, or the attempt budget runs out (teardown and
+// budget refusals surface as Spawn errors and simply exhaust the loop).
+// deathAt anchors the rereplication_latency observation: confirm-to-heal.
+func (s *replState) refill(slot int, deathAt time.Time) {
+	w := s.w
+	backoff := s.opts.RefillBackoff
+	if backoff <= 0 {
+		backoff = 2 * time.Millisecond
+	}
+	for attempt := 0; attempt < refillAttempts; attempt++ {
+		if attempt == 0 {
+			if s.opts.RefillDelay > 0 {
+				time.Sleep(s.opts.RefillDelay)
+			}
+		} else {
+			time.Sleep(backoff)
+			if backoff < 500*time.Millisecond {
+				backoff *= 2
+			}
+		}
+		if !w.registry.Confirmed(slot) {
+			return // already revived by a racing Spawn — group is healing
+		}
+		if _, err := w.Spawn(slot); err == nil {
+			w.metrics.Inc(slot, metrics.ReplicaRefills)
+			w.obs.Observe(slot, obs.RereplicationLatency, time.Since(deathAt))
+			return
+		}
+	}
+}
+
+// seedRepState copies the most advanced surviving sibling's replication
+// sequence state into a reincarnation's still-unpublished engine: repNext
+// fences inbound frames the group already consumed (late forwards and
+// retransmits of old laps dedup-drop instead of queueing stale state),
+// and repSeq keeps outbound numbering continuous if the incarnation ever
+// sends after recovering application state. Called from join before the
+// engine is installed, so no frame can race the seeding.
+func (s *replState) seedRepState(slot int, e2 *engine) {
+	w := s.w
+	for _, sib := range s.livePhys(w.logicalOf(slot)) {
+		if sib == slot {
+			continue
+		}
+		e := w.eng(sib)
+		if e == nil || e.dead.Load() {
+			continue
+		}
+		e.mu.Lock()
+		for k, v := range e.repSeq {
+			if v > e2.repSeq[k] {
+				e2.repSeq[k] = v
+			}
+		}
+		for k, v := range e.repNext {
+			if v > e2.repNext[k] {
+				e2.repNext[k] = v
+			}
+		}
+		e.mu.Unlock()
+	}
+}
+
+// LiveReplicas returns the live physical replica slots backing logical
+// rank l in replica-index order, or nil outside replication mode. Soaks
+// use it to assert depleted groups healed back to R by the epilogue.
+func (w *World) LiveReplicas(l int) []int {
+	if w.repl == nil || l < 0 || l >= w.lsize {
+		return nil
+	}
+	return w.repl.livePhys(l)
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -339,5 +340,118 @@ func TestSpawnRacesShrink(t *testing.T) {
 		if got != n-1 && got != n {
 			t.Fatalf("rank %d shrunk to %d members, want %d or %d", r, got, n-1, n)
 		}
+	}
+}
+
+// runReplOpts is runRepl with full control over the replication options
+// (refill knobs, mode) instead of just (R, mode).
+func runReplOpts(t *testing.T, lsize int, ropts ReplicationOptions, opts []Option, fn func(w *World, p *Proc) error) (*World, *RunResult) {
+	t.Helper()
+	all := append([]Option{
+		WithDeadline(60 * time.Second),
+		WithReplication(ropts),
+		WithMetrics(metrics.NewWorld(lsize * ropts.R)),
+	}, opts...)
+	w, err := NewWorld(lsize, all...)
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	res, err := w.Run(func(p *Proc) error {
+		p.World().SetErrhandler(ErrorsReturn)
+		return fn(w, p)
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return w, res
+}
+
+// TestChainForwardWindowKill is the tail-ack regression: the primary of a
+// logical rank is killed INSIDE the chain forward window — after
+// accepting a data frame, before relaying it to its standby — via the
+// deterministic HookChainForward placement. Without the sender-side chain
+// outbox the relayed frame is simply gone (the sender's ARQ saw the
+// primary's link-level ack, the standby never saw the frame) and the ring
+// wedges. With it, the promotion re-sends the unconfirmed entry to the
+// promoted standby under the same RepSeq, so the fault-unaware ring
+// completes exactly once: no drop (every lap's token arrives with the
+// right value) and no double-delivery (RepSeq dedup absorbs any copy the
+// dying primary did manage to forward).
+func TestChainForwardWindowKill(t *testing.T) {
+	const laps = 12
+	var fires atomic.Int32
+	hook := func(ev HookEvent) Action {
+		// Kill the primary of logical 1 immediately before its third
+		// standby forward. The promoted standby shares the logical rank, so
+		// fire exactly once (Add, not a == comparison on Load).
+		if ev.Point == HookChainForward && ev.Rank == 1 && fires.Add(1) == 3 {
+			return ActKill
+		}
+		return ActNone
+	}
+	w, res := runRepl(t, 3, 2, ReplChain, []Option{WithHook(hook)}, replRing(laps, -1, 0))
+	for phys, rr := range res.Ranks {
+		if phys == 1 {
+			continue // the forward-window victim
+		}
+		if rr.Err != nil || rr.Killed {
+			t.Fatalf("phys %d saw the failure: %+v", phys, rr)
+		}
+	}
+	mets := w.Metrics()
+	if got := mets.Total(metrics.ReplicaPromotions); got != 1 {
+		t.Fatalf("promotions: %d, want exactly 1", got)
+	}
+	if got := mets.Total(metrics.ChainResends); got == 0 {
+		t.Fatal("no chain resends: the unconfirmed outbox entry was not replayed")
+	}
+	if mets.Total(metrics.ChainAcks) == 0 {
+		t.Fatal("no chain acks counted")
+	}
+}
+
+// TestReplicationAutoRefill: with AutoRefill the world itself heals a
+// replica group that a detector confirm dropped below R — no app-level
+// Spawn anywhere in the rank function. The refilled incarnation joins as
+// a warm standby at generation 2 and the group is back at full degree.
+func TestReplicationAutoRefill(t *testing.T) {
+	for _, mode := range []string{ReplFanout, ReplChain} {
+		t.Run(mode, func(t *testing.T) {
+			const laps = 8
+			victim := 2 // standby of logical 0 (L=2, R=2: group {0, 2})
+			w, res := runReplOpts(t, 2,
+				ReplicationOptions{R: 2, Mode: mode, AutoRefill: true, RefillBackoff: time.Millisecond},
+				nil,
+				func(w *World, p *Proc) error {
+					if p.Gen() > 1 {
+						return nil // warm standby: hold the slot, no history replay
+					}
+					if err := replRing(laps, victim, 3)(w, p); err != nil {
+						return err
+					}
+					if p.PhysRank() != 0 {
+						return nil
+					}
+					return pollUntil("replica group auto-refilled", func() (bool, error) {
+						return len(w.LiveReplicas(0)) == 2 && w.Registry().Generation(victim) == 2, nil
+					})
+				})
+			for phys, rr := range res.Ranks {
+				if phys != victim && rr.Err != nil {
+					t.Fatalf("phys %d: %v", phys, rr.Err)
+				}
+			}
+			if len(res.Respawns) != 1 || res.Respawns[0].Slot != victim {
+				t.Fatalf("respawns: %+v", res.Respawns)
+			}
+			mets := w.Metrics()
+			if got := mets.Total(metrics.ReplicaRefills); got != 1 {
+				t.Fatalf("replica_refills: %d, want 1", got)
+			}
+			live := w.LiveReplicas(0)
+			if len(live) != 2 || live[0] != 0 || live[1] != victim {
+				t.Fatalf("replica group of logical 0 after refill: %v", live)
+			}
+		})
 	}
 }

@@ -234,6 +234,11 @@ func newWorldFromConfig(cfg Config) (*World, error) {
 		// larger. Everything below (registry, engines, monitors, fabric
 		// delivery) is sized physically.
 		cfg.Size = lsize * cfg.Replication.R
+		if cfg.Replication.AutoRefill && cfg.Elastic == nil {
+			// Automatic re-replication rides the elastic-world Spawn
+			// machinery; enable it with defaults when the app didn't.
+			cfg.Elastic = &ElasticOptions{}
+		}
 	}
 	fabric := cfg.Fabric
 	if fabric == nil {
@@ -276,7 +281,17 @@ func newWorldFromConfig(cfg Config) (*World, error) {
 		tokSeqs:      make([]atomic.Uint64, cfg.Size),
 	}
 	if cfg.Replication != nil {
-		w.repl = newReplState(w, lsize, cfg.Replication.R, cfg.Replication.Mode)
+		w.repl = newReplState(w, lsize, *cfg.Replication)
+		if relFab != nil && w.repl.mode == ReplChain {
+			// Tail-ack gating: a chain primary's hop-level ARQ ack for a
+			// fresh data frame is withheld until the engine has forwarded
+			// the frame down the chain (deliver releases it), so an ack
+			// never claims durability the standbys don't have yet.
+			relFab.SetAckGate(func(dst int, pkt *transport.Packet) bool {
+				return pkt.Kind == transport.KindData && pkt.RepSeq != 0 &&
+					w.repl.isPrimary(dst)
+			})
+		}
 	}
 	w.agreement = cfg.Agreement
 	if w.agreement == "" {
@@ -309,6 +324,16 @@ func newWorldFromConfig(cfg Config) (*World, error) {
 		w.engines[i].Store(newEngine(w, i, 1))
 	}
 	return w, nil
+}
+
+// releaseChainAck releases the gate-deferred hop-level ARQ ack for a
+// chain data frame delivered to dst. ReleaseAck is idempotent, so this
+// is a cheap no-op when nothing was deferred (fanout mode, control
+// traffic, already released).
+func (w *World) releaseChainAck(dst int, pkt *transport.Packet) {
+	if w.reliable != nil {
+		w.reliable.ReleaseAck(pkt.Src, dst, pkt.Seq)
+	}
 }
 
 // onChaosEvent maps an injected network fault to metrics counters and a

@@ -76,6 +76,10 @@ const (
 	// recognized failure) — the end-to-end timeline traceconv -recovery
 	// decomposes into phases.
 	RecoveryTotal
+	// RereplicationLatency times automatic re-replication: a replica's
+	// detector-confirmed death to the world's Spawn-driven refill restoring
+	// the group member at the next generation (no app Spawn involved).
+	RereplicationLatency
 	numFamilies
 )
 
@@ -85,6 +89,7 @@ var familyNames = [numFamilies]string{
 	"suspicion_latency", "fence_rtt", "swim_probe_rtt", "gossip_convergence",
 	"shrink_latency", "respawn_recovery", "replica_promotion",
 	"replication_overhead", "message_e2e_latency", "recovery_total",
+	"rereplication_latency",
 }
 
 // String returns the family's exposition name (the Prometheus metric is

@@ -119,6 +119,14 @@ func (e Event) String() string {
 	return fmt.Sprintf("%s %d->%d seq=%d attempt=%d", e.Kind, e.Src, e.Dst, e.Seq, e.Attempt)
 }
 
+// ackKey identifies one acknowledgement owed on a directional link: the
+// sender, the receiver, and the ARQ sequence number of the frame whose
+// ack is being withheld by the ack gate.
+type ackKey struct {
+	src, dst int
+	seq      uint64
+}
+
 // pending is one unacknowledged outbound frame.
 type pending struct {
 	pkt       *transport.Packet
@@ -153,11 +161,20 @@ type Fabric struct {
 	escalate func(peer int)
 	// onEvent, if set (before Start), observes every reliability action.
 	onEvent func(Event)
+	// ackGate, if set (before Start), is consulted for every FRESH
+	// sequenced data frame before its ack is sent. Returning true defers
+	// the ack: the frame is still delivered upstream, but the sender keeps
+	// retransmitting until the upper layer calls ReleaseAck — replication
+	// chain mode uses this to withhold the primary's hop ack until the
+	// frame has been forwarded down the chain. The gate runs without any
+	// fabric lock held and must not re-enter the fabric.
+	ackGate func(dst int, pkt *transport.Packet) bool
 
-	mu   sync.Mutex
-	tx   map[[2]int]*txLink
-	rx   map[[2]int]*rxLink
-	dead map[int]bool // peers purged by PeerDown or escalation
+	mu       sync.Mutex
+	tx       map[[2]int]*txLink
+	rx       map[[2]int]*rxLink
+	dead     map[int]bool // peers purged by PeerDown or escalation
+	deferred map[ackKey]struct{}
 
 	done    chan struct{}
 	closing sync.Once
@@ -167,12 +184,13 @@ type Fabric struct {
 // Wrap builds a reliability fabric over inner.
 func Wrap(inner transport.Fabric, opts Options) *Fabric {
 	return &Fabric{
-		inner: inner,
-		opts:  opts.withDefaults(),
-		tx:    make(map[[2]int]*txLink),
-		rx:    make(map[[2]int]*rxLink),
-		dead:  make(map[int]bool),
-		done:  make(chan struct{}),
+		inner:    inner,
+		opts:     opts.withDefaults(),
+		tx:       make(map[[2]int]*txLink),
+		rx:       make(map[[2]int]*rxLink),
+		dead:     make(map[int]bool),
+		deferred: make(map[ackKey]struct{}),
+		done:     make(chan struct{}),
 	}
 }
 
@@ -182,6 +200,38 @@ func (f *Fabric) Escalate(fn func(peer int)) { f.escalate = fn }
 // Observe registers a reliability-event observer. Call before Start; the
 // callback must not re-enter the fabric.
 func (f *Fabric) Observe(fn func(Event)) { f.onEvent = fn }
+
+// SetAckGate registers the deferred-ack predicate. Call before Start.
+func (f *Fabric) SetAckGate(fn func(dst int, pkt *transport.Packet) bool) { f.ackGate = fn }
+
+// ReleaseAck sends the acknowledgement previously withheld by the ack
+// gate for the frame (src -> dst, seq). It is idempotent: if no ack is
+// deferred for that frame (already released, purged, or never gated) the
+// call is a no-op.
+func (f *Fabric) ReleaseAck(src, dst int, seq uint64) {
+	key := ackKey{src: src, dst: dst, seq: seq}
+	f.mu.Lock()
+	_, owed := f.deferred[key]
+	delete(f.deferred, key)
+	f.mu.Unlock()
+	if owed {
+		_ = f.inner.Send(&transport.Packet{
+			Src: dst, Dst: src, Kind: transport.KindAck, Seq: seq,
+		})
+	}
+}
+
+// dropDeferredLocked discards deferred acks touching rank in either
+// direction. Callers hold f.mu. The sender-side inflight state those acks
+// would have retired is purged by the same PeerDown/PeerUp call, so no
+// retransmission can be stranded by the dropped entries.
+func (f *Fabric) dropDeferredLocked(rank int) {
+	for key := range f.deferred {
+		if key.src == rank || key.dst == rank {
+			delete(f.deferred, key)
+		}
+	}
+}
 
 // Inner returns the wrapped fabric.
 func (f *Fabric) Inner() transport.Fabric { return f.inner }
@@ -208,6 +258,7 @@ func (f *Fabric) Close() error {
 	f.closing.Do(func() { close(f.done) })
 	f.wg.Wait()
 	f.mu.Lock()
+	f.deferred = make(map[ackKey]struct{})
 	var purged []Event
 	for key, tx := range f.tx {
 		purged = f.appendTxPurges(purged, key, tx)
@@ -266,6 +317,7 @@ func (f *Fabric) emit(e Event) {
 func (f *Fabric) PeerDown(rank int) {
 	f.mu.Lock()
 	f.dead[rank] = true
+	f.dropDeferredLocked(rank)
 	var purged []Event
 	for key, tx := range f.tx {
 		if key[1] == rank || key[0] == rank {
@@ -300,6 +352,7 @@ func (f *Fabric) PeerDown(rank int) {
 func (f *Fabric) PeerUp(rank int) {
 	f.mu.Lock()
 	delete(f.dead, rank)
+	f.dropDeferredLocked(rank)
 	var purged []Event
 	for key, tx := range f.tx {
 		if key[0] == rank || key[1] == rank {
@@ -392,27 +445,66 @@ func (f *Fabric) onDeliver(dst int, pkt *transport.Packet) {
 		f.emit(Event{Kind: EvReject, Src: pkt.Src, Dst: dst, Seq: pkt.Seq, Token: pkt.Token})
 		return
 	}
+	// The ack gate runs before any lock: it may consult upper-layer state
+	// (replication group shape) but must not re-enter the fabric.
+	gated := f.ackGate != nil && f.ackGate(dst, pkt)
+	akey := ackKey{src: pkt.Src, dst: dst, seq: pkt.Seq}
+
+	key := [2]int{pkt.Src, dst}
 	f.mu.Lock()
 	if f.dead[pkt.Src] {
 		f.mu.Unlock()
 		return // straggler from a fail-stop peer
 	}
-	f.mu.Unlock()
-
-	// Ack first, before dedup: the frame may be a retransmission whose
-	// previous ack was lost, and re-acking is what stops the retries.
-	_ = f.inner.Send(&transport.Packet{
-		Src: dst, Dst: pkt.Src, Kind: transport.KindAck, Seq: pkt.Seq,
-	})
-
-	key := [2]int{pkt.Src, dst}
-	f.mu.Lock()
 	rx := f.rx[key]
 	if rx == nil {
 		rx = &rxLink{next: 1, held: make(map[uint64]*transport.Packet)}
 		f.rx[key] = rx
 	}
+	dup := pkt.Seq < rx.next || rx.held[pkt.Seq] != nil
+	withhold := false
+	if dup {
+		// A retransmission. Normally re-acked (the previous ack may have
+		// been lost) — but if the original's ack is still gate-deferred,
+		// stay silent: the upper layer has not released the frame yet, and
+		// acking the duplicate would defeat the gate.
+		_, withhold = f.deferred[akey]
+	} else if gated {
+		f.deferred[akey] = struct{}{}
+		withhold = true
+	}
+	if dup {
+		f.mu.Unlock()
+		if !withhold {
+			// Ack before anything else: re-acking is what stops the retries.
+			_ = f.inner.Send(&transport.Packet{
+				Src: dst, Dst: pkt.Src, Kind: transport.KindAck, Seq: pkt.Seq,
+			})
+		}
+		f.emit(Event{Kind: EvDedup, Src: pkt.Src, Dst: dst, Seq: pkt.Seq, Token: pkt.Token})
+		return
+	}
+	f.mu.Unlock()
+
+	if !withhold {
+		// Ack first, before delivery: a lost ack is repaired by the dup
+		// path above when the retransmission arrives.
+		_ = f.inner.Send(&transport.Packet{
+			Src: dst, Dst: pkt.Src, Kind: transport.KindAck, Seq: pkt.Seq,
+		})
+	}
+
+	f.mu.Lock()
+	// Re-look up the link: a PeerDown/PeerUp between the two critical
+	// sections may have purged and recreated it.
+	rx = f.rx[key]
+	if rx == nil {
+		rx = &rxLink{next: 1, held: make(map[uint64]*transport.Packet)}
+		f.rx[key] = rx
+	}
 	if pkt.Seq < rx.next || rx.held[pkt.Seq] != nil {
+		// Raced with a concurrent delivery of the same frame between the
+		// two critical sections; treat as the duplicate it is.
 		f.mu.Unlock()
 		f.emit(Event{Kind: EvDedup, Src: pkt.Src, Dst: dst, Seq: pkt.Seq, Token: pkt.Token})
 		return

@@ -12,12 +12,13 @@ import (
 )
 
 // TestCollectorCoversAllFamilies is the observability-plumbing gate: one
-// swim-mode detection world plus one replication world absorbed into a
-// Collector must surface EVERY histogram family and EVERY counter in the
-// -json output — the schema is complete and stable — and the families
-// recent PRs added (swim_probe_rtt, gossip_convergence, and now
-// replica_promotion, replication_overhead) must carry real samples,
-// proving the new hooks flow end to end through obs -> World ->
+// swim-mode detection world, one replication world and one E24
+// durability world absorbed into a Collector must surface EVERY
+// histogram family and EVERY counter in the -json output — the schema is
+// complete and stable — and the families recent PRs added
+// (swim_probe_rtt, gossip_convergence, replica_promotion,
+// replication_overhead, and now rereplication_latency) must carry real
+// samples, proving the new hooks flow end to end through obs -> World ->
 // Collector -> JSON.
 func TestCollectorCoversAllFamilies(t *testing.T) {
 	c := NewCollector()
@@ -32,8 +33,15 @@ func TestCollectorCoversAllFamilies(t *testing.T) {
 	if _, err := runReplicaWorld(opt, rcfg, 1, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if c.Runs() < 2 {
-		t.Fatalf("collector absorbed %d worlds, want 2", c.Runs())
+	// One chain-mode durability world with a forward-window kill (seed 2
+	// is even) lights the tail-ack counters (chain_acks, a guaranteed
+	// chain_resends) and the auto re-replication pipeline (replica_refills
+	// + rereplication_latency samples).
+	if _, err := runDurabilityWorld(opt, mpi.ReplChain, 2, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Runs() < 3 {
+		t.Fatalf("collector absorbed %d worlds, want 3", c.Runs())
 	}
 
 	var buf bytes.Buffer
@@ -66,16 +74,17 @@ func TestCollectorCoversAllFamilies(t *testing.T) {
 	// message_e2e_latency comes from the HLC stamps every tokened data
 	// message carries; recovery_total from the kill -> promotion incident.
 	for _, name := range []string{"swim_probe_rtt", "gossip_convergence", "suspicion_latency",
-		"replica_promotion", "replication_overhead",
+		"replica_promotion", "replication_overhead", "rereplication_latency",
 		"message_e2e_latency", "recovery_total"} {
 		if out.Histograms[name].Count == 0 {
-			t.Errorf("family %q has no samples after the swim + replication runs\n%s", name, buf.String())
+			t.Errorf("family %q has no samples after the swim + replication + durability runs\n%s", name, buf.String())
 		}
 	}
 	for _, name := range []string{"control_frames", "swim_probes", "gossip_events", "gossip_learns",
-		"replica_sends", "replica_promotions", "replica_dedup_drops"} {
+		"replica_sends", "replica_promotions", "replica_dedup_drops",
+		"replica_refills", "chain_resends", "chain_acks"} {
 		if out.Counters[name] == 0 {
-			t.Errorf("counter %q is zero after the swim + replication runs", name)
+			t.Errorf("counter %q is zero after the swim + replication + durability runs", name)
 		}
 	}
 	if out.Counters["gossip_decode_errors"] != 0 {

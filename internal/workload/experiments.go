@@ -39,11 +39,11 @@ func All() []Experiment {
 	return []Experiment{
 		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(),
 		e9(), e10(), e11(), e12(), e13(), e14(), e15(), e16(), e17(),
-		e18(), e19(), e20(), e21(), e22(), e23(),
+		e18(), e19(), e20(), e21(), e22(), e23(), e24(),
 	}
 }
 
-// ByID finds an experiment by its identifier ("e1".."e23").
+// ByID finds an experiment by its identifier ("e1".."e24").
 func ByID(id string) (Experiment, bool) {
 	for _, e := range All() {
 		if e.ID == id {
@@ -485,6 +485,15 @@ func e23() Experiment {
 		ID: "e23", Title: "Recovery forensics: trace-derived phase decomposition", PaperRef: "recovery time, decomposed causally",
 		Run: func(opt Options) ([]*Table, error) {
 			return runRecoveryForensics(opt)
+		},
+	}
+}
+
+func e24() Experiment {
+	return Experiment{
+		ID: "e24", Title: "Durability soak: chain tail-acks, auto re-replication, replicated collectives", PaperRef: "replication durability under seeded worst-case kills",
+		Run: func(opt Options) ([]*Table, error) {
+			return runDurabilitySoak(opt)
 		},
 	}
 }

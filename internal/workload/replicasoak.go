@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // ReplicaDemoRanks is the LOGICAL ring size of the replication protocol;
@@ -18,24 +19,29 @@ import (
 const ReplicaDemoRanks = replicaRingRanks
 
 // RunReplicaDemo runs one seeded replication world (the E22 protocol)
-// with R replicas per logical rank over the caller's metrics recorder and
-// histogram registry — both sized to ReplicaDemoRanks*R — and returns the
-// one-row result table. This is the entry point behind cmd/ftring's
+// with R replicas per logical rank in the given replication mode
+// (mpi.ReplFanout or mpi.ReplChain) over the caller's metrics recorder
+// and histogram registry — both sized to ReplicaDemoRanks*R — and returns
+// the one-row result table. This is the entry point behind cmd/ftring's
 // -replicas mode, so a live -obs endpoint scrapes the promotion and
-// dedup counters as a replica is killed mid-run. With R == 1 there is no
-// replica to absorb a failure, so the run is failure-free.
-func RunReplicaDemo(seed int64, r int, mets *metrics.World, reg *obs.Registry) (*Table, error) {
+// dedup counters as a replica is killed mid-run. With refill set, the
+// world re-replicates the killed slot automatically and the run does not
+// return until the group is back at degree R. A non-nil rec records the
+// causal trace (for -trace-out / traceconv -audit). With R == 1 there is
+// no replica to absorb a failure, so the run is failure-free.
+func RunReplicaDemo(seed int64, r int, mode string, refill bool,
+	rec *trace.Recorder, mets *metrics.World, reg *obs.Registry) (*Table, error) {
 	t := NewTable("replication demo — hot replicas, transparent failover under chaos",
-		"seed", "R", "victim-phys", "role", "kill-lap", "laps", "promotions",
-		"dedup-drops", "replica-sends", "elapsed")
-	cfg := replicaCfg{r: r, mode: mpi.ReplFanout, kill: r >= 2,
-		laps: replicaBaseLaps, chaos: true}
-	run, err := runReplicaWorld(Options{}, cfg, seed, mets, reg)
+		"seed", "R", "mode", "victim-phys", "role", "kill-lap", "laps", "promotions",
+		"dedup-drops", "replica-sends", "refills", "elapsed")
+	cfg := replicaCfg{r: r, mode: mode, kill: r >= 2,
+		laps: replicaBaseLaps, chaos: true, autoRefill: refill && r >= 2}
+	run, err := runReplicaWorld(Options{Tracer: rec}, cfg, seed, mets, reg)
 	if err != nil {
 		return nil, err
 	}
-	t.Add(seed, r, run.victim, run.role, run.killLap, run.laps, run.promotions,
-		run.dedupDrops, run.replicaSends, run.elapsed)
+	t.Add(seed, r, mode, run.victim, run.role, run.killLap, run.laps, run.promotions,
+		run.dedupDrops, run.replicaSends, run.refills, run.elapsed)
 	return t, nil
 }
 
@@ -87,6 +93,10 @@ type replicaCfg struct {
 	// unaware ring can outrun detection entirely; E23's forensics need
 	// the repair — and a post-repair delivery — inside the run.
 	waitRepair bool
+	// autoRefill turns on automatic re-replication: the world respawns
+	// the killed slot itself and the run's epilogue waits until every
+	// replica group is back at degree r.
+	autoRefill bool
 }
 
 // replicaWaitLaps is how many laps run after the repair wait-point when
@@ -116,6 +126,7 @@ type replicaRun struct {
 	promotions   int64
 	dedupDrops   int64
 	replicaSends int64
+	refills      int64
 	validates    int64
 	resends      int64
 	elapsed      time.Duration
@@ -153,7 +164,10 @@ func runReplicaWorld(opt Options, cfg replicaCfg, seed int64, mets *metrics.Worl
 		mpi.WithMetrics(mets),
 		mpi.WithObservability(reg),
 		mpi.WithDeadline(120 * time.Second),
-		mpi.WithReplication(mpi.ReplicationOptions{R: cfg.r, Mode: cfg.mode}),
+		mpi.WithReplication(mpi.ReplicationOptions{
+			R: cfg.r, Mode: cfg.mode,
+			AutoRefill: cfg.autoRefill, RefillBackoff: time.Millisecond,
+		}),
 	}
 	if cfg.chaos {
 		wopts = append(wopts, mpi.WithChaos(chaos.NewPlan(seed).Default(replicaRates())))
@@ -180,6 +194,12 @@ func runReplicaWorld(opt Options, cfg replicaCfg, seed int64, mets *metrics.Worl
 	res, err := w.Run(func(p *mpi.Proc) error {
 		c := p.World()
 		c.SetErrhandler(mpi.ErrorsReturn)
+		if p.Gen() > 1 {
+			// An automatic refill joins as a warm standby: it cannot replay
+			// the message history its siblings already consumed, so it holds
+			// the slot and restores the failure budget.
+			return nil
+		}
 		me, L, phys := p.Rank(), p.Size(), p.PhysRank()
 
 		// The entire application: the paper's Fig. 2 fault-UNAWARE ring.
@@ -213,6 +233,25 @@ func runReplicaWorld(opt Options, cfg replicaCfg, seed int64, mets *metrics.Worl
 				}
 				if serr := c.Send((me+1)%L, replicaTagTok, pl); serr != nil {
 					return serr
+				}
+			}
+		}
+		if cfg.autoRefill && cfg.kill {
+			// Epilogue: survivors hold the world open until the automatic
+			// refill has restored every replica group to full degree.
+			for end := time.Now().Add(30 * time.Second); ; time.Sleep(2 * time.Millisecond) {
+				healed := true
+				for l := 0; l < L; l++ {
+					if len(w.LiveReplicas(l)) != cfg.r {
+						healed = false
+						break
+					}
+				}
+				if healed {
+					break
+				}
+				if !time.Now().Before(end) {
+					return fmt.Errorf("phys %d: replica groups not refilled to R=%d", phys, cfg.r)
 				}
 			}
 		}
@@ -269,9 +308,13 @@ func runReplicaWorld(opt Options, cfg replicaCfg, seed int64, mets *metrics.Worl
 	run.promotions = mets.Total(metrics.ReplicaPromotions)
 	run.dedupDrops = mets.Total(metrics.ReplicaDedupDrops)
 	run.replicaSends = mets.Total(metrics.ReplicaSends)
+	run.refills = mets.Total(metrics.ReplicaRefills)
 	run.validates = mets.Total(metrics.Validates)
 	run.resends = mets.Total(metrics.Resends)
 	run.elapsed = res.Elapsed
+	if cfg.autoRefill && cfg.kill && run.refills == 0 {
+		return nil, fmt.Errorf("seed %d: auto re-replication never refilled the killed slot", seed)
+	}
 
 	// The kill is absorbed below the app: a dead primary promotes exactly
 	// one standby, a dead standby promotes nobody.
@@ -306,7 +349,11 @@ func runReplicaWorld(opt Options, cfg replicaCfg, seed int64, mets *metrics.Worl
 // fan-out vs R=2 chain) and the promotion-latency quantiles merged over
 // the sweep.
 func runReplicaSoak(opt Options) ([]*Table, error) {
-	t := NewTable("E22: replication soak — one replica killed per seed, fault-unaware ring, R=2 fan-out",
+	mode := opt.RepMode
+	if mode == "" {
+		mode = mpi.ReplFanout
+	}
+	t := NewTable(fmt.Sprintf("E22: replication soak — one replica killed per seed, fault-unaware ring, R=2 %s", mode),
 		"seed", "victim-phys", "role", "kill-lap", "laps", "promotions",
 		"dedup-drops", "replica-sends", "elapsed")
 	seeds := 20
@@ -317,7 +364,7 @@ func runReplicaSoak(opt Options) ([]*Table, error) {
 	for s := 0; s < seeds; s++ {
 		seed := opt.Seed + int64(s)
 		reg := obs.NewRegistry(replicaRingRanks * 2)
-		cfg := replicaCfg{r: 2, mode: mpi.ReplFanout, kill: true,
+		cfg := replicaCfg{r: 2, mode: mode, kill: true,
 			laps: replicaBaseLaps, chaos: true}
 		r, err := runReplicaWorld(opt, cfg, seed, nil, reg)
 		if err != nil {

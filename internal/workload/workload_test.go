@@ -42,8 +42,8 @@ func TestAllHaveMetadata(t *testing.T) {
 		}
 		ids[e.ID] = true
 	}
-	if len(ids) != 23 {
-		t.Fatalf("have %d experiments, want 23", len(ids))
+	if len(ids) != 24 {
+		t.Fatalf("have %d experiments, want 24", len(ids))
 	}
 }
 
@@ -258,6 +258,46 @@ func TestReplicaSoak(t *testing.T) {
 		if !families[want] {
 			t.Fatalf("family %q missing from latency table\n%s", want, tables[2].Render())
 		}
+	}
+}
+
+// TestDurabilitySoak is the acceptance gate for the E24 durability
+// gauntlet: every seeded run, in BOTH replication modes, must survive its
+// full kill schedule — a primary felled inside the chain forward window
+// (even chain seeds) or between a Bcast and an Allreduce, a standby of a
+// second group, and a depletion kill of the automatic refill — with
+// exactly-once delivery, a clean conservation audit, zero app Spawn
+// calls, and every replica group healed back to degree R. -short and
+// race builds shrink the sweep from 20 seeds to 4 per mode.
+func TestDurabilitySoak(t *testing.T) {
+	opt := Options{Quick: testing.Short() || raceEnabled, Seed: 1}
+	tables, err := runDurabilitySoak(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 2 * 20
+	if opt.Quick {
+		wantRows = 2 * 4
+	}
+	rows := tables[0].Rows
+	if len(rows) != wantRows {
+		t.Fatalf("want %d seed rows, got %d\n%s", wantRows, len(rows), tables[0].Render())
+	}
+	placements := map[string]bool{}
+	for _, row := range rows {
+		placements[row[3]] = true
+	}
+	if !placements["forward-window"] || !placements["mid-collective"] {
+		t.Fatalf("sweep covered only placement(s) %v — kills must land both inside the chain forward window and mid-collective\n%s",
+			placements, tables[0].Render())
+	}
+	// The re-replication latency must have reached the quantile table.
+	families := map[string]bool{}
+	for _, row := range tables[1].Rows {
+		families[row[0]] = true
+	}
+	if !families["rereplication_latency"] {
+		t.Fatalf("family %q missing from latency table\n%s", "rereplication_latency", tables[1].Render())
 	}
 }
 
